@@ -1,0 +1,40 @@
+// Ablation A5 (DESIGN.md): the quorum system. The paper selects dynamic
+// linear voting [15] — "the component that contains a (weighted) majority
+// of the last primary component becomes the new primary component" — over
+// a static majority of the full replica set. Under a cascading partition
+// schedule (the surviving component shrinks one replica at a time, then the
+// network heals), dynamic linear voting follows the surviving lineage all
+// the way down to two replicas, while a static majority loses the primary
+// as soon as fewer than a majority of ALL replicas stay connected.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/experiments.h"
+
+int main() {
+  using namespace tordb;
+  using namespace tordb::workload;
+
+  bench::header("Ablation A5: dynamic linear voting vs static majority",
+                "DLV keeps a primary through cascading shrinks; static majority goes dark");
+
+  const SimDuration measure = bench::fast_mode() ? seconds(10) : seconds(30);
+  std::vector<int> sizes = bench::fast_mode() ? std::vector<int>{7} : std::vector<int>{5, 7, 11};
+
+  std::printf("%9s | %28s | %28s\n", "replicas", "dynamic linear voting",
+              "static majority");
+  std::printf("%9s | %14s %13s | %14s %13s\n", "", "availability", "committed",
+              "availability", "committed");
+  bench::row_sep(74);
+  for (int n : sizes) {
+    const auto dlv = measure_quorum_availability(true, n, measure, 1);
+    const auto stat = measure_quorum_availability(false, n, measure, 1);
+    std::printf("%9d | %13.1f%% %13llu | %13.1f%% %13llu\n", n,
+                100 * dlv.primary_availability,
+                static_cast<unsigned long long>(dlv.actions_committed),
+                100 * stat.primary_availability,
+                static_cast<unsigned long long>(stat.actions_committed));
+  }
+  std::printf("\n(availability: %% of time some primary component exists)\n");
+  return 0;
+}

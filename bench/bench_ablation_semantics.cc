@@ -1,0 +1,34 @@
+// Ablation A2 (DESIGN.md, paper §6): service latency of the relaxed
+// consistency semantics inside a non-primary (minority) component.
+//
+// Strict actions must wait for the partition to heal; weak queries answer
+// from the consistent-but-stale green state immediately; dirty queries
+// answer from the red-applied overlay immediately; commutative updates are
+// acknowledged locally and converge after the merge.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/experiments.h"
+
+int main() {
+  using namespace tordb;
+  using namespace tordb::workload;
+
+  bench::header("Ablation A2: relaxed semantics in a minority partition (paper §6)",
+                "weak/dirty/commutative answer in ~0ms while strict waits out the partition");
+
+  std::vector<SimDuration> partition_lengths = {millis(500), seconds(2), seconds(5)};
+  if (bench::fast_mode()) partition_lengths = {millis(500), seconds(2)};
+
+  std::printf("%15s | %10s | %10s | %13s | %24s\n", "partition (s)", "weak (ms)",
+              "dirty (ms)", "commut. (ms)", "strict (ms, incl. merge)");
+  bench::row_sep();
+  for (SimDuration len : partition_lengths) {
+    const auto r = measure_semantics(7, len, 1);
+    std::printf("%15.1f | %10.3f | %10.3f | %13.3f | %24.1f%s\n", to_seconds(len),
+                r.weak_query_ms, r.dirty_query_ms, r.commutative_update_ms,
+                r.strict_latency_ms,
+                r.strict_blocked_during_partition ? "  (blocked until merge)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+// §7 latency experiment: one client, 2000 sequential actions, average
+// response time per algorithm as the number of replicas varies.
+//
+// Expected shape (paper §7): "The average latency of the two-phase commit
+// algorithm was around 19.3ms while for the COReL and our replication
+// engine it was around 11.4ms regardless of the number of servers. These
+// numbers are ... driven by the disk-write latency."
+#include <cstdio>
+
+#include "bench_util.h"
+#include "workload/experiments.h"
+
+int main() {
+  using namespace tordb;
+  using namespace tordb::workload;
+
+  bench::header("Latency: 1 client, 2000 sequential actions",
+                "2PC ~19.3ms; COReL and engine ~11.4ms, flat in the number of replicas");
+
+  const int actions = bench::fast_mode() ? 300 : 2000;
+  std::vector<int> replica_counts =
+      bench::fast_mode() ? std::vector<int>{3, 14} : std::vector<int>{2, 4, 6, 8, 10, 12, 14};
+
+  std::printf("%9s | %21s | %21s | %21s\n", "replicas", "engine mean/p99 (ms)",
+              "COReL mean/p99 (ms)", "2PC mean/p99 (ms)");
+  bench::row_sep();
+  for (int n : replica_counts) {
+    const auto e = measure_latency(Algorithm::kEngine, n, actions, 1);
+    const auto k = measure_latency(Algorithm::kCorel, n, actions, 1);
+    const auto t = measure_latency(Algorithm::kTwoPc, n, actions, 1);
+    std::printf("%9d | %9.2f / %8.2f | %9.2f / %8.2f | %9.2f / %8.2f\n", n, e.mean_ms,
+                e.p99_ms, k.mean_ms, k.p99_ms, t.mean_ms, t.p99_ms);
+  }
+  std::printf("\n(%d actions per cell)\n", actions);
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Microbenchmarks (google-benchmark) for the hot substrate paths: the
+// event queue, serialization, database apply and snapshot, and the
+// end-to-end simulated cost of one replicated action.
+#include <benchmark/benchmark.h>
+
+#include "core/action.h"
+#include "core/messages.h"
+#include "db/database.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "workload/cluster.h"
+
+namespace {
+
+using namespace tordb;
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    for (int i = 0; i < 1000; ++i) {
+      sim.at(i, [] {});
+    }
+    benchmark::DoNotOptimize(sim.run());
+  }
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_RngNext(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+}
+BENCHMARK(BM_RngNext);
+
+void BM_ActionEncodeDecode(benchmark::State& state) {
+  core::Action a;
+  a.id = ActionId{3, 12345};
+  a.update = db::Command::put("some-key", "some-value");
+  a.padding = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    BufWriter w;
+    a.encode(w);
+    Bytes b = w.take();
+    BufReader r(b);
+    benchmark::DoNotOptimize(core::Action::decode(r));
+  }
+}
+BENCHMARK(BM_ActionEncodeDecode)->Arg(0)->Arg(110)->Arg(1000);
+
+void BM_DatabaseApply(benchmark::State& state) {
+  db::Database d;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(d.apply(db::Command::put("k" + std::to_string(i++ % 1000), "v")));
+  }
+}
+BENCHMARK(BM_DatabaseApply);
+
+void BM_DatabaseSnapshot(benchmark::State& state) {
+  db::Database d;
+  for (int i = 0; i < state.range(0); ++i) {
+    d.apply(db::Command::put("key-" + std::to_string(i), "value-" + std::to_string(i)));
+  }
+  for (auto _ : state) benchmark::DoNotOptimize(d.snapshot());
+}
+BENCHMARK(BM_DatabaseSnapshot)->Arg(100)->Arg(10000);
+
+void BM_SimulatedReplicatedAction(benchmark::State& state) {
+  // Real-time cost of simulating one fully replicated action on a
+  // 5-replica cluster (events, not simulated milliseconds).
+  workload::ClusterOptions o;
+  o.replicas = 5;
+  workload::EngineCluster c(o);
+  c.run_for(seconds(2));
+  std::int64_t n = 0;
+  for (auto _ : state) {
+    bool done = false;
+    c.engine(0).submit({}, db::Command::put("k", std::to_string(++n)), 1,
+                       core::Semantics::kStrict, [&](const core::Reply&) { done = true; });
+    while (!done) c.sim().run(64);
+  }
+}
+BENCHMARK(BM_SimulatedReplicatedAction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

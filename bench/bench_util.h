@@ -1,0 +1,32 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every binary prints the rows/series of one table or figure from the
+// paper's §7 evaluation (or a DESIGN.md ablation), plus the paper's
+// reference values where applicable. Set TORDB_BENCH_FAST=1 for a reduced
+// sweep (used in CI smoke runs).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tordb::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("TORDB_BENCH_FAST");
+  return v != nullptr && std::strcmp(v, "0") != 0;
+}
+
+inline void header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("paper reference: %s\n\n", paper_ref.c_str());
+}
+
+inline void row_sep(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace tordb::bench

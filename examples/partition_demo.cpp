@@ -1,0 +1,68 @@
+// Partition demo: the paper's headline scenario. A 5-replica cluster
+// splits; the majority side keeps committing (green), the minority orders
+// locally (red) without committing; after the merge the eventual-path
+// exchange folds everything into one global persistent order.
+#include <cstdio>
+
+#include "db/database.h"
+#include "workload/cluster.h"
+
+using namespace tordb;
+
+namespace {
+void show(workload::EngineCluster& c, const char* label) {
+  std::printf("\n-- %s --\n", label);
+  for (NodeId i = 0; i < c.replicas(); ++i) {
+    if (!c.node(i).running()) continue;
+    auto& e = c.engine(i);
+    std::printf("  replica %d: %-10s green=%-3lld red=%-2zu prim#%lld log=\"%s\"\n", i,
+                to_string(e.state()).c_str(), static_cast<long long>(e.green_count()),
+                e.red_count(), static_cast<long long>(e.prim_component().prim_index),
+                e.database().get("log").c_str());
+  }
+}
+}  // namespace
+
+int main() {
+  workload::ClusterOptions options;
+  options.replicas = 5;
+  workload::EngineCluster cluster(options);
+  cluster.run_for(seconds(1));
+
+  cluster.engine(0).submit({}, db::Command::append("log", "A"), 1, core::Semantics::kStrict,
+                           nullptr);
+  cluster.run_for(millis(100));
+  show(cluster, "initial primary component, action A committed");
+
+  // Partition: {0,1,2} keep the quorum (majority of the last primary);
+  // {3,4} become a non-primary component.
+  std::printf("\n### network partitions into {0,1,2} | {3,4} ###\n");
+  cluster.partition({{0, 1, 2}, {3, 4}});
+  cluster.run_for(millis(500));
+
+  cluster.engine(1).submit({}, db::Command::append("log", "B"), 1, core::Semantics::kStrict,
+                           [](const core::Reply&) {
+                             std::printf("  majority: action B committed during partition\n");
+                           });
+  bool minority_committed = false;
+  cluster.engine(4).submit({}, db::Command::append("log", "C"), 1, core::Semantics::kStrict,
+                           [&](const core::Reply&) { minority_committed = true; });
+  cluster.run_for(millis(500));
+  std::printf("  minority: action C %s (red: ordered locally, global order unknown)\n",
+              minority_committed ? "committed (?!)" : "NOT committed");
+  show(cluster, "during the partition");
+
+  // Merge: the exchange protocol runs once (one end-to-end round per
+  // membership change — not per action), C gets its global position, and
+  // both sides converge.
+  std::printf("\n### partitions merge ###\n");
+  cluster.heal();
+  cluster.run_for(seconds(2));
+  show(cluster, "after the merge");
+  std::printf("\nminority action C committed after merge: %s\n",
+              minority_committed ? "yes" : "no");
+
+  auto violation = cluster.check_all();
+  std::printf("safety invariants: %s\n", violation ? violation->c_str() : "all hold");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: bring up a 5-replica cluster, submit actions, read results.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+//
+// The cluster runs inside the deterministic network simulator; the same
+// ReplicationEngine API would sit on a real group-communication stack.
+#include <cstdio>
+
+#include "db/database.h"
+#include "workload/cluster.h"
+
+using namespace tordb;
+
+int main() {
+  // 1. Five replicas, all founding members of the replica set.
+  workload::ClusterOptions options;
+  options.replicas = 5;
+  workload::EngineCluster cluster(options);
+
+  // 2. Let the group communication form the first primary component.
+  cluster.run_for(seconds(1));
+  std::printf("primary formed: every replica in state %s\n",
+              to_string(cluster.engine(0).state()).c_str());
+
+  // 3. Submit an update through any replica. The reply arrives once the
+  //    action is *green*: globally ordered and applied everywhere.
+  cluster.engine(2).submit(
+      /*query=*/{}, /*update=*/db::Command::put("greeting", "hello, replicated world"),
+      /*client=*/1, core::Semantics::kStrict, [](const core::Reply& r) {
+        std::printf("update committed as action %s\n", to_string(r.action).c_str());
+      });
+  cluster.run_for(millis(100));
+
+  // 4. An action can carry a query part — evaluated at ordering time.
+  cluster.engine(4).submit(
+      db::Command::get("greeting"), db::Command::append("greeting", "!"), 1,
+      core::Semantics::kStrict, [](const core::Reply& r) {
+        std::printf("read-modify-write saw: \"%s\"\n", r.reads.at(0).c_str());
+      });
+  cluster.run_for(millis(100));
+
+  // 5. Every replica holds the identical database.
+  for (NodeId i = 0; i < 5; ++i) {
+    std::printf("replica %d: greeting=\"%s\" (green actions: %lld, digest %016llx)\n", i,
+                cluster.engine(i).database().get("greeting").c_str(),
+                static_cast<long long>(cluster.engine(i).green_count()),
+                static_cast<unsigned long long>(cluster.engine(i).db_digest()));
+  }
+  return 0;
+}

@@ -1,0 +1,150 @@
+#include "core/client_session.h"
+
+namespace tordb::core {
+
+ClientSession::ClientSession(Simulator& sim, std::vector<ReplicaNode*> replicas,
+                             std::int64_t client_id, SessionOptions options)
+    : sim_(sim),
+      replicas_(std::move(replicas)),
+      client_id_(client_id),
+      options_(options),
+      alive_(std::make_shared<bool>(true)) {}
+
+ClientSession::~ClientSession() { *alive_ = false; }
+
+std::string ClientSession::guard_key(std::int64_t client_id) {
+  return "__session/" + std::to_string(client_id);
+}
+
+void ClientSession::submit(db::Command update, SessionReplyFn reply) {
+  Request r;
+  r.seq = ++next_seq_;
+  r.update = std::move(update);
+  r.reply = std::move(reply);
+  queue_.push_back(std::move(r));
+  ++stats_.submitted;
+  pump();
+}
+
+void ClientSession::pump() {
+  if (in_flight_ || queue_.empty()) return;
+  current_ = std::move(queue_.front());
+  queue_.pop_front();
+  in_flight_ = true;
+  issue();
+}
+
+ReplicaNode* ClientSession::current_replica() {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    ReplicaNode* node = replicas_[(replica_idx_ + i) % replicas_.size()];
+    if (node->running() && !node->has_left()) {
+      replica_idx_ = (replica_idx_ + i) % replicas_.size();
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+void ClientSession::advance_replica() {
+  replica_idx_ = (replica_idx_ + 1) % replicas_.size();
+  ++stats_.failovers;
+}
+
+void ClientSession::issue() {
+  ++current_.attempts;
+  ++attempt_epoch_;
+  const std::uint64_t epoch = attempt_epoch_;
+  const std::int64_t seq = current_.seq;
+
+  ReplicaNode* node = current_replica();
+  if (node == nullptr || current_.attempts > options_.max_attempts_per_request) {
+    // No reachable replica (or we gave up): report a deterministic abort.
+    finish(false);
+    return;
+  }
+
+  // Fence the user's ops with the session guard. Evaluated at ordering
+  // time at every replica identically, so a duplicate of an already
+  // committed attempt aborts everywhere.
+  db::Command fenced;
+  fenced.ops.push_back(db::Op{db::OpType::kCheck, guard_key(client_id_),
+                              last_committed_guard_, 0});
+  fenced.ops.push_back(
+      db::Op{db::OpType::kPut, guard_key(client_id_), std::to_string(seq), 0});
+  fenced.ops.insert(fenced.ops.end(), current_.update.ops.begin(), current_.update.ops.end());
+
+  node->engine().submit({}, std::move(fenced), client_id_, Semantics::kStrict,
+                        [this, alive = alive_, seq, epoch](const Reply& r) {
+                          if (!*alive) return;
+                          on_reply(seq, epoch, r.aborted);
+                        });
+  sim_.after(options_.retry_timeout, [this, alive = alive_, seq, epoch] {
+    if (!*alive) return;
+    on_timeout(seq, epoch);
+  });
+}
+
+void ClientSession::on_reply(std::int64_t seq, std::uint64_t attempt_epoch, bool aborted) {
+  if (!in_flight_ || current_.seq != seq || attempt_epoch != attempt_epoch_) return;
+  if (!aborted) {
+    last_committed_guard_ = std::to_string(seq);
+    finish(true);
+    return;
+  }
+  if (current_.attempts == 1) {
+    // Single attempt: the guard cannot have failed (nobody else writes this
+    // key), so the user's own check aborted — a genuine deterministic abort.
+    finish(false);
+    return;
+  }
+  // After retries an abort is ambiguous: the guard may have tripped because
+  // an earlier attempt committed. Read the guard back to find out.
+  resolve_ambiguous_abort(seq, attempt_epoch);
+}
+
+void ClientSession::resolve_ambiguous_abort(std::int64_t seq, std::uint64_t attempt_epoch) {
+  ReplicaNode* node = current_replica();
+  if (node == nullptr) {
+    finish(false);
+    return;
+  }
+  node->engine().submit_query(
+      db::Command::get(guard_key(client_id_)), QueryMode::kStrict,
+      [this, alive = alive_, seq, attempt_epoch](const Reply& r) {
+        if (!*alive) return;
+        if (!in_flight_ || current_.seq != seq || attempt_epoch != attempt_epoch_) return;
+        if (!r.reads.empty() && r.reads[0] == std::to_string(seq)) {
+          // An earlier attempt committed; the retry was the duplicate.
+          ++stats_.duplicates_suppressed;
+          last_committed_guard_ = std::to_string(seq);
+          finish(true);
+        } else {
+          finish(false);
+        }
+      });
+}
+
+void ClientSession::on_timeout(std::int64_t seq, std::uint64_t attempt_epoch) {
+  if (!in_flight_ || current_.seq != seq || attempt_epoch != attempt_epoch_) return;
+  ++stats_.retries;
+  advance_replica();
+  issue();
+}
+
+void ClientSession::finish(bool committed) {
+  in_flight_ = false;
+  if (committed) {
+    ++stats_.committed;
+  } else {
+    ++stats_.aborted;
+  }
+  SessionReply rep;
+  rep.committed = committed;
+  rep.attempts = current_.attempts;
+  auto fn = std::move(current_.reply);
+  current_ = Request{};
+  if (fn) fn(rep);
+  pump();
+}
+
+}  // namespace tordb::core

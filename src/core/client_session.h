@@ -1,0 +1,114 @@
+// Exactly-once client sessions over the replication engine.
+//
+// The paper's model has clients submit actions to a replica and wait for
+// the green reply. If that replica crashes (or the client's reply is lost),
+// a naive client retry through another replica would apply the action
+// twice. This session layer — an extension beyond the paper, built purely
+// on the public engine API — gives each client a FIFO session with
+// exactly-once update semantics:
+//
+//  - every update is fenced by a session-sequence guard on a reserved
+//    database key (`__session/<client>`): a check that the guard still
+//    holds the previous committed sequence, followed by an update to the
+//    new one. The guard rides *inside* the action, so it is evaluated at
+//    ordering time, identically at every replica;
+//  - a duplicate (the first attempt did commit, the reply was lost) fails
+//    the guard check and aborts harmlessly;
+//  - on timeout the session fails over to the next replica and re-issues
+//    the same sequence number;
+//  - an ambiguous abort after a retry is resolved by reading the guard
+//    key back: if it reached this sequence, some attempt committed.
+//
+// Sessions carry update commands; reads go through the engine's query
+// interface (Reply::reads of a retried update are not reconstructable from
+// a state read-back, so sessions report commit/abort only).
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/replica_node.h"
+#include "db/database.h"
+#include "sim/simulator.h"
+
+namespace tordb::core {
+
+struct SessionOptions {
+  SimDuration retry_timeout = millis(800);  ///< fail over to the next replica
+  int max_attempts_per_request = 20;
+};
+
+struct SessionReply {
+  bool committed = false;  ///< false = the command's own check aborted
+  int attempts = 1;
+};
+using SessionReplyFn = std::function<void(const SessionReply&)>;
+
+struct SessionStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t duplicates_suppressed = 0;
+  std::uint64_t failovers = 0;
+};
+
+class ClientSession {
+ public:
+  /// `replicas` are tried round-robin on timeout; they may crash, recover
+  /// or leave while the session runs.
+  ClientSession(Simulator& sim, std::vector<ReplicaNode*> replicas, std::int64_t client_id,
+                SessionOptions options = {});
+  ~ClientSession();
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Enqueue an update command; requests execute strictly in session order,
+  /// each exactly once (commit or deterministic abort).
+  void submit(db::Command update, SessionReplyFn reply = nullptr);
+
+  /// The reserved guard key for a client id.
+  static std::string guard_key(std::int64_t client_id);
+
+  std::int64_t client_id() const { return client_id_; }
+  const SessionStats& stats() const { return stats_; }
+  bool idle() const { return !in_flight_ && queue_.empty(); }
+
+ private:
+  struct Request {
+    std::int64_t seq;
+    db::Command update;
+    SessionReplyFn reply;
+    int attempts = 0;
+  };
+
+  void pump();
+  void issue();
+  void on_reply(std::int64_t seq, std::uint64_t attempt_epoch, bool aborted);
+  void on_timeout(std::int64_t seq, std::uint64_t attempt_epoch);
+  void resolve_ambiguous_abort(std::int64_t seq, std::uint64_t attempt_epoch);
+  void finish(bool committed);
+  ReplicaNode* current_replica();
+  void advance_replica();
+
+  Simulator& sim_;
+  std::vector<ReplicaNode*> replicas_;
+  std::size_t replica_idx_ = 0;
+  std::int64_t client_id_;
+  SessionOptions options_;
+  std::shared_ptr<bool> alive_;
+
+  std::int64_t next_seq_ = 0;
+  std::string last_committed_guard_;  ///< guard value of the last commit
+  std::deque<Request> queue_;
+  bool in_flight_ = false;
+  Request current_;
+  std::uint64_t attempt_epoch_ = 0;  ///< invalidates stale replies/timeouts
+  SessionStats stats_;
+};
+
+}  // namespace tordb::core

@@ -1,0 +1,66 @@
+// Dynamic linear voting (Jajodia & Mutchler [15]), the quorum system the
+// paper uses to select a unique primary component (§3.1): the component that
+// contains a (weighted) majority of the members of the *last installed
+// primary component* may become the next primary component.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/messages.h"
+#include "util/types.h"
+
+namespace tordb::core {
+
+enum class QuorumMode {
+  /// Dynamic linear voting: majority of the members of the *last installed
+  /// primary component* (the paper's choice).
+  kDynamicLinearVoting,
+  /// Static majority of the full replica set, for the A5 ablation — less
+  /// available under cascading partitions because the denominator never
+  /// shrinks with the reachable lineage.
+  kStaticMajority,
+};
+
+class QuorumPolicy {
+ public:
+  QuorumPolicy() = default;
+  explicit QuorumPolicy(std::map<NodeId, int> weights,
+                        QuorumMode mode = QuorumMode::kDynamicLinearVoting)
+      : weights_(std::move(weights)), mode_(mode) {}
+
+  /// True when `view` may install the next primary component. Ties lose:
+  /// two components could each hold exactly half, and both becoming primary
+  /// would fork the database.
+  bool is_majority(const std::vector<NodeId>& view, const PrimComponent& last_prim,
+                   const std::vector<NodeId>& server_set) const {
+    const std::vector<NodeId>& denominator =
+        mode_ == QuorumMode::kDynamicLinearVoting ? last_prim.servers : server_set;
+    long long total = 0;
+    long long present = 0;
+    for (NodeId s : denominator) {
+      const long long w = weight(s);
+      total += w;
+      for (NodeId v : view) {
+        if (v == s) {
+          present += w;
+          break;
+        }
+      }
+    }
+    return total > 0 && 2 * present > total;
+  }
+
+  int weight(NodeId s) const {
+    auto it = weights_.find(s);
+    return it == weights_.end() ? 1 : it->second;
+  }
+
+  QuorumMode mode() const { return mode_; }
+
+ private:
+  std::map<NodeId, int> weights_;
+  QuorumMode mode_ = QuorumMode::kDynamicLinearVoting;
+};
+
+}  // namespace tordb::core

@@ -1,0 +1,1243 @@
+#include "core/replication_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace tordb::core {
+
+namespace {
+bool contains(const std::vector<NodeId>& v, NodeId n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+void insert_sorted(std::vector<NodeId>& v, NodeId n) {
+  v.insert(std::upper_bound(v.begin(), v.end(), n), n);
+}
+
+void erase_value(std::vector<NodeId>& v, NodeId n) {
+  v.erase(std::remove(v.begin(), v.end(), n), v.end());
+}
+}  // namespace
+
+std::string to_string(EngineState s) {
+  switch (s) {
+    case EngineState::kNonPrim: return "NonPrim";
+    case EngineState::kRegPrim: return "RegPrim";
+    case EngineState::kTransPrim: return "TransPrim";
+    case EngineState::kExchangeStates: return "ExchangeStates";
+    case EngineState::kExchangeActions: return "ExchangeActions";
+    case EngineState::kConstruct: return "Construct";
+    case EngineState::kNo: return "No";
+    case EngineState::kUn: return "Un";
+    case EngineState::kLeft: return "Left";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Construction / recovery
+// ---------------------------------------------------------------------------
+
+ReplicationEngine::ReplicationEngine(Network& net, StableStorage& storage, NodeId id,
+                                     std::vector<NodeId> initial_servers, EngineParams params,
+                                     EngineCallbacks callbacks)
+    : net_(net),
+      sim_(net.sim()),
+      storage_(storage),
+      id_(id),
+      params_(std::move(params)),
+      callbacks_(std::move(callbacks)),
+      quorum_(params_.weights, params_.quorum_mode),
+      alive_(std::make_shared<bool>(true)) {
+  init_members(initial_servers);
+  construct_gc(0);
+}
+
+ReplicationEngine::ReplicationEngine(Network& net, StableStorage& storage, NodeId id,
+                                     const SnapshotMessage& snapshot, EngineParams params,
+                                     EngineCallbacks callbacks)
+    : net_(net),
+      sim_(net.sim()),
+      storage_(storage),
+      id_(id),
+      params_(std::move(params)),
+      callbacks_(std::move(callbacks)),
+      quorum_(params_.weights, params_.quorum_mode),
+      alive_(std::make_shared<bool>(true)) {
+  adopt_snapshot(snapshot, /*set_prim=*/true);
+  // §5.2 line 28: the joiner's green line is the position of its
+  // PERSISTENT_JOIN action, inherited with the snapshot.
+  green_lines_[id_] = green_count_;
+  // Persist the inherited state so a crash after joining recovers it.
+  DbSnapshotRecord rec;
+  rec.db_snapshot = snapshot.db_snapshot;
+  rec.green_count = green_count_;
+  rec.green_red_cut = map_to_pairs(green_red_cut_);
+  rec.meta = current_meta();
+  storage_.append(encode_log_db_snapshot(rec));
+  storage_.sync([] {});
+  construct_gc(0);
+}
+
+ReplicationEngine::ReplicationEngine(Network& net, StableStorage& storage, NodeId id, RecoverTag,
+                                     std::vector<NodeId> fallback_servers, EngineParams params,
+                                     EngineCallbacks callbacks)
+    : net_(net),
+      sim_(net.sim()),
+      storage_(storage),
+      id_(id),
+      params_(std::move(params)),
+      callbacks_(std::move(callbacks)),
+      quorum_(params_.weights, params_.quorum_mode),
+      alive_(std::make_shared<bool>(true)) {
+  recover_from_log(fallback_servers);
+}
+
+ReplicationEngine::~ReplicationEngine() { *alive_ = false; }
+
+void ReplicationEngine::init_members(const std::vector<NodeId>& servers) {
+  server_set_ = servers;
+  std::sort(server_set_.begin(), server_set_.end());
+  for (NodeId s : server_set_) {
+    red_cut_[s] = 0;
+    green_lines_[s] = 0;
+    green_red_cut_[s] = 0;
+  }
+  // The founding configuration is the first "primary component": dynamic
+  // linear voting starts from a majority of the full initial set.
+  prim_.prim_index = 0;
+  prim_.attempt_index = 0;
+  prim_.servers = server_set_;
+}
+
+void ReplicationEngine::construct_gc(std::int64_t initial_counter) {
+  gc::Listener listener;
+  listener.on_regular_config = [this](const gc::Configuration& c) { on_regular_config(c); };
+  listener.on_transitional_config = [this](const gc::Configuration& c) {
+    on_transitional_config(c);
+  };
+  listener.on_deliver = [this](const gc::Delivery& d) { on_deliver(d); };
+  gc_ = std::make_unique<gc::GroupCommunication>(net_, id_, std::move(listener), initial_counter,
+                                                 params_.gc);
+}
+
+void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_servers) {
+  // Appendix A, Recover: rebuild state from stable storage, re-mark own
+  // unordered actions red, and start in NonPrim. The vulnerable record comes
+  // back exactly as it was forced — a server that crashed while vulnerable
+  // recovers vulnerable and cannot help form a primary component until the
+  // exchange protocol resolves its attempt (paper §5).
+  init_members(fallback_servers);
+  std::int64_t gc_counter = 0;
+  std::vector<Action> ongoing_candidates;
+
+  for (const Bytes& rec : storage_.recover_records()) {
+    BufReader r(rec);
+    const auto type = static_cast<LogRecordType>(r.u8());
+    switch (type) {
+      case LogRecordType::kDbSnapshot: {
+        DbSnapshotRecord s = decode_db_snapshot(r);
+        db_.restore(s.db_snapshot);
+        green_count_ = white_count_ = s.green_count;
+        green_seq_.clear();
+        green_pos_.clear();
+        store_.clear();
+        red_order_.clear();
+        red_cut_.clear();
+        green_red_cut_.clear();
+        for (const auto& [c, v] : s.green_red_cut) {
+          green_red_cut_[c] = v;
+          red_cut_[c] = v;
+        }
+        server_set_ = s.meta.server_set;
+        prim_ = s.meta.prim;
+        attempt_index_ = s.meta.attempt_index;
+        vulnerable_ = s.meta.vulnerable;
+        yellow_ = s.meta.yellow;
+        green_lines_.clear();
+        for (const auto& [n, g] : s.meta.green_lines) green_lines_[n] = g;
+        gc_counter = std::max(gc_counter, s.meta.gc_counter);
+        ongoing_candidates.clear();
+        for (const Action& a : s.red_actions) {
+          if (red_cut_[a.id.server_id] == a.id.index - 1) {
+            red_cut_[a.id.server_id] = a.id.index;
+            store_[a.id] = a;
+            red_order_.push_back(a.id);
+          }
+        }
+        for (const Action& a : s.ongoing_actions) ongoing_candidates.push_back(a);
+        break;
+      }
+      case LogRecordType::kMeta: {
+        MetaRecord m = decode_meta(r);
+        server_set_ = m.server_set;
+        prim_ = m.prim;
+        attempt_index_ = m.attempt_index;
+        vulnerable_ = m.vulnerable;
+        yellow_ = m.yellow;
+        for (const auto& [n, g] : m.green_lines) {
+          green_lines_[n] = std::max(green_lines_[n], g);
+        }
+        gc_counter = std::max(gc_counter, m.gc_counter);
+        break;
+      }
+      case LogRecordType::kGreen: {
+        const std::int64_t pos = r.i64();
+        Action a = Action::decode(r);
+        if (pos != green_count_ + 1) break;  // duplicate / out of order
+        ++green_count_;
+        green_seq_.push_back(a.id);
+        green_pos_[a.id] = green_count_;
+        green_red_cut_[a.id.server_id] =
+            std::max(green_red_cut_[a.id.server_id], a.id.index);
+        red_cut_[a.id.server_id] = std::max(red_cut_[a.id.server_id], a.id.index);
+        if (a.type == ActionType::kUpdate) {
+          db::Command combined;
+          combined.ops = a.query.ops;
+          combined.ops.insert(combined.ops.end(), a.update.ops.begin(), a.update.ops.end());
+          db_.apply(combined);
+        } else if (a.type == ActionType::kPersistentJoin) {
+          if (!contains(server_set_, a.subject)) {
+            insert_sorted(server_set_, a.subject);
+            green_lines_[a.subject] = green_count_;
+          }
+        } else if (a.type == ActionType::kPersistentLeave) {
+          erase_value(server_set_, a.subject);
+          green_lines_.erase(a.subject);
+          erase_value(prim_.servers, a.subject);
+        }
+        store_[a.id] = std::move(a);
+        break;
+      }
+      case LogRecordType::kRed: {
+        Action a = Action::decode(r);
+        auto& cut = red_cut_[a.id.server_id];
+        if (cut == a.id.index - 1) {
+          cut = a.id.index;
+          red_order_.push_back(a.id);
+          store_[a.id] = std::move(a);
+        }
+        break;
+      }
+      case LogRecordType::kOngoing: {
+        ongoing_candidates.push_back(Action::decode(r));
+        break;
+      }
+    }
+  }
+
+  // A.13: re-mark red the own actions that were forced but never ordered.
+  std::sort(ongoing_candidates.begin(), ongoing_candidates.end(),
+            [](const Action& a, const Action& b) { return a.id < b.id; });
+  for (const Action& a : ongoing_candidates) {
+    action_index_ = std::max(action_index_, a.id.index);
+    if (red_cut_[id_] < a.id.index) mark_red(a);
+  }
+  action_index_ = std::max({action_index_, red_cut_[id_], green_red_cut_[id_]});
+  green_lines_[id_] = green_count_;
+  state_ = EngineState::kNonPrim;
+  append_meta();
+  storage_.sync([] {});
+  construct_gc(gc_counter + 1);
+}
+
+void ReplicationEngine::adopt_snapshot(const SnapshotMessage& s, bool set_prim) {
+  db_.restore(s.db_snapshot);
+  green_count_ = s.green_count;
+  white_count_ = s.green_count;
+  green_seq_.clear();
+  green_pos_.clear();
+  for (const auto& [c, v] : s.green_red_cut) {
+    green_red_cut_[c] = std::max(green_red_cut_[c], v);
+    red_cut_[c] = std::max(red_cut_[c], v);
+  }
+  server_set_ = s.server_set;
+  for (const auto& [n, g] : s.green_lines) {
+    green_lines_[n] = std::max(green_lines_[n], g);
+  }
+  if (set_prim) prim_ = s.prim;
+  // Drop red-order entries swallowed by the snapshot (now green) and own
+  // in-flight actions the snapshot already ordered.
+  std::deque<ActionId> still_red;
+  for (const ActionId& rid : red_order_) {
+    if (!is_green(rid)) still_red.push_back(rid);
+  }
+  red_order_.assign(still_red.begin(), still_red.end());
+  for (auto it = ongoing_.begin(); it != ongoing_.end();) {
+    if (is_green(it->first)) {
+      auto pit = pending_replies_.find(it->first);
+      if (pit != pending_replies_.end()) {
+        // Ordered inside the transferred prefix; the per-action result is
+        // not recoverable from a state transfer, so acknowledge commit.
+        Reply rep;
+        rep.action = it->first;
+        pit->second.fn(rep);
+        ++stats_.replies;
+        pending_replies_.erase(pit);
+      }
+      it = ongoing_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client interface
+// ---------------------------------------------------------------------------
+
+Action ReplicationEngine::make_action(ActionType type, db::Command query, db::Command update,
+                                      std::int64_t client, Semantics semantics, NodeId subject) {
+  Action a;
+  a.type = type;
+  a.id = ActionId{id_, ++action_index_};
+  a.green_line = green_count_;
+  a.client = client;
+  a.semantics = semantics;
+  a.query = std::move(query);
+  a.update = std::move(update);
+  a.subject = subject;
+  a.padding = type == ActionType::kUpdate ? params_.action_padding : 0;
+  ++stats_.actions_created;
+  return a;
+}
+
+void ReplicationEngine::persist_and_send(std::vector<Action> actions) {
+  // A.1 / A.2 / A.8: write to ongoingQueue, one forced sync (shared by all
+  // actions created in this batch — and, via group commit, with concurrent
+  // batches), then hand to the group communication.
+  for (const Action& a : actions) {
+    ongoing_[a.id] = a;
+    storage_.append(encode_log_ongoing(a));
+  }
+  storage_.sync([this, alive = alive_, actions = std::move(actions)] {
+    if (!*alive || state_ == EngineState::kLeft) return;
+    for (const Action& a : actions) {
+      gc_->multicast(encode_action_msg(a), gc::Service::kSafe);
+    }
+  });
+}
+
+void ReplicationEngine::submit(db::Command query, db::Command update, std::int64_t client,
+                               Semantics semantics, ReplyFn reply) {
+  if (state_ == EngineState::kLeft) {
+    Reply rep;
+    rep.aborted = true;
+    if (reply) reply(rep);
+    return;
+  }
+  if (state_ == EngineState::kRegPrim || state_ == EngineState::kNonPrim) {
+    Action a = make_action(ActionType::kUpdate, std::move(query), std::move(update), client,
+                           semantics, kNoNode);
+    if (reply) pending_replies_[a.id] = PendingReply{semantics, std::move(reply)};
+    persist_and_send({std::move(a)});
+  } else {
+    buffered_requests_.push_back(BufferedRequest{ActionType::kUpdate, std::move(query),
+                                                 std::move(update), client, semantics, kNoNode,
+                                                 std::move(reply)});
+  }
+}
+
+void ReplicationEngine::submit_query(db::Command query, QueryMode mode, ReplyFn reply) {
+  Reply rep;
+  switch (mode) {
+    case QueryMode::kWeak: {
+      // §6: consistent but possibly obsolete — answered from the green
+      // state even in a non-primary component.
+      auto res = db_.peek(query);
+      rep.aborted = res.aborted;
+      rep.reads = std::move(res.reads);
+      ++stats_.replies;
+      if (reply) reply(rep);
+      return;
+    }
+    case QueryMode::kDirty: {
+      // §6: latest local information, red actions included.
+      db::Database dirty = dirty_database();
+      auto res = dirty.peek(query);
+      rep.aborted = res.aborted;
+      rep.reads = std::move(res.reads);
+      ++stats_.replies;
+      if (reply) reply(rep);
+      return;
+    }
+    case QueryMode::kStrict: {
+      if (state_ == EngineState::kRegPrim && ongoing_.empty()) {
+        auto res = db_.peek(query);
+        rep.aborted = res.aborted;
+        rep.reads = std::move(res.reads);
+        ++stats_.replies;
+        if (reply) reply(rep);
+      } else {
+        pending_strict_queries_.push_back(PendingQuery{std::move(query), std::move(reply)});
+      }
+      return;
+    }
+  }
+}
+
+void ReplicationEngine::flush_strict_queries() {
+  if (state_ != EngineState::kRegPrim || !ongoing_.empty() || pending_strict_queries_.empty()) {
+    return;
+  }
+  std::vector<PendingQuery> ready;
+  ready.swap(pending_strict_queries_);
+  for (PendingQuery& q : ready) {
+    auto res = db_.peek(q.query);
+    Reply rep;
+    rep.aborted = res.aborted;
+    rep.reads = std::move(res.reads);
+    ++stats_.replies;
+    if (q.fn) q.fn(rep);
+  }
+}
+
+void ReplicationEngine::handle_join_request(NodeId joiner) {
+  if (state_ == EngineState::kLeft) return;
+  if (contains(server_set_, joiner)) {
+    // §5.1 line 21: the join is already green here; resume the transfer.
+    send_snapshot_to(joiner);
+    return;
+  }
+  if (pending_join_transfers_.count(joiner)) return;  // announcement in flight
+  pending_join_transfers_.insert(joiner);
+  if (state_ == EngineState::kRegPrim || state_ == EngineState::kNonPrim) {
+    Action a = make_action(ActionType::kPersistentJoin, {}, {}, 0, Semantics::kStrict, joiner);
+    persist_and_send({std::move(a)});
+  } else {
+    buffered_requests_.push_back(BufferedRequest{ActionType::kPersistentJoin, {}, {}, 0,
+                                                 Semantics::kStrict, joiner, nullptr});
+  }
+}
+
+void ReplicationEngine::request_leave() { remove_replica(id_); }
+
+void ReplicationEngine::remove_replica(NodeId dead) {
+  if (state_ == EngineState::kLeft) return;
+  if (state_ == EngineState::kRegPrim || state_ == EngineState::kNonPrim) {
+    Action a = make_action(ActionType::kPersistentLeave, {}, {}, 0, Semantics::kStrict, dead);
+    persist_and_send({std::move(a)});
+  } else {
+    buffered_requests_.push_back(BufferedRequest{ActionType::kPersistentLeave, {}, {}, 0,
+                                                 Semantics::kStrict, dead, nullptr});
+  }
+}
+
+void ReplicationEngine::handle_buffered_requests() {
+  if (buffered_requests_.empty()) {
+    flush_strict_queries();
+    return;
+  }
+  std::vector<Action> actions;
+  while (!buffered_requests_.empty()) {
+    BufferedRequest req = std::move(buffered_requests_.front());
+    buffered_requests_.pop_front();
+    Action a = make_action(req.type, std::move(req.query), std::move(req.update), req.client,
+                           req.semantics, req.subject);
+    if (req.reply) pending_replies_[a.id] = PendingReply{req.semantics, std::move(req.reply)};
+    actions.push_back(std::move(a));
+  }
+  persist_and_send(std::move(actions));
+  flush_strict_queries();
+}
+
+// ---------------------------------------------------------------------------
+// Group communication events
+// ---------------------------------------------------------------------------
+
+void ReplicationEngine::on_transitional_config(const gc::Configuration& conf) {
+  (void)conf;
+  switch (state_) {
+    case EngineState::kRegPrim:
+      state_ = EngineState::kTransPrim;  // A.2
+      break;
+    case EngineState::kExchangeStates:
+    case EngineState::kExchangeActions:
+      state_ = EngineState::kNonPrim;  // A.4 / A.6
+      break;
+    case EngineState::kConstruct:
+      state_ = EngineState::kNo;  // A.9
+      break;
+    case EngineState::kNonPrim:  // A.1: ignore
+    default:
+      break;
+  }
+}
+
+void ReplicationEngine::on_regular_config(const gc::Configuration& conf) {
+  conf_ = conf;
+  switch (state_) {
+    case EngineState::kTransPrim:
+      // A.3: we processed the primary component to its end; complete
+      // knowledge of it is (being) persisted, so we are no longer
+      // vulnerable, and the actions caught in the transitional
+      // configuration form the yellow set.
+      vulnerable_.valid = false;
+      yellow_.valid = true;
+      shift_to_exchange_states();
+      break;
+    case EngineState::kNo:
+      // A.11: nobody can have installed — some CPC was never received here,
+      // so no server received all of them safely in the regular
+      // configuration.
+      vulnerable_.valid = false;
+      shift_to_exchange_states();
+      break;
+    case EngineState::kNonPrim:
+    case EngineState::kUn:  // A.12: still uncertain; stay vulnerable
+      shift_to_exchange_states();
+      break;
+    case EngineState::kRegPrim:
+    case EngineState::kExchangeStates:
+    case EngineState::kExchangeActions:
+    case EngineState::kConstruct:
+      // Unreachable: the GC always delivers a transitional configuration
+      // first, which moves us out of these states.
+      shift_to_exchange_states();
+      break;
+    case EngineState::kLeft:
+      break;
+  }
+}
+
+void ReplicationEngine::on_deliver(const gc::Delivery& d) {
+  if (state_ == EngineState::kLeft) return;
+  BufReader r(d.payload);
+  const auto type = static_cast<EngineMsgType>(r.u8());
+  switch (type) {
+    case EngineMsgType::kAction:
+      handle_action(Action::decode(r));
+      break;
+    case EngineMsgType::kState:
+      handle_state_msg(StateMessage::decode(r));
+      break;
+    case EngineMsgType::kCpc: {
+      CpcMessage c;
+      c.server_id = r.i32();
+      c.conf_id = r.config_id();
+      handle_cpc(c);
+      break;
+    }
+    case EngineMsgType::kGreenRetrans: {
+      const std::int64_t pos = r.i64();
+      handle_green_retrans(pos, Action::decode(r));
+      break;
+    }
+    case EngineMsgType::kRedRetrans:
+      handle_red_retrans(Action::decode(r));
+      break;
+    case EngineMsgType::kCatchup:
+      handle_catchup(decode_snapshot(r));
+      break;
+  }
+}
+
+void ReplicationEngine::handle_action(const Action& a) {
+  switch (state_) {
+    case EngineState::kRegPrim: {
+      // A.2 (OR-1.1): safe delivery in the primary's regular configuration
+      // determines the global order immediately.
+      mark_green(a);
+      green_lines_[a.id.server_id] =
+          std::max(green_lines_[a.id.server_id], a.green_line);
+      trim_white();
+      break;
+    }
+    case EngineState::kTransPrim:
+      mark_yellow(a);  // A.3
+      break;
+    case EngineState::kUn:
+      // A.12 (1b): an action in Un proves some server installed the primary
+      // component and generated actions; act as if installing to stay
+      // consistent with it.
+      install();
+      mark_yellow(a);
+      state_ = EngineState::kTransPrim;
+      break;
+    case EngineState::kNonPrim:
+    case EngineState::kExchangeStates:
+    case EngineState::kExchangeActions:
+      mark_red(a);  // A.1 / A.4 / A.6
+      break;
+    case EngineState::kConstruct:
+    case EngineState::kNo:
+      // The paper marks these "not possible"; with asynchronous disk writes
+      // a stray resend can land here — red is always safe.
+      mark_red(a);
+      break;
+    case EngineState::kLeft:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Exchange phase (A.4, A.5, A.6)
+// ---------------------------------------------------------------------------
+
+void ReplicationEngine::shift_to_exchange_states() {
+  ++stats_.exchanges;
+  state_msgs_.clear();
+  cpc_received_.clear();
+  exchange_plan_ready_ = false;
+  expected_retrans_ = 0;
+  received_retrans_ = 0;
+  effective_vulnerable_.clear();
+  state_ = EngineState::kExchangeStates;
+  append_meta();
+  const ConfigId cid = conf_.id;
+  storage_.sync([this, alive = alive_, cid] {
+    if (!*alive) return;
+    if (state_ != EngineState::kExchangeStates || !(conf_.id == cid)) return;
+    StateMessage s;
+    s.server_id = id_;
+    s.conf_id = conf_.id;
+    s.green_count = green_count_;
+    s.white_count = white_count_;
+    s.red_cut = map_to_pairs(red_cut_);
+    s.green_red_cut = map_to_pairs(green_red_cut_);
+    s.server_set = server_set_;
+    s.attempt_index = attempt_index_;
+    s.prim = prim_;
+    s.vulnerable = vulnerable_;
+    s.yellow = yellow_;
+    gc_->multicast(encode_state_msg(s), gc::Service::kAgreed);
+  });
+}
+
+void ReplicationEngine::handle_state_msg(const StateMessage& s) {
+  if (state_ != EngineState::kExchangeStates) return;  // A.1/A.3: ignore
+  if (!(s.conf_id == conf_.id)) return;
+  state_msgs_[s.server_id] = s;
+  for (NodeId m : conf_.members) {
+    if (!state_msgs_.count(m)) return;
+  }
+  shift_to_exchange_actions();
+}
+
+void ReplicationEngine::shift_to_exchange_actions() {
+  state_ = EngineState::kExchangeActions;
+
+  // Deterministic retransmission plan, computed identically by every member
+  // from the identical set of State messages (replacing the turn-based
+  // Retrans() of A.4/A.6 — same content, fully parallel).
+  std::int64_t min_green = INT64_MAX, max_green = -1;
+  NodeId most_updated = kNoNode;
+  for (NodeId m : conf_.members) {
+    const StateMessage& s = state_msgs_.at(m);
+    min_green = std::min(min_green, s.green_count);
+    // Among members with the maximal green count, prefer one that still
+    // holds action bodies (lower white line) so cheap per-action
+    // retransmission beats a full state transfer; then lowest id.
+    if (s.green_count > max_green ||
+        (s.green_count == max_green &&
+         s.white_count < state_msgs_.at(most_updated).white_count)) {
+      max_green = s.green_count;
+      most_updated = m;
+    }
+  }
+  const StateMessage& holder_msg = state_msgs_.at(most_updated);
+
+  if (max_green > min_green) {
+    if (holder_msg.white_count > min_green) {
+      // The most updated member inherited its prefix (joined via snapshot)
+      // and holds no bodies below its white line: transfer the whole green
+      // state instead of individual actions.
+      expected_retrans_ += 1;
+      if (most_updated == id_) {
+        SnapshotMessage snap;
+        snap.db_snapshot = db_.snapshot();
+        snap.green_count = green_count_;
+        snap.green_red_cut = map_to_pairs(green_red_cut_);
+        snap.server_set = server_set_;
+        snap.green_lines = map_to_pairs(green_lines_);
+        snap.prim = prim_;
+        gc_->multicast(encode_catchup(snap), gc::Service::kAgreed);
+        ++stats_.snapshots_sent;
+      }
+    } else {
+      expected_retrans_ += max_green - min_green;
+      if (most_updated == id_) {
+        for (std::int64_t pos = min_green + 1; pos <= max_green; ++pos) {
+          const Action* body = green_body_at(pos);
+          assert(body != nullptr);
+          gc_->multicast(encode_green_retrans(pos, *body), gc::Service::kAgreed);
+          ++stats_.green_retrans_sent;
+        }
+      }
+    }
+  }
+
+  // Red actions, per creator: the member holding the longest prefix
+  // retransmits what others lack (beyond what the green path carries).
+  std::set<NodeId> creators;
+  for (const auto& [m, s] : state_msgs_) {
+    for (const auto& [c, v] : s.red_cut) creators.insert(c);
+  }
+  auto cut_of = [](const StateMessage& s, NodeId c) {
+    for (const auto& [n, v] : s.red_cut) {
+      if (n == c) return v;
+    }
+    return std::int64_t{0};
+  };
+  auto green_cut_of = [](const StateMessage& s, NodeId c) {
+    for (const auto& [n, v] : s.green_red_cut) {
+      if (n == c) return v;
+    }
+    return std::int64_t{0};
+  };
+  for (NodeId c : creators) {
+    std::int64_t cmax = 0, cmin = INT64_MAX;
+    NodeId holder = kNoNode;
+    for (NodeId m : conf_.members) {
+      const std::int64_t v = cut_of(state_msgs_.at(m), c);
+      cmin = std::min(cmin, v);
+      if (v > cmax || (v == cmax && holder == kNoNode)) {
+        cmax = v;
+        holder = m;
+      }
+    }
+    if (holder == kNoNode) continue;
+    const std::int64_t lo = std::max(cmin, green_cut_of(state_msgs_.at(holder), c));
+    if (cmax <= lo) continue;
+    expected_retrans_ += cmax - lo;
+    if (holder == id_) {
+      for (std::int64_t idx = lo + 1; idx <= cmax; ++idx) {
+        const Action* body = body_of(ActionId{c, idx});
+        assert(body != nullptr);
+        gc_->multicast(encode_red_retrans(*body), gc::Service::kAgreed);
+        ++stats_.red_retrans_sent;
+      }
+    }
+  }
+
+  exchange_plan_ready_ = true;
+  maybe_end_of_retrans();
+}
+
+void ReplicationEngine::handle_green_retrans(std::int64_t position, const Action& a) {
+  ++stats_.retrans_received;
+  ++received_retrans_;
+  if (position == green_count_ + 1) mark_green(a);
+  maybe_end_of_retrans();
+}
+
+void ReplicationEngine::handle_red_retrans(const Action& a) {
+  ++stats_.retrans_received;
+  ++received_retrans_;
+  mark_red(a);
+  maybe_end_of_retrans();
+}
+
+void ReplicationEngine::handle_catchup(const SnapshotMessage& s) {
+  ++stats_.retrans_received;
+  ++received_retrans_;
+  if (s.green_count > green_count_) {
+    adopt_snapshot(s, /*set_prim=*/false);
+    // Persist the adopted prefix as a compaction record so recovery does
+    // not mix the old per-action log with the jumped green count.
+    DbSnapshotRecord rec;
+    rec.db_snapshot = s.db_snapshot;
+    rec.green_count = green_count_;
+    rec.green_red_cut = map_to_pairs(green_red_cut_);
+    rec.meta = current_meta();
+    for (const ActionId& rid : red_order_) {
+      if (const Action* b = body_of(rid); b && !is_green(rid)) rec.red_actions.push_back(*b);
+    }
+    for (const auto& [aid, act] : ongoing_) rec.ongoing_actions.push_back(act);
+    storage_.append(encode_log_db_snapshot(rec));
+    green_lines_[id_] = green_count_;
+  }
+  maybe_end_of_retrans();
+}
+
+void ReplicationEngine::maybe_end_of_retrans() {
+  if (state_ != EngineState::kExchangeActions || !exchange_plan_ready_) return;
+  if (received_retrans_ < expected_retrans_) return;
+  end_of_retrans();
+}
+
+void ReplicationEngine::end_of_retrans() {
+  // A.5 End_of_retrans: incorporate green lines, compute knowledge, decide.
+  for (const auto& [m, s] : state_msgs_) {
+    green_lines_[m] = std::max(green_lines_[m], s.green_count);
+  }
+  compute_knowledge();
+  trim_white();
+
+  if (is_quorum()) {
+    ++attempt_index_;
+    vulnerable_.valid = true;
+    vulnerable_.prim_index = prim_.prim_index;
+    vulnerable_.attempt_index = attempt_index_;
+    vulnerable_.set = conf_.members;
+    vulnerable_.bits.assign(conf_.members.size(), false);
+    state_ = EngineState::kConstruct;
+    append_meta();
+    const ConfigId cid = conf_.id;
+    storage_.sync([this, alive = alive_, cid] {
+      if (!*alive) return;
+      if (state_ != EngineState::kConstruct || !(conf_.id == cid)) return;
+      CpcMessage c{id_, conf_.id};
+      gc_->multicast(encode_cpc_msg(c), gc::Service::kSafe);
+      ++stats_.cpc_sent;
+    });
+  } else {
+    state_ = EngineState::kNonPrim;
+    append_meta();
+    storage_.sync([] {});
+    handle_buffered_requests();
+  }
+}
+
+void ReplicationEngine::compute_knowledge() {
+  // A.7 step 1: adopt the most advanced primary component knowledge.
+  std::pair<std::int64_t, std::int64_t> best{-1, -1};
+  for (const auto& [m, s] : state_msgs_) {
+    best = std::max(best, {s.prim.prim_index, s.prim.attempt_index});
+  }
+  std::vector<NodeId> updated_group;
+  std::vector<NodeId> valid_group;
+  std::int64_t max_attempt = 0;
+  for (const auto& [m, s] : state_msgs_) {
+    if (std::pair{s.prim.prim_index, s.prim.attempt_index} == best) {
+      updated_group.push_back(m);
+      prim_ = s.prim;
+      max_attempt = std::max(max_attempt, s.attempt_index);
+      if (s.yellow.valid) valid_group.push_back(m);
+    }
+  }
+  attempt_index_ = max_attempt;
+  // The adopted record may predate PERSISTENT_LEAVEs that the exchange just
+  // retransmitted to us as greens; re-apply them so departed members never
+  // count toward the voting denominator. Every member runs this against the
+  // same post-exchange server set, so the result stays identical everywhere.
+  std::vector<NodeId> still_members;
+  for (NodeId s : prim_.servers) {
+    if (contains(server_set_, s)) still_members.push_back(s);
+  }
+  prim_.servers = std::move(still_members);
+
+  // A.7 step 2: the yellow set becomes the intersection of the valid
+  // members' yellow sets, in their transitional delivery order.
+  if (!valid_group.empty()) {
+    YellowRecord merged;
+    merged.valid = true;
+    for (const ActionId& aid : state_msgs_.at(valid_group.front()).yellow.set) {
+      bool in_all = true;
+      for (NodeId v : valid_group) {
+        const auto& set = state_msgs_.at(v).yellow.set;
+        if (std::find(set.begin(), set.end(), aid) == set.end()) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) merged.set.push_back(aid);
+    }
+    yellow_ = std::move(merged);
+  } else {
+    yellow_ = YellowRecord{};
+  }
+
+  // A.7 step 3: invalidate vulnerable records that the exchanged knowledge
+  // proves moot (superseded attempt, or a co-attempter that resolved it).
+  std::map<NodeId, VulnerableRecord> eff;
+  for (const auto& [m, s] : state_msgs_) eff[m] = s.vulnerable;
+  for (auto& [m, v] : eff) {
+    if (!v.valid) continue;
+    bool invalidate = !contains(prim_.servers, m);
+    if (!invalidate) {
+      for (NodeId j : v.set) {
+        auto it = state_msgs_.find(j);
+        if (it == state_msgs_.end()) continue;
+        const VulnerableRecord& jv = it->second.vulnerable;
+        if (!jv.valid || jv.prim_index != v.prim_index ||
+            jv.attempt_index != v.attempt_index) {
+          invalidate = true;
+          break;
+        }
+      }
+    }
+    if (invalidate) v.valid = false;
+  }
+
+  // A.7 step 4: union the CPC bits of servers vulnerable to the same
+  // attempt; complete bits mean the attempt's fate is collectively known.
+  for (auto& [m, v] : eff) {
+    if (!v.valid) continue;
+    std::vector<bool> unioned = v.bits;
+    for (const auto& [m2, v2] : eff) {
+      if (!v2.valid || v2.prim_index != v.prim_index ||
+          v2.attempt_index != v.attempt_index || v2.set != v.set) {
+        continue;
+      }
+      for (std::size_t i = 0; i < unioned.size() && i < v2.bits.size(); ++i) {
+        if (v2.bits[i]) unioned[i] = true;
+      }
+    }
+    bool all = !unioned.empty();
+    for (bool b : unioned) all = all && b;
+    v.bits = std::move(unioned);
+    if (all) v.valid = false;
+  }
+
+  effective_vulnerable_.clear();
+  for (const auto& [m, v] : eff) effective_vulnerable_[m] = v.valid;
+  vulnerable_ = eff.at(id_);
+}
+
+bool ReplicationEngine::is_quorum() const {
+  // A.8: nobody in the view may still be vulnerable, and the view must hold
+  // a (weighted) majority of the last primary component.
+  for (NodeId m : conf_.members) {
+    auto it = effective_vulnerable_.find(m);
+    if (it != effective_vulnerable_.end() && it->second) return false;
+  }
+  return quorum_.is_majority(conf_.members, prim_, server_set_);
+}
+
+// ---------------------------------------------------------------------------
+// Construct / install (A.9, A.10, A.11, A.12)
+// ---------------------------------------------------------------------------
+
+void ReplicationEngine::handle_cpc(const CpcMessage& c) {
+  if (!(c.conf_id == conf_.id)) return;
+  cpc_received_.insert(c.server_id);
+  if (vulnerable_.valid) vulnerable_.set_bit(c.server_id);
+  if (state_ == EngineState::kConstruct) {
+    check_construct_complete();
+  } else if (state_ == EngineState::kNo) {
+    // A.11: all CPCs arrived, but some only in the transitional
+    // configuration — someone may have installed. Undecided.
+    bool all = true;
+    for (NodeId m : conf_.members) {
+      if (!cpc_received_.count(m)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) state_ = EngineState::kUn;
+  }
+  // A.4: CPC in ExchangeStates is ignored (stale by definition).
+}
+
+void ReplicationEngine::check_construct_complete() {
+  for (NodeId m : conf_.members) {
+    if (!cpc_received_.count(m)) return;
+  }
+  // A.9: everyone reached the same state during the exchange, so after
+  // install all members share this server's green line.
+  for (NodeId m : conf_.members) {
+    green_lines_[m] = std::max(green_lines_[m], green_lines_[id_]);
+  }
+  install();
+  state_ = EngineState::kRegPrim;
+  handle_buffered_requests();
+  flush_strict_queries();
+  trim_white();
+}
+
+void ReplicationEngine::install() {
+  // A.10: yellow actions first (they were delivered in the previous
+  // primary's transitional configuration and keep their order), then all
+  // remaining red actions in action-id order.
+  if (yellow_.valid) {
+    for (const ActionId& aid : yellow_.set) {
+      if (is_green(aid)) continue;
+      if (const Action* body = body_of(aid)) mark_green(*body);  // OR-1.2
+    }
+  }
+  yellow_ = YellowRecord{};
+
+  prim_.prim_index += 1;
+  prim_.attempt_index = attempt_index_;
+  prim_.servers = vulnerable_.set;
+  attempt_index_ = 0;
+
+  std::vector<ActionId> reds;
+  for (const ActionId& rid : red_order_) {
+    if (!is_green(rid)) reds.push_back(rid);
+  }
+  std::sort(reds.begin(), reds.end());
+  for (const ActionId& rid : reds) {
+    if (const Action* body = body_of(rid)) mark_green(*body);  // OR-2
+  }
+  red_order_.clear();
+
+  ++stats_.primaries_installed;
+  green_lines_[id_] = green_count_;
+  append_meta();
+  storage_.sync([] {});
+}
+
+// ---------------------------------------------------------------------------
+// Coloring (A.14, CodeSegment 5.1)
+// ---------------------------------------------------------------------------
+
+bool ReplicationEngine::is_green(const ActionId& id) const {
+  auto it = green_red_cut_.find(id.server_id);
+  return it != green_red_cut_.end() && id.index <= it->second;
+}
+
+const Action* ReplicationEngine::body_of(const ActionId& id) const {
+  auto it = store_.find(id);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+const Action* ReplicationEngine::green_body_at(std::int64_t position) const {
+  if (position <= white_count_ || position > green_count_) return nullptr;
+  return body_of(green_seq_[static_cast<std::size_t>(position - white_count_ - 1)]);
+}
+
+ActionId ReplicationEngine::green_action_at(std::int64_t position) const {
+  if (position <= white_count_ || position > green_count_) return ActionId{};
+  return green_seq_[static_cast<std::size_t>(position - white_count_ - 1)];
+}
+
+std::size_t ReplicationEngine::red_count() const {
+  std::size_t n = 0;
+  for (const ActionId& rid : red_order_) {
+    if (!is_green(rid)) ++n;
+  }
+  return n;
+}
+
+void ReplicationEngine::mark_red(const Action& a) {
+  auto& cut = red_cut_[a.id.server_id];
+  if (cut >= a.id.index) return;  // duplicate
+  if (cut < a.id.index - 1) {
+    // FIFO gap: during the exchange, red and green retransmissions come
+    // from different members and may interleave out of creator order; park
+    // the action until its predecessors arrive.
+    red_waiting_[a.id] = a;
+    return;
+  }
+  Action current = a;
+  for (;;) {
+    cut = current.id.index;
+    store_[current.id] = current;
+    red_order_.push_back(current.id);
+    storage_.append(encode_log_red(current));
+    ++stats_.actions_red;
+    ongoing_.erase(current.id);  // A.14: ordered, no longer at risk of loss
+    maybe_reply_red(current);
+    auto next = red_waiting_.find(ActionId{current.id.server_id, cut + 1});
+    if (next == red_waiting_.end()) break;
+    current = std::move(next->second);
+    red_waiting_.erase(next);
+  }
+}
+
+void ReplicationEngine::mark_yellow(const Action& a) {
+  mark_red(a);
+  if (!is_green(a.id) &&
+      std::find(yellow_.set.begin(), yellow_.set.end(), a.id) == yellow_.set.end()) {
+    yellow_.set.push_back(a.id);
+  }
+}
+
+void ReplicationEngine::mark_green(const Action& a) {
+  mark_red(a);
+  if (is_green(a.id)) return;
+  ++green_count_;
+  green_seq_.push_back(a.id);
+  green_pos_[a.id] = green_count_;
+  auto& gcut = green_red_cut_[a.id.server_id];
+  gcut = std::max(gcut, a.id.index);
+  green_lines_[id_] = green_count_;
+  if (!store_.count(a.id)) store_[a.id] = a;
+  storage_.append(encode_log_green(green_count_, a));
+  ++stats_.actions_green;
+  apply_green(a);
+  maybe_compact();
+}
+
+void ReplicationEngine::apply_green(const Action& a) {
+  switch (a.type) {
+    case ActionType::kUpdate: {
+      db::Command combined;
+      combined.ops = a.query.ops;
+      combined.ops.insert(combined.ops.end(), a.update.ops.begin(), a.update.ops.end());
+      const db::ApplyResult res = db_.apply(combined);
+      if (a.semantics == Semantics::kStrict) reply_green(a, res);
+      break;
+    }
+    case ActionType::kPersistentJoin:
+      on_join_green(a);
+      break;
+    case ActionType::kPersistentLeave:
+      on_leave_green(a);
+      break;
+  }
+  flush_strict_queries();
+}
+
+void ReplicationEngine::maybe_reply_red(const Action& a) {
+  // §6 timestamp/commutative semantics: the client is answered as soon as
+  // the action is ordered locally; global convergence follows later.
+  if (a.semantics == Semantics::kStrict || a.id.server_id != id_) return;
+  auto it = pending_replies_.find(a.id);
+  if (it == pending_replies_.end()) return;
+  Reply rep;
+  rep.action = a.id;
+  ++stats_.replies;
+  auto fn = std::move(it->second.fn);
+  pending_replies_.erase(it);
+  if (fn) fn(rep);
+}
+
+void ReplicationEngine::reply_green(const Action& a, const db::ApplyResult& result) {
+  if (a.id.server_id != id_) return;
+  auto it = pending_replies_.find(a.id);
+  if (it == pending_replies_.end()) return;
+  Reply rep;
+  rep.action = a.id;
+  rep.aborted = result.aborted;
+  rep.reads = result.reads;
+  ++stats_.replies;
+  auto fn = std::move(it->second.fn);
+  pending_replies_.erase(it);
+  if (fn) fn(rep);
+}
+
+// ---------------------------------------------------------------------------
+// Online reconfiguration (CodeSegment 5.1 / 5.2)
+// ---------------------------------------------------------------------------
+
+void ReplicationEngine::on_join_green(const Action& a) {
+  const NodeId j = a.subject;
+  if (!contains(server_set_, j)) {
+    insert_sorted(server_set_, j);
+    // 5.1 line 7: the joiner's green line is the join action's position.
+    green_lines_[j] = green_count_;
+    if (callbacks_.on_join_green) callbacks_.on_join_green(j);
+    if (a.id.server_id == id_ || pending_join_transfers_.count(j)) {
+      send_snapshot_to(j);  // 5.1 lines 9-10
+    }
+  } else if (pending_join_transfers_.count(j)) {
+    send_snapshot_to(j);  // duplicate announcement, but we owe a transfer
+  }
+}
+
+void ReplicationEngine::on_leave_green(const Action& a) {
+  const NodeId l = a.subject;
+  if (!contains(server_set_, l)) return;
+  erase_value(server_set_, l);
+  green_lines_.erase(l);
+  // Remove the departed member from the dynamic-linear-voting denominator:
+  // it can never vote again, and without this a leave of a recent-primary
+  // member could block quorum forever — the very failure mode §5.1 says
+  // permanent removal exists to prevent. Uniqueness is preserved: the
+  // removal happens at the same green position at every replica, and a
+  // majority of P\{l} plus a disjoint majority of P would need more
+  // members than P has once l itself is gone for good.
+  erase_value(prim_.servers, l);
+  if (callbacks_.on_leave_green) callbacks_.on_leave_green(l);
+  if (l == id_) enter_left();  // 5.1 line 13: exit
+}
+
+void ReplicationEngine::send_snapshot_to(NodeId joiner) {
+  SnapshotMessage s;
+  s.db_snapshot = db_.snapshot();
+  s.green_count = green_count_;
+  s.green_red_cut = map_to_pairs(green_red_cut_);
+  s.server_set = server_set_;
+  s.green_lines = map_to_pairs(green_lines_);
+  s.prim = prim_;
+  net_.send(id_, joiner, encode_snapshot(s), Channel::kDirect);
+  pending_join_transfers_.erase(joiner);
+  ++stats_.snapshots_sent;
+}
+
+void ReplicationEngine::enter_left() {
+  state_ = EngineState::kLeft;
+  // Fail any requests that can no longer be served.
+  for (auto& [aid, pending] : pending_replies_) {
+    if (pending.fn) {
+      Reply rep;
+      rep.action = aid;
+      rep.aborted = true;
+      pending.fn(rep);
+    }
+  }
+  pending_replies_.clear();
+  if (callbacks_.on_left) callbacks_.on_left();
+}
+
+// ---------------------------------------------------------------------------
+// Housekeeping
+// ---------------------------------------------------------------------------
+
+db::Database ReplicationEngine::dirty_database() const {
+  db::Database dirty = db_.clone();
+  for (const ActionId& rid : red_order_) {
+    if (is_green(rid)) continue;
+    const Action* body = body_of(rid);
+    if (body && body->type == ActionType::kUpdate) dirty.apply(body->update);
+  }
+  return dirty;
+}
+
+std::int64_t ReplicationEngine::white_line() const {
+  std::int64_t line = green_count_;
+  for (NodeId s : server_set_) {
+    auto it = green_lines_.find(s);
+    line = std::min(line, it == green_lines_.end() ? 0 : it->second);
+  }
+  return line;
+}
+
+void ReplicationEngine::trim_white() {
+  if (!params_.white_trim) return;
+  const std::int64_t white = white_line();
+  while (white_count_ < white && !green_seq_.empty()) {
+    const ActionId aid = green_seq_.front();
+    green_seq_.pop_front();
+    ++white_count_;
+    store_.erase(aid);
+    green_pos_.erase(aid);
+    ++stats_.actions_white_trimmed;
+  }
+}
+
+MetaRecord ReplicationEngine::current_meta() const {
+  MetaRecord m;
+  m.server_set = server_set_;
+  m.prim = prim_;
+  m.attempt_index = attempt_index_;
+  m.vulnerable = vulnerable_;
+  m.yellow = yellow_;
+  m.green_lines = map_to_pairs(green_lines_);
+  m.gc_counter = gc_ ? gc_->max_counter_seen() : 0;
+  return m;
+}
+
+void ReplicationEngine::append_meta() { storage_.append(encode_log_meta(current_meta())); }
+
+void ReplicationEngine::maybe_compact() {
+  if (params_.compact_every_greens <= 0) return;
+  if (green_count_ % params_.compact_every_greens != 0) return;
+  const std::size_t upto = storage_.durable_size();
+  if (upto < 2) return;
+  DbSnapshotRecord rec;
+  rec.db_snapshot = db_.snapshot();
+  rec.green_count = green_count_;
+  rec.green_red_cut = map_to_pairs(green_red_cut_);
+  rec.meta = current_meta();
+  for (const ActionId& rid : red_order_) {
+    if (const Action* b = body_of(rid); b && !is_green(rid)) rec.red_actions.push_back(*b);
+  }
+  for (const auto& [aid, act] : ongoing_) rec.ongoing_actions.push_back(act);
+  storage_.compact(upto, encode_log_db_snapshot(rec));
+}
+
+std::vector<std::pair<NodeId, std::int64_t>> ReplicationEngine::map_to_pairs(
+    const std::map<NodeId, std::int64_t>& m) const {
+  std::vector<std::pair<NodeId, std::int64_t>> v;
+  v.reserve(m.size());
+  for (const auto& [n, x] : m) v.emplace_back(n, x);
+  return v;
+}
+
+}  // namespace tordb::core

@@ -1,0 +1,308 @@
+// The replication engine — the paper's primary contribution (§5, Appendix
+// A): a generic engine, running outside the database, that turns Extended
+// Virtual Synchrony group communication into a *global persistent consistent
+// order* of actions over a partitionable network, with end-to-end
+// acknowledgement rounds only at membership changes, never per action.
+//
+// States (Figure 4):
+//
+//   NonPrim          member of a non-primary component; actions ordered
+//                    locally, marked red.
+//   RegPrim          member of the primary component, regular
+//                    configuration; safe-delivered actions marked green and
+//                    applied immediately.
+//   TransPrim        primary's transitional configuration; deliveries
+//                    marked yellow.
+//   ExchangeStates   a new configuration formed; members exchange State
+//                    messages.
+//   ExchangeActions  members retransmit so everyone reaches the maximal
+//                    common state.
+//   Construct        quorum reached; Create-Primary-Component (CPC)
+//                    messages in flight.
+//   No / Un          interrupted installation (paper §5): `No` — as far as
+//                    we know nobody installed; `Un` — somebody may have.
+//
+// Coloring (Figures 1, 3): red = ordered locally, global order unknown;
+// yellow = delivered in a primary's transitional configuration; green =
+// global order known; white = known green at every replica (discardable).
+//
+// Dynamic membership (§5.1): PERSISTENT_JOIN / PERSISTENT_LEAVE ride the
+// green order itself, which sidesteps the consensus problem of changing the
+// replica set; a representative transfers a database snapshot to the
+// joiner, with fail-over to any other member.
+//
+// Semantics (§6): strict actions are applied/answered only when green; weak
+// queries answer from the (possibly stale) green state; dirty queries from
+// a red-applied overlay; timestamp/commutative updates are acknowledged on
+// red and converge once merged into the green order.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/action.h"
+#include "core/messages.h"
+#include "core/quorum.h"
+#include "db/database.h"
+#include "gc/group_communication.h"
+#include "sim/network.h"
+#include "storage/stable_storage.h"
+
+namespace tordb::core {
+
+enum class EngineState : std::uint8_t {
+  kNonPrim,
+  kRegPrim,
+  kTransPrim,
+  kExchangeStates,
+  kExchangeActions,
+  kConstruct,
+  kNo,
+  kUn,
+  kLeft,  ///< our PERSISTENT_LEAVE became green; engine is shut down
+};
+
+std::string to_string(EngineState s);
+
+enum class QueryMode : std::uint8_t {
+  kStrict = 0,  ///< answered in the primary component, fully consistent
+  kWeak = 1,    ///< §6: consistent but possibly obsolete (green state)
+  kDirty = 2,   ///< §6: latest local info including red actions
+};
+
+struct Reply {
+  ActionId action;  ///< invalid (kNoNode) for pure queries
+  bool aborted = false;
+  std::vector<std::string> reads;
+};
+using ReplyFn = std::function<void(const Reply&)>;
+
+struct EngineParams {
+  std::map<NodeId, int> weights;       ///< voting weights
+  QuorumMode quorum_mode = QuorumMode::kDynamicLinearVoting;
+  std::uint32_t action_padding = 110;  ///< pads actions to ~200 wire bytes
+  std::int64_t compact_every_greens = 8000;  ///< log compaction cadence (0 = off)
+  bool white_trim = true;  ///< discard white action bodies (paper Figure 1)
+  gc::GcParams gc;
+};
+
+struct EngineStats {
+  std::uint64_t actions_created = 0;
+  std::uint64_t actions_red = 0;
+  std::uint64_t actions_green = 0;
+  std::uint64_t actions_white_trimmed = 0;
+  std::uint64_t exchanges = 0;
+  std::uint64_t primaries_installed = 0;
+  std::uint64_t cpc_sent = 0;
+  std::uint64_t green_retrans_sent = 0;
+  std::uint64_t red_retrans_sent = 0;
+  std::uint64_t retrans_received = 0;
+  std::uint64_t replies = 0;
+  std::uint64_t snapshots_sent = 0;
+};
+
+struct EngineCallbacks {
+  std::function<void()> on_left;         ///< our own leave became green
+  std::function<void(NodeId)> on_join_green;
+  std::function<void(NodeId)> on_leave_green;
+};
+
+class ReplicationEngine {
+ public:
+  /// Fresh start as a founding member of `initial_servers`.
+  ReplicationEngine(Network& net, StableStorage& storage, NodeId id,
+                    std::vector<NodeId> initial_servers, EngineParams params = {},
+                    EngineCallbacks callbacks = {});
+
+  /// Start as a joining replica from a received snapshot (§5.2).
+  ReplicationEngine(Network& net, StableStorage& storage, NodeId id,
+                    const SnapshotMessage& snapshot, EngineParams params = {},
+                    EngineCallbacks callbacks = {});
+
+  struct RecoverTag {};
+  /// Recover from stable storage after a crash (Appendix A, Recover).
+  /// `fallback_servers` seeds the server set when the log is empty.
+  ReplicationEngine(Network& net, StableStorage& storage, NodeId id, RecoverTag,
+                    std::vector<NodeId> fallback_servers, EngineParams params = {},
+                    EngineCallbacks callbacks = {});
+
+  ~ReplicationEngine();
+  ReplicationEngine(const ReplicationEngine&) = delete;
+  ReplicationEngine& operator=(const ReplicationEngine&) = delete;
+
+  // --- client interface ---------------------------------------------------
+
+  /// Submit an action with a query part and an update part (either may be
+  /// empty). Strict actions reply once green; timestamp/commutative actions
+  /// reply once ordered locally (red) and converge globally later (§6).
+  void submit(db::Command query, db::Command update, std::int64_t client,
+              Semantics semantics, ReplyFn reply);
+
+  /// Query-only fast path (§6): no action message is generated or ordered.
+  void submit_query(db::Command query, QueryMode mode, ReplyFn reply);
+
+  /// §5.1: ask this engine to represent `joiner` — creates a
+  /// PERSISTENT_JOIN (or resumes the transfer if the join is already green).
+  void handle_join_request(NodeId joiner);
+
+  /// §5.1: create a PERSISTENT_LEAVE for ourselves.
+  void request_leave();
+
+  /// §5.1: administratively remove a permanently failed replica.
+  void remove_replica(NodeId dead);
+
+  // --- introspection --------------------------------------------------------
+
+  NodeId id() const { return id_; }
+  EngineState state() const { return state_; }
+  bool in_primary() const {
+    return state_ == EngineState::kRegPrim || state_ == EngineState::kTransPrim;
+  }
+  std::int64_t green_count() const { return green_count_; }
+  std::size_t red_count() const;
+  std::int64_t white_line() const;
+  const db::Database& database() const { return db_; }
+  std::uint64_t db_digest() const { return db_.digest(); }
+  /// Green state plus red actions applied on top (the §6 dirty version).
+  db::Database dirty_database() const;
+  const std::vector<NodeId>& server_set() const { return server_set_; }
+  const PrimComponent& prim_component() const { return prim_; }
+  const VulnerableRecord& vulnerable() const { return vulnerable_; }
+  const YellowRecord& yellow() const { return yellow_; }
+  const EngineStats& stats() const { return stats_; }
+  gc::GroupCommunication& group_comm() { return *gc_; }
+  /// Green sequence entry at `position` (1-based); kNoNode id if trimmed.
+  ActionId green_action_at(std::int64_t position) const;
+
+ private:
+  // --- group communication events ------------------------------------------
+  void on_regular_config(const gc::Configuration& conf);
+  void on_transitional_config(const gc::Configuration& conf);
+  void on_deliver(const gc::Delivery& d);
+  void handle_action(const Action& a);
+  void handle_state_msg(const StateMessage& s);
+  void handle_cpc(const CpcMessage& c);
+  void handle_green_retrans(std::int64_t position, const Action& a);
+  void handle_red_retrans(const Action& a);
+  void handle_catchup(const SnapshotMessage& s);
+
+  // --- paper procedures (Appendix A) -----------------------------------------
+  void shift_to_exchange_states();             // A.5
+  void shift_to_exchange_actions();            // A.5
+  void maybe_end_of_retrans();                 // A.5 / A.6
+  void end_of_retrans();                       // A.5
+  void compute_knowledge();                    // A.7
+  bool is_quorum() const;                      // A.8
+  void check_construct_complete();             // A.9
+  void install();                              // A.10
+  void handle_buffered_requests();             // A.8
+  void mark_red(const Action& a);              // A.14
+  void mark_yellow(const Action& a);           // A.14
+  void mark_green(const Action& a);            // A.14 + CodeSegment 5.1
+  void apply_green(const Action& a);
+  void on_join_green(const Action& a);         // 5.1 lines 5-10
+  void on_leave_green(const Action& a);        // 5.1 lines 11-13
+  void recover_from_log(const std::vector<NodeId>& fallback_servers);
+
+  // --- helpers ---------------------------------------------------------------
+  void init_members(const std::vector<NodeId>& servers);
+  void construct_gc(std::int64_t initial_counter);
+  /// Adopt a transferred green prefix wholesale (join §5.2 / catch-up).
+  void adopt_snapshot(const SnapshotMessage& s, bool set_prim);
+  Action make_action(ActionType type, db::Command query, db::Command update,
+                     std::int64_t client, Semantics semantics, NodeId subject);
+  void persist_and_send(std::vector<Action> actions);
+  bool is_green(const ActionId& id) const;
+  const Action* body_of(const ActionId& id) const;
+  const Action* green_body_at(std::int64_t position) const;
+  MetaRecord current_meta() const;
+  void append_meta();
+  void trim_white();
+  void maybe_compact();
+  void maybe_reply_red(const Action& a);
+  void reply_green(const Action& a, const db::ApplyResult& result);
+  void flush_strict_queries();
+  void send_snapshot_to(NodeId joiner);
+  void enter_left();
+  std::vector<std::pair<NodeId, std::int64_t>> map_to_pairs(
+      const std::map<NodeId, std::int64_t>& m) const;
+
+  Network& net_;
+  Simulator& sim_;
+  StableStorage& storage_;
+  NodeId id_;
+  EngineParams params_;
+  EngineCallbacks callbacks_;
+  QuorumPolicy quorum_;
+  std::shared_ptr<bool> alive_;
+
+  db::Database db_;
+  std::unique_ptr<gc::GroupCommunication> gc_;
+
+  EngineState state_ = EngineState::kNonPrim;
+  gc::Configuration conf_;
+  std::int64_t action_index_ = 0;
+  std::int64_t attempt_index_ = 0;
+  PrimComponent prim_;
+  VulnerableRecord vulnerable_;
+  YellowRecord yellow_;
+  std::vector<NodeId> server_set_;
+
+  // Coloring bookkeeping.
+  std::map<NodeId, std::int64_t> red_cut_;        ///< A: redCut
+  std::map<NodeId, std::int64_t> green_lines_;    ///< A: greenLines (as counts)
+  std::map<NodeId, std::int64_t> green_red_cut_;  ///< per-creator green coverage
+  std::int64_t green_count_ = 0;
+  std::int64_t white_count_ = 0;                ///< greens trimmed as white
+  std::deque<ActionId> green_seq_;              ///< positions white+1..green
+  std::vector<ActionId> red_order_;             ///< local red order (may hold greens, filtered)
+  std::map<ActionId, Action> red_waiting_;      ///< out-of-creator-order retransmissions
+  std::unordered_map<ActionId, Action> store_;  ///< bodies (red + untrimmed green)
+  std::unordered_map<ActionId, std::int64_t> green_pos_;
+  std::map<ActionId, Action> ongoing_;          ///< A: ongoingQueue
+
+  // Exchange state.
+  std::map<NodeId, StateMessage> state_msgs_;
+  bool exchange_plan_ready_ = false;
+  std::int64_t expected_retrans_ = 0;
+  std::int64_t received_retrans_ = 0;
+  std::map<NodeId, bool> effective_vulnerable_;  ///< post-ComputeKnowledge view
+
+  // Construct state.
+  std::set<NodeId> cpc_received_;
+
+  // Client handling.
+  struct BufferedRequest {
+    ActionType type;
+    db::Command query;
+    db::Command update;
+    std::int64_t client;
+    Semantics semantics;
+    NodeId subject;
+    ReplyFn reply;
+  };
+  std::deque<BufferedRequest> buffered_requests_;
+  struct PendingReply {
+    Semantics semantics;
+    ReplyFn fn;
+  };
+  std::map<ActionId, PendingReply> pending_replies_;
+  struct PendingQuery {
+    db::Command query;
+    ReplyFn fn;
+  };
+  std::vector<PendingQuery> pending_strict_queries_;
+
+  // Join protocol.
+  std::set<NodeId> pending_join_transfers_;
+
+  EngineStats stats_;
+};
+
+}  // namespace tordb::core

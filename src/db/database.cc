@@ -1,0 +1,172 @@
+#include "db/database.h"
+
+#include <charconv>
+
+namespace tordb::db {
+
+namespace {
+std::int64_t to_num(const std::string& s) {
+  std::int64_t v = 0;
+  std::from_chars(s.data(), s.data() + s.size(), v);
+  return v;
+}
+}  // namespace
+
+void Command::encode(BufWriter& w) const {
+  w.vec(ops, [](BufWriter& w2, const Op& op) {
+    w2.u8(static_cast<std::uint8_t>(op.type));
+    w2.str(op.key);
+    w2.str(op.value);
+    w2.i64(op.num);
+  });
+}
+
+Command Command::decode(BufReader& r) {
+  Command c;
+  c.ops = r.vec<Op>([](BufReader& r2) {
+    Op op;
+    op.type = static_cast<OpType>(r2.u8());
+    op.key = r2.str();
+    op.value = r2.str();
+    op.num = r2.i64();
+    return op;
+  });
+  return c;
+}
+
+Command Command::put(std::string key, std::string value) {
+  return Command{{Op{OpType::kPut, std::move(key), std::move(value), 0}}};
+}
+Command Command::add(std::string key, std::int64_t delta) {
+  return Command{{Op{OpType::kAdd, std::move(key), "", delta}}};
+}
+Command Command::append(std::string key, std::string value) {
+  return Command{{Op{OpType::kAppend, std::move(key), std::move(value), 0}}};
+}
+Command Command::get(std::string key) {
+  return Command{{Op{OpType::kGet, std::move(key), "", 0}}};
+}
+Command Command::checked_put(std::string key, std::string expected, std::string value) {
+  Command c;
+  c.ops.push_back(Op{OpType::kCheck, key, std::move(expected), 0});
+  c.ops.push_back(Op{OpType::kPut, std::move(key), std::move(value), 0});
+  return c;
+}
+Command Command::timestamp_put(std::string key, std::string value, std::int64_t ts) {
+  return Command{{Op{OpType::kTimestampPut, std::move(key), std::move(value), ts}}};
+}
+
+Command Command::del(std::string key) {
+  return Command{{Op{OpType::kDelete, std::move(key), "", 0}}};
+}
+
+ApplyResult Database::apply(const Command& cmd) {
+  ApplyResult res;
+  // Evaluate every precondition against the current state first, so that a
+  // failed check aborts the whole command with no partial effects — every
+  // replica applies the same deterministic rule to the same state and thus
+  // "aborts" identically (paper §6, interactive actions).
+  for (const Op& op : cmd.ops) {
+    if (op.type == OpType::kCheck && get(op.key) != op.value) {
+      res.aborted = true;
+      return res;
+    }
+  }
+
+  for (const Op& op : cmd.ops) {
+    switch (op.type) {
+      case OpType::kPut:
+        data_[op.key].value = op.value;
+        break;
+      case OpType::kAdd:
+        data_[op.key].value = std::to_string(to_num(get(op.key)) + op.num);
+        break;
+      case OpType::kAppend:
+        data_[op.key].value += op.value;
+        break;
+      case OpType::kGet:
+        res.reads.push_back(get(op.key));
+        break;
+      case OpType::kCheck:
+        break;  // evaluated above
+      case OpType::kTimestampPut: {
+        Cell& cell = data_[op.key];
+        if (op.num > cell.ts) {
+          cell.ts = op.num;
+          cell.value = op.value;
+        }
+        break;
+      }
+      case OpType::kDelete:
+        data_.erase(op.key);
+        break;
+    }
+  }
+  ++version_;
+  return res;
+}
+
+ApplyResult Database::peek(const Command& cmd) const {
+  ApplyResult res;
+  for (const Op& op : cmd.ops) {
+    if (op.type == OpType::kCheck && get(op.key) != op.value) {
+      res.aborted = true;
+      return res;
+    }
+  }
+  for (const Op& op : cmd.ops) {
+    if (op.type == OpType::kGet) res.reads.push_back(get(op.key));
+  }
+  return res;
+}
+
+std::string Database::get(const std::string& key) const {
+  auto it = data_.find(key);
+  return it == data_.end() ? "" : it->second.value;
+}
+
+Bytes Database::snapshot() const {
+  BufWriter w;
+  w.i64(version_);
+  w.u32(static_cast<std::uint32_t>(data_.size()));
+  for (const auto& [k, cell] : data_) {
+    w.str(k);
+    w.str(cell.value);
+    w.i64(cell.ts);
+  }
+  return w.take();
+}
+
+void Database::restore(const Bytes& snap) {
+  BufReader r(snap);
+  data_.clear();
+  version_ = r.i64();
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::string k = r.str();
+    Cell cell;
+    cell.value = r.str();
+    cell.ts = r.i64();
+    data_[std::move(k)] = std::move(cell);
+  }
+}
+
+std::uint64_t Database::digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;
+    h *= 0x100000001b3ULL;
+  };
+  for (const auto& [k, cell] : data_) {
+    mix(k);
+    mix(cell.value);
+    h ^= static_cast<std::uint64_t>(cell.ts) * 0x9e3779b97f4a7c15ULL;
+  }
+  return h;
+}
+
+}  // namespace tordb::db

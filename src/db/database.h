@@ -1,0 +1,100 @@
+// Deterministic in-memory database (paper §2.2 service model).
+//
+// "An action defines a transition from the current state of the database to
+// the next state; the next state is completely determined by the current
+// state and the action." Commands are small programs over a key-value
+// state: writes, numeric adds, appends, timestamp-max writes, and checked
+// (active/interactive) updates that apply only when a precondition holds —
+// the mechanism the paper uses to mimic interactive transactions (§6).
+//
+// The database supports snapshot/restore (used for state transfer to a
+// joining replica, §5.1) and a content digest used by tests to assert
+// replica-state convergence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/serde.h"
+
+namespace tordb::db {
+
+enum class OpType : std::uint8_t {
+  kPut = 0,          ///< key := value
+  kAdd = 1,          ///< key := num(key) + delta
+  kAppend = 2,       ///< key := key . value
+  kGet = 3,          ///< read key into the result
+  kCheck = 4,        ///< abort the whole command unless key == value
+  kTimestampPut = 5, ///< key := value only if ts > stored ts (last-writer-wins)
+  kDelete = 6,       ///< erase key (absent key reads as "")
+};
+
+struct Op {
+  OpType type = OpType::kPut;
+  std::string key;
+  std::string value;
+  std::int64_t num = 0;  ///< delta for kAdd, timestamp for kTimestampPut
+
+  friend bool operator==(const Op&, const Op&) = default;
+};
+
+/// One action's update and/or query program. Empty `ops` is a pure no-op.
+struct Command {
+  std::vector<Op> ops;
+
+  void encode(BufWriter& w) const;
+  static Command decode(BufReader& r);
+
+  static Command put(std::string key, std::string value);
+  static Command add(std::string key, std::int64_t delta);
+  static Command append(std::string key, std::string value);
+  static Command get(std::string key);
+  static Command checked_put(std::string key, std::string expected, std::string value);
+  static Command timestamp_put(std::string key, std::string value, std::int64_t ts);
+  static Command del(std::string key);
+};
+
+struct ApplyResult {
+  bool aborted = false;            ///< a kCheck precondition failed
+  std::vector<std::string> reads;  ///< one entry per kGet, in program order
+};
+
+class Database {
+ public:
+  /// Apply a command deterministically. A failed kCheck aborts the whole
+  /// command (no partial effects), mirroring a rolled-back transaction;
+  /// every replica aborts identically (§6).
+  ApplyResult apply(const Command& cmd);
+
+  /// Read a single key ("" when absent) without counting as an action.
+  std::string get(const std::string& key) const;
+
+  /// Evaluate a command's reads and checks against the current state
+  /// without mutating it (used for the §6 query-only fast path).
+  ApplyResult peek(const Command& cmd) const;
+
+  std::int64_t version() const { return version_; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Serialize full state (used for state transfer to joining replicas).
+  Bytes snapshot() const;
+  void restore(const Bytes& snap);
+
+  /// Order-independent content hash; equal digests <=> equal contents.
+  std::uint64_t digest() const;
+
+  Database clone() const { return *this; }
+
+ private:
+  struct Cell {
+    std::string value;
+    std::int64_t ts = -1;  ///< for kTimestampPut cells
+  };
+  std::map<std::string, Cell> data_;
+  std::int64_t version_ = 0;
+};
+
+}  // namespace tordb::db

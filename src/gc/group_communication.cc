@@ -1,0 +1,557 @@
+#include "gc/group_communication.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.h"
+
+namespace tordb::gc {
+
+namespace {
+bool contains(const std::vector<NodeId>& v, NodeId n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+}  // namespace
+
+bool Configuration::contains(NodeId n) const { return tordb::gc::contains(members, n); }
+
+std::string Configuration::to_string() const {
+  std::string s = (transitional ? "trans" : "reg") + std::string("{") + tordb::to_string(id) + " [";
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (i) s += ",";
+    s += std::to_string(members[i]);
+  }
+  return s + "]}";
+}
+
+GroupCommunication::GroupCommunication(Network& net, NodeId id, Listener listener,
+                                       std::int64_t initial_config_counter, GcParams params)
+    : net_(net),
+      sim_(net.sim()),
+      id_(id),
+      listener_(std::move(listener)),
+      params_(params),
+      alive_(std::make_shared<bool>(true)),
+      counter_floor_(initial_config_counter) {
+  config_.id = ConfigId{initial_config_counter, id_};
+  config_.members = {id_};
+  known_contig_[id_] = 0;
+
+  net_.set_packet_handler(id_, [this](NodeId from, const Bytes& wire) { on_packet(from, wire); });
+  // Deliver the initial singleton configuration before anything else runs.
+  schedule(0, [this] {
+    ++stats_.regular_configs;
+    if (listener_.on_regular_config) listener_.on_regular_config(config_);
+  });
+  net_.set_reachability_handler(
+      id_, [this](const std::vector<NodeId>& reachable) { on_reachability(reachable); });
+}
+
+GroupCommunication::~GroupCommunication() {
+  *alive_ = false;
+  net_.clear_packet_handler(id_, Channel::kGc);
+  net_.clear_reachability_handler(id_);
+}
+
+void GroupCommunication::schedule(SimDuration delay, std::function<void()> fn) {
+  sim_.after(delay, [alive = alive_, fn = std::move(fn)] {
+    if (*alive) fn();
+  });
+}
+
+void GroupCommunication::send_to(NodeId to, const Bytes& wire) { net_.send(id_, to, wire); }
+
+void GroupCommunication::send_all(const std::vector<NodeId>& to, const Bytes& wire) {
+  net_.multicast(id_, to, wire);
+}
+
+void GroupCommunication::multicast(Bytes payload, Service service) {
+  OutEntry entry{++next_local_seq_, service, std::move(payload)};
+  outbox_.push_back(entry);
+  if (state_ == GcState::kOperational) send_data(outbox_.back());
+}
+
+void GroupCommunication::send_data(const OutEntry& entry) {
+  DataMsg msg{config_.id, id_, entry.local_seq, entry.service, entry.payload};
+  send_to(config_.members.front(), encode(msg));
+}
+
+void GroupCommunication::on_packet(NodeId from, const Bytes& wire) {
+  BufReader r(wire);
+  const auto type = static_cast<MsgType>(r.u8());
+  switch (type) {
+    case MsgType::kData: handle_data(from, decode_data(r)); break;
+    case MsgType::kOrdered: handle_ordered(decode_ordered(r)); break;
+    case MsgType::kAck: handle_ack(from, decode_ack(r)); break;
+    case MsgType::kStable: break;  // legacy: stability rides on ACKs now
+    case MsgType::kInquire: handle_inquire(from, decode_inquire(r)); break;
+    case MsgType::kJoinInfo: handle_join_info(from, decode_join_info(r)); break;
+    case MsgType::kPlan: handle_plan(decode_plan(r)); break;
+    case MsgType::kRetrans: handle_retrans(decode_retrans(r)); break;
+    case MsgType::kPlanAck: handle_plan_ack(from, decode_plan_ack(r)); break;
+    case MsgType::kInstall: handle_install(decode_install(r)); break;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Data path
+// --------------------------------------------------------------------------
+
+void GroupCommunication::handle_data(NodeId from, DataMsg msg) {
+  (void)from;
+  if (state_ != GcState::kOperational || msg.config != config_.id) return;  // sender resends
+  if (!is_sequencer()) return;
+  OrderedMsg ordered{config_.id, ++global_seq_, msg.origin, msg.local_seq, msg.service,
+                     std::move(msg.payload)};
+  ++stats_.messages_ordered;
+  send_all(config_.members, encode(ordered));
+}
+
+void GroupCommunication::handle_ordered(OrderedMsg msg) {
+  if (state_ != GcState::kOperational || msg.config != config_.id) return;
+  store_ordered(std::move(msg));
+}
+
+void GroupCommunication::store_ordered(OrderedMsg&& msg) {
+  if (msg.seq <= delivered_upto_ || buffer_.count(msg.seq)) return;
+  if (msg.seq <= recv_contig_ && !buffer_.count(msg.seq)) {
+    // Already pruned as stable; duplicate retransmission.
+    return;
+  }
+  buffer_[msg.seq] =
+      BufferedMsg{msg.origin, msg.origin_local_seq, msg.service, std::move(msg.payload)};
+  bool advanced = false;
+  while (buffer_.count(recv_contig_ + 1)) {
+    ++recv_contig_;
+    advanced = true;
+  }
+  if (advanced) after_contig_advance();
+}
+
+std::int64_t GroupCommunication::safe_line() const {
+  std::int64_t line = recv_contig_;
+  for (NodeId m : config_.members) {
+    if (m == id_) continue;
+    auto it = known_contig_.find(m);
+    line = std::min(line, it == known_contig_.end() ? 0 : it->second);
+  }
+  return line;
+}
+
+void GroupCommunication::after_contig_advance() {
+  known_contig_[id_] = recv_contig_;
+  if (config_.members.size() > 1) schedule_ack();
+  try_deliver();
+}
+
+void GroupCommunication::try_deliver() {
+  if (state_ != GcState::kOperational) return;
+  const std::int64_t safe = safe_line();
+  while (true) {
+    const std::int64_t next = delivered_upto_ + 1;
+    auto it = buffer_.find(next);
+    if (it == buffer_.end() || next > recv_contig_) break;
+    if (it->second.service == Service::kSafe && next > safe) break;
+    deliver_one(next, it->second.service == Service::kSafe ? DeliveryKind::kSafeInRegular
+                                                           : DeliveryKind::kAgreed);
+  }
+  // Prune messages that are both delivered here and received by everyone:
+  // no member can ever need them retransmitted.
+  const std::int64_t prune = std::min(safe, delivered_upto_);
+  while (!buffer_.empty() && buffer_.begin()->first <= prune) buffer_.erase(buffer_.begin());
+}
+
+void GroupCommunication::deliver_one(std::int64_t seq, DeliveryKind kind) {
+  auto it = buffer_.find(seq);
+  assert(it != buffer_.end());
+  BufferedMsg& m = it->second;
+  delivered_upto_ = seq;
+  if (m.origin == id_) {
+    while (!outbox_.empty() && outbox_.front().local_seq <= m.origin_local_seq) {
+      outbox_.pop_front();
+    }
+  }
+  ++stats_.deliveries;
+  if (kind == DeliveryKind::kSafeInRegular) ++stats_.safe_deliveries;
+  if (kind == DeliveryKind::kTransitional) ++stats_.transitional_deliveries;
+  if (listener_.on_deliver) {
+    Delivery d{m.origin, config_.id, seq, kind, m.payload};
+    listener_.on_deliver(d);
+  }
+}
+
+void GroupCommunication::schedule_ack() {
+  if (ack_scheduled_ || state_ != GcState::kOperational) return;
+  ack_scheduled_ = true;
+  const SimTime fire =
+      std::max(last_ack_sent_ + params_.ack_min_interval, sim_.now() + params_.ack_coalesce);
+  const ConfigId cfg = config_.id;
+  schedule(fire - sim_.now(), [this, cfg] {
+    ack_scheduled_ = false;
+    if (state_ != GcState::kOperational || !(config_.id == cfg)) return;
+    if (recv_contig_ == last_acked_value_) return;
+    last_ack_sent_ = sim_.now();
+    last_acked_value_ = recv_contig_;
+    // Acknowledgements go to every member directly (one hardware
+    // multicast), so safe delivery costs three one-way hops (DATA, ORDERED,
+    // ACK) rather than four — the difference matters on wide-area links.
+    const Bytes wire = encode(AckMsg{config_.id, recv_contig_});
+    std::vector<NodeId> others;
+    for (NodeId m : config_.members) {
+      if (m != id_) others.push_back(m);
+    }
+    send_all(others, wire);
+  });
+}
+
+void GroupCommunication::handle_ack(NodeId from, const AckMsg& msg) {
+  if (state_ != GcState::kOperational || msg.config != config_.id) return;
+  std::int64_t& known = known_contig_[from];
+  if (msg.recv_contig <= known) return;
+  known = msg.recv_contig;
+  try_deliver();
+}
+
+// --------------------------------------------------------------------------
+// Membership (flush) protocol
+// --------------------------------------------------------------------------
+
+void GroupCommunication::on_reachability(const std::vector<NodeId>& reachable) {
+  last_reachable_ = reachable;
+  if (state_ == GcState::kOperational && reachable == config_.members) return;
+  start_gather(reachable);
+}
+
+void GroupCommunication::start_gather(const std::vector<NodeId>& reachable) {
+  ++stats_.gathers_started;
+  state_ = GcState::kGathering;
+  committed_.reset();
+  plan_.reset();
+  plan_acked_ = false;
+  my_token_.reset();
+  my_proposed_.clear();
+  infos_.clear();
+  plan_acks_.clear();
+  built_plan_.reset();
+  install_sent_ = false;
+  touch_progress();
+
+  if (!reachable.empty() && reachable.front() == id_) {
+    my_token_ = GatherToken{id_, ++gather_seq_};
+    my_proposed_ = reachable;
+    const Bytes wire = encode(InquireMsg{*my_token_, my_proposed_});
+    send_all(my_proposed_, wire);
+    arm_retry_timer();
+  }
+  arm_stuck_timer();
+}
+
+void GroupCommunication::touch_progress() { last_progress_ = sim_.now(); }
+
+void GroupCommunication::arm_stuck_timer() {
+  schedule(params_.stuck_timeout, [this] {
+    if (state_ != GcState::kGathering) return;
+    if (sim_.now() - last_progress_ >= params_.stuck_timeout) {
+      start_gather(last_reachable_);
+    } else {
+      arm_stuck_timer();
+    }
+  });
+}
+
+void GroupCommunication::arm_retry_timer() {
+  if (!my_token_) return;
+  const GatherToken token = *my_token_;
+  schedule(params_.gather_retry, [this, token] {
+    if (!my_token_ || !(*my_token_ == token)) return;
+    if (!built_plan_) {
+      // Re-inquire members whose JOIN_INFO is missing.
+      const Bytes wire = encode(InquireMsg{token, my_proposed_});
+      for (NodeId m : my_proposed_) {
+        if (!infos_.count(m)) send_to(m, wire);
+      }
+    } else if (!install_sent_) {
+      // Re-send the plan to members whose PLAN_ACK is missing.
+      const Bytes wire = encode(*built_plan_);
+      for (NodeId m : my_proposed_) {
+        if (!plan_acks_.count(m)) send_to(m, wire);
+      }
+    }
+    arm_retry_timer();
+  });
+}
+
+JoinInfoMsg GroupCommunication::make_join_info(const GatherToken& token) const {
+  JoinInfoMsg info;
+  info.token = token;
+  info.old_config = config_.id;
+  info.old_members = config_.members;
+  info.recv_contig = recv_contig_;
+  info.delivered_upto = delivered_upto_;
+  info.known_contig.reserve(config_.members.size());
+  for (NodeId m : config_.members) {
+    if (m == id_) {
+      info.known_contig.push_back(recv_contig_);
+    } else {
+      auto it = known_contig_.find(m);
+      info.known_contig.push_back(it == known_contig_.end() ? 0 : it->second);
+    }
+  }
+  info.max_config_counter = counter_floor_;
+  return info;
+}
+
+void GroupCommunication::handle_inquire(NodeId from, const InquireMsg& msg) {
+  if (msg.token.coordinator != from) return;
+  if (!contains(last_reachable_, from)) return;  // can no longer complete
+
+  if (committed_ && *committed_ == msg.token) {
+    // Coordinator retry: re-send our info.
+    send_to(from, encode(make_join_info(msg.token)));
+    touch_progress();
+    return;
+  }
+
+  bool accept = false;
+  if (!committed_) {
+    accept = true;
+  } else if (msg.token.coordinator < committed_->coordinator) {
+    accept = true;
+  } else if (msg.token.coordinator == committed_->coordinator &&
+             msg.token.seq > committed_->seq) {
+    accept = true;
+  } else if (!contains(last_reachable_, committed_->coordinator)) {
+    accept = true;
+  }
+  if (!accept) return;
+
+  if (state_ == GcState::kOperational) {
+    state_ = GcState::kGathering;
+    arm_stuck_timer();
+  }
+  committed_ = msg.token;
+  plan_.reset();
+  plan_acked_ = false;
+  if (my_token_ && msg.token.coordinator < id_) {
+    // A smaller coordinator supersedes our own attempt.
+    my_token_.reset();
+    my_proposed_.clear();
+    infos_.clear();
+    plan_acks_.clear();
+    built_plan_.reset();
+    install_sent_ = false;
+  }
+  touch_progress();
+  send_to(from, encode(make_join_info(msg.token)));
+}
+
+void GroupCommunication::handle_join_info(NodeId from, const JoinInfoMsg& msg) {
+  if (!my_token_ || !(msg.token == *my_token_)) return;
+  infos_[from] = msg;
+  touch_progress();
+  coordinator_maybe_plan();
+}
+
+void GroupCommunication::coordinator_maybe_plan() {
+  if (built_plan_) return;
+  for (NodeId m : my_proposed_) {
+    if (!infos_.count(m)) return;
+  }
+  std::int64_t max_counter = counter_floor_;
+  for (const auto& [n, info] : infos_) {
+    max_counter = std::max({max_counter, info.max_config_counter, info.old_config.counter});
+  }
+
+  PlanMsg plan;
+  plan.token = *my_token_;
+  plan.new_config = ConfigId{max_counter + 1, id_};
+  plan.new_members = my_proposed_;
+
+  // Group participants by the regular configuration they come from.
+  std::map<ConfigId, std::vector<NodeId>> groups;
+  for (const auto& [n, info] : infos_) groups[info.old_config].push_back(n);
+
+  for (auto& [old_id, participants] : groups) {
+    std::sort(participants.begin(), participants.end());
+    PlanEntry e;
+    e.old_config = old_id;
+    e.old_members = infos_.at(participants.front()).old_members;
+    e.participants = participants;
+    std::int64_t target = 0;
+    NodeId holder = participants.front();
+    for (NodeId p : participants) {
+      const std::int64_t c = infos_.at(p).recv_contig;
+      e.participant_contig.push_back(c);
+      if (c > target) {
+        target = c;
+        holder = p;
+      }
+    }
+    e.target_seq = target;
+    e.retransmitter = holder;
+    // Safe line: a message is known received by ALL old members if, for
+    // every old member m, some participant saw an ack from m covering it.
+    std::int64_t safe = target;
+    for (std::size_t mi = 0; mi < e.old_members.size(); ++mi) {
+      const NodeId m = e.old_members[mi];
+      std::int64_t best = 0;
+      for (NodeId p : participants) {
+        const JoinInfoMsg& info = infos_.at(p);
+        // Find m's slot in p's old_members (configs match, so aligned).
+        for (std::size_t j = 0; j < info.old_members.size(); ++j) {
+          if (info.old_members[j] == m) {
+            best = std::max(best, info.known_contig[j]);
+            break;
+          }
+        }
+      }
+      safe = std::min(safe, best);
+    }
+    e.safe_line = safe;
+    plan.entries.push_back(std::move(e));
+  }
+
+  built_plan_ = plan;
+  send_all(my_proposed_, encode(plan));
+}
+
+const PlanEntry* GroupCommunication::my_plan_entry() const {
+  if (!plan_) return nullptr;
+  for (const PlanEntry& e : plan_->entries) {
+    if (e.old_config == config_.id) return &e;
+  }
+  return nullptr;
+}
+
+void GroupCommunication::handle_plan(const PlanMsg& msg) {
+  if (!committed_ || !(msg.token == *committed_)) return;
+  plan_ = msg;
+  touch_progress();
+  const PlanEntry* e = my_plan_entry();
+  if (!e) return;
+  if (e->retransmitter == id_) {
+    for (std::size_t i = 0; i < e->participants.size(); ++i) {
+      const NodeId q = e->participants[i];
+      if (q == id_) continue;
+      for (std::int64_t seq = e->participant_contig[i] + 1; seq <= e->target_seq; ++seq) {
+        auto it = buffer_.find(seq);
+        if (it == buffer_.end()) continue;  // pruned as globally stable: q has it
+        RetransMsg rm;
+        rm.token = msg.token;
+        rm.message = OrderedMsg{config_.id, seq, it->second.origin,
+                                it->second.origin_local_seq, it->second.service,
+                                it->second.payload};
+        ++stats_.retransmissions;
+        send_to(q, encode(rm));
+      }
+    }
+  }
+  member_check_plan_ack();
+}
+
+void GroupCommunication::handle_retrans(const RetransMsg& msg) {
+  if (msg.message.config != config_.id) return;
+  store_ordered(std::move(const_cast<RetransMsg&>(msg).message));
+  touch_progress();
+  member_check_plan_ack();
+}
+
+void GroupCommunication::member_check_plan_ack() {
+  if (!plan_ || plan_acked_ || !committed_) return;
+  const PlanEntry* e = my_plan_entry();
+  if (!e || recv_contig_ < e->target_seq) return;
+  plan_acked_ = true;
+  send_to(committed_->coordinator, encode(PlanAckMsg{*committed_}));
+}
+
+void GroupCommunication::handle_plan_ack(NodeId from, const PlanAckMsg& msg) {
+  if (!my_token_ || !(msg.token == *my_token_)) return;
+  plan_acks_[from] = true;
+  touch_progress();
+  coordinator_maybe_install();
+}
+
+void GroupCommunication::coordinator_maybe_install() {
+  if (!built_plan_ || install_sent_) return;
+  for (NodeId m : my_proposed_) {
+    if (!plan_acks_.count(m)) return;
+  }
+  install_sent_ = true;
+  send_all(my_proposed_, encode(InstallMsg{*my_token_}));
+}
+
+void GroupCommunication::handle_install(const InstallMsg& msg) {
+  if (!committed_ || !(msg.token == *committed_) || !plan_) return;
+  run_install();
+}
+
+void GroupCommunication::run_install() {
+  const PlanMsg plan = *plan_;
+  const PlanEntry* entry = my_plan_entry();
+  assert(entry != nullptr);
+  const PlanEntry e = *entry;  // copy: we mutate state below
+
+  // 1. Deliver the remaining messages known to be received by every member
+  //    of the old configuration: these still meet the safe guarantee.
+  while (delivered_upto_ < e.safe_line) {
+    const std::int64_t next = delivered_upto_ + 1;
+    auto it = buffer_.find(next);
+    if (it == buffer_.end()) break;  // was pruned => already delivered
+    deliver_one(next, it->second.service == Service::kSafe ? DeliveryKind::kSafeInRegular
+                                                           : DeliveryKind::kAgreed);
+  }
+
+  // 2. Transitional configuration: members of the old regular configuration
+  //    moving together into the new one.
+  Configuration trans;
+  trans.id = config_.id;
+  trans.members = e.participants;
+  trans.transitional = true;
+  ++stats_.transitional_configs;
+  if (listener_.on_transitional_config) listener_.on_transitional_config(trans);
+
+  // 3. Left-over messages, delivered in the transitional configuration.
+  while (delivered_upto_ < e.target_seq) {
+    const std::int64_t next = delivered_upto_ + 1;
+    auto it = buffer_.find(next);
+    if (it == buffer_.end()) break;
+    deliver_one(next, it->second.service == Service::kSafe ? DeliveryKind::kTransitional
+                                                           : DeliveryKind::kAgreed);
+  }
+
+  // 4. Install the new regular configuration and reset the data path.
+  config_.id = plan.new_config;
+  config_.members = plan.new_members;
+  config_.transitional = false;
+  counter_floor_ = std::max(counter_floor_, plan.new_config.counter);
+  global_seq_ = 0;
+  recv_contig_ = 0;
+  delivered_upto_ = 0;
+  buffer_.clear();
+  known_contig_.clear();
+  for (NodeId m : config_.members) known_contig_[m] = 0;
+  last_acked_value_ = -1;
+  // Pacing timers armed in the old configuration will no-op on config
+  // mismatch; clear the flags so the new configuration can arm its own.
+  ack_scheduled_ = false;
+  state_ = GcState::kOperational;
+  committed_.reset();
+  plan_.reset();
+  plan_acked_ = false;
+  my_token_.reset();
+  my_proposed_.clear();
+  infos_.clear();
+  plan_acks_.clear();
+  built_plan_.reset();
+  install_sent_ = false;
+
+  // 5. Re-send local multicasts that were never self-delivered, preserving
+  //    FIFO order, before the application reacts to the new configuration.
+  stats_.resent_after_install += outbox_.size();
+  for (const OutEntry& out : outbox_) send_data(out);
+
+  ++stats_.regular_configs;
+  if (listener_.on_regular_config) listener_.on_regular_config(config_);
+}
+
+}  // namespace tordb::gc

@@ -1,0 +1,193 @@
+// Extended Virtual Synchrony group communication over the simulated
+// partitionable network — the role the Spread toolkit plays in the paper.
+//
+// Architecture (one instance per node):
+//
+//   data path     : senders forward payloads to the configuration's
+//                   *sequencer* (lowest member id), which assigns the global
+//                   sequence and multicasts ORDERED messages. Members
+//                   multicast coalesced acknowledgements of their contiguous
+//                   prefix to the whole group; a message is delivered *safe*
+//                   once every member's ack covers it.
+//   membership    : on any reachability change a flush protocol runs: the
+//     (flush)       lowest reachable node INQUIREs, members reply JOIN_INFO
+//                   (what they hold and what they know others received), the
+//                   coordinator computes a PLAN (per old configuration: who
+//                   continues together, the safe line, the retransmission
+//                   target), holders RETRANSmit so all continuing members
+//                   hold the same prefix, and after PLAN_ACKs the
+//                   coordinator INSTALLs. Each member then delivers, in EVS
+//                   order: remaining safe messages (safe-in-regular, up to
+//                   the safe line), the transitional configuration, the
+//                   left-over messages (transitional delivery), and the new
+//                   regular configuration.
+//
+// Guarantees provided (property-tested in tests/gc_*):
+//   self delivery, FIFO per sender, agreed (total) order per configuration,
+//   virtual synchrony, and EVS safe-delivery trichotomy: for any safe
+//   message it is impossible that one member delivered it safe-in-regular
+//   while another member of the same configuration never delivers it
+//   (unless that member crashes).
+//
+// Undelivered local multicasts are retained and automatically re-sent in
+// the next configuration, so a payload handed to `multicast` is eventually
+// ordered somewhere as long as its node stays up (the replication engine's
+// redCut de-duplicates cross-component reorderings).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "gc/messages.h"
+#include "gc/types.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace tordb::gc {
+
+struct GcParams {
+  SimDuration ack_coalesce = micros(150);      ///< delay before sending an ack
+  SimDuration ack_min_interval = millis(3);    ///< ack rate limit under load
+  SimDuration gather_retry = millis(12);  ///< coordinator re-INQUIRE period
+  SimDuration stuck_timeout = millis(60); ///< member watchdog during flush
+};
+
+struct GcStats {
+  std::uint64_t messages_ordered = 0;    ///< ORDERED assigned (sequencer role)
+  std::uint64_t deliveries = 0;
+  std::uint64_t safe_deliveries = 0;
+  std::uint64_t transitional_deliveries = 0;
+  std::uint64_t regular_configs = 0;
+  std::uint64_t transitional_configs = 0;
+  std::uint64_t gathers_started = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t resent_after_install = 0;
+};
+
+class GroupCommunication {
+ public:
+  /// `initial_config_counter` seeds configuration-id uniqueness across
+  /// recoveries of the same node (the node harness persists it).
+  GroupCommunication(Network& net, NodeId id, Listener listener,
+                     std::int64_t initial_config_counter = 0, GcParams params = {});
+  ~GroupCommunication();
+
+  GroupCommunication(const GroupCommunication&) = delete;
+  GroupCommunication& operator=(const GroupCommunication&) = delete;
+
+  /// Multicast `payload` to the current configuration with the requested
+  /// service. May be called at any time; while the membership protocol runs
+  /// the message is queued and sent in the next configuration.
+  void multicast(Bytes payload, Service service);
+
+  NodeId id() const { return id_; }
+  const Configuration& config() const { return config_; }
+  bool operational() const { return state_ == GcState::kOperational; }
+  /// Highest configuration counter this instance has seen (persist across
+  /// recoveries and feed back as initial_config_counter).
+  std::int64_t max_counter_seen() const { return counter_floor_; }
+  const GcStats& stats() const { return stats_; }
+
+ private:
+  enum class GcState { kOperational, kGathering };
+
+  struct BufferedMsg {
+    NodeId origin = kNoNode;
+    std::int64_t origin_local_seq = 0;
+    Service service = Service::kAgreed;
+    Bytes payload;
+  };
+
+  struct OutEntry {
+    std::int64_t local_seq = 0;
+    Service service = Service::kAgreed;
+    Bytes payload;
+  };
+
+  // --- wiring ---------------------------------------------------------
+  void on_packet(NodeId from, const Bytes& wire);
+  void on_reachability(const std::vector<NodeId>& reachable);
+  void schedule(SimDuration delay, std::function<void()> fn);
+  void send_to(NodeId to, const Bytes& wire);
+  void send_all(const std::vector<NodeId>& to, const Bytes& wire);
+
+  // --- data path ------------------------------------------------------
+  void handle_data(NodeId from, DataMsg msg);
+  void handle_ordered(OrderedMsg msg);
+  void handle_ack(NodeId from, const AckMsg& msg);
+  void store_ordered(OrderedMsg&& msg);
+  void try_deliver();
+  void deliver_one(std::int64_t seq, DeliveryKind kind);
+  std::int64_t safe_line() const;
+  void after_contig_advance();
+  void schedule_ack();
+  void send_data(const OutEntry& entry);
+  bool is_sequencer() const { return !config_.members.empty() && config_.members.front() == id_; }
+
+  // --- membership (flush) ----------------------------------------------
+  void start_gather(const std::vector<NodeId>& reachable);
+  void handle_inquire(NodeId from, const InquireMsg& msg);
+  void handle_join_info(NodeId from, const JoinInfoMsg& msg);
+  void handle_plan(const PlanMsg& msg);
+  void handle_retrans(const RetransMsg& msg);
+  void handle_plan_ack(NodeId from, const PlanAckMsg& msg);
+  void handle_install(const InstallMsg& msg);
+  void coordinator_maybe_plan();
+  void coordinator_maybe_install();
+  void member_check_plan_ack();
+  void run_install();
+  void touch_progress();
+  void arm_stuck_timer();
+  void arm_retry_timer();
+  JoinInfoMsg make_join_info(const GatherToken& token) const;
+  const PlanEntry* my_plan_entry() const;
+
+  Network& net_;
+  Simulator& sim_;
+  NodeId id_;
+  Listener listener_;
+  GcParams params_;
+  std::shared_ptr<bool> alive_;
+
+  // Current regular configuration and data-path state.
+  Configuration config_;
+  GcState state_ = GcState::kOperational;
+  std::int64_t global_seq_ = 0;    ///< sequencer: last assigned
+  std::int64_t recv_contig_ = 0;   ///< highest contiguous ORDERED received
+  std::int64_t delivered_upto_ = 0;
+  std::map<std::int64_t, BufferedMsg> buffer_;
+  std::map<NodeId, std::int64_t> known_contig_;  ///< per-member ack knowledge
+  std::int64_t counter_floor_ = 0;
+
+  // Ack / stability pacing.
+  bool ack_scheduled_ = false;
+  SimTime last_ack_sent_ = -1'000'000'000;
+  std::int64_t last_acked_value_ = -1;
+
+  // Local multicasts not yet self-delivered (resent on config change).
+  std::deque<OutEntry> outbox_;
+  std::int64_t next_local_seq_ = 0;
+
+  // Gather (flush) state.
+  std::vector<NodeId> last_reachable_;
+  std::int64_t gather_seq_ = 0;
+  std::optional<GatherToken> committed_;
+  // coordinator side
+  std::optional<GatherToken> my_token_;
+  std::vector<NodeId> my_proposed_;
+  std::map<NodeId, JoinInfoMsg> infos_;
+  std::map<NodeId, bool> plan_acks_;
+  std::optional<PlanMsg> built_plan_;
+  bool install_sent_ = false;
+  // member side
+  std::optional<PlanMsg> plan_;
+  bool plan_acked_ = false;
+  SimTime last_progress_ = 0;
+
+  GcStats stats_;
+};
+
+}  // namespace tordb::gc

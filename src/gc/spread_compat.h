@@ -1,0 +1,98 @@
+// Spread-toolkit-style compatibility facade over the EVS layer.
+//
+// The paper's engine was implemented against the Spread C API. This shim
+// exposes the same programming model over our group-communication layer —
+// connect to a daemon, join a group, multicast with a service type, and
+// *receive* messages and membership events from a mailbox queue — so code
+// structured against Spread's SP_* calls ports over mechanically:
+//
+//   Spread                      this facade
+//   ------------------------    ----------------------------------------
+//   SP_connect                  SpreadMailbox mbox(net, node_id)
+//   SP_join / SP_leave          mbox.join() / mbox.leave()
+//   SP_multicast(AGREED_MESS)   mbox.multicast(payload, SpService::kAgreed)
+//   SP_multicast(SAFE_MESS)     mbox.multicast(payload, SpService::kSafe)
+//   SP_receive                  mbox.receive() -> SpEvent (poll-style)
+//   REG_MEMB_MESS               SpEventType::kRegularMembership
+//   TRANSITION_MESS             SpEventType::kTransitionalMembership
+//
+// Differences from the real API are deliberate and minimal: the mailbox is
+// single-group (the replication engine uses one group), and receive() is
+// non-blocking (the simulator has no blocking threads) — poll it from a
+// timer or after run_for() steps.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "gc/group_communication.h"
+#include "gc/types.h"
+#include "sim/network.h"
+
+namespace tordb::gc {
+
+enum class SpService : std::uint8_t {
+  kAgreed = 0,  ///< AGREED_MESS: totally ordered
+  kSafe = 1,    ///< SAFE_MESS: totally ordered + all-received guarantee
+};
+
+enum class SpEventType : std::uint8_t {
+  kMessage = 0,                 ///< a data message, in delivery order
+  kRegularMembership = 1,       ///< REG_MEMB_MESS
+  kTransitionalMembership = 2,  ///< TRANSITION_MESS
+};
+
+struct SpEvent {
+  SpEventType type = SpEventType::kMessage;
+  // kMessage:
+  NodeId sender = kNoNode;
+  Bytes payload;
+  bool safe_delivered = false;  ///< met the safe guarantee (regular config)
+  // membership events:
+  std::vector<NodeId> members;
+  ConfigId config;
+};
+
+/// A Spread-style mailbox: joins the node into the daemon group and queues
+/// every delivery and membership event for poll-style consumption.
+class SpreadMailbox {
+ public:
+  /// "SP_connect": attach to the (simulated) daemon on `node`. The mailbox
+  /// starts disconnected from the group; call join().
+  SpreadMailbox(Network& net, NodeId node);
+  ~SpreadMailbox();
+
+  SpreadMailbox(const SpreadMailbox&) = delete;
+  SpreadMailbox& operator=(const SpreadMailbox&) = delete;
+
+  /// "SP_join": enter the replication group; membership events follow.
+  void join();
+
+  /// "SP_leave": exit the group (the node stays on the network).
+  void leave();
+
+  /// "SP_multicast": send to the current group membership.
+  void multicast(Bytes payload, SpService service);
+
+  /// "SP_receive", poll-style: the next queued event, if any.
+  std::optional<SpEvent> receive();
+
+  bool has_pending() const { return !queue_.empty(); }
+  std::size_t pending() const { return queue_.size(); }
+  bool joined() const { return gc_ != nullptr; }
+  NodeId node() const { return node_; }
+
+  /// Current regular membership ("SP_get_memb_info").
+  std::vector<NodeId> current_members() const;
+
+ private:
+  Network& net_;
+  NodeId node_;
+  std::unique_ptr<GroupCommunication> gc_;
+  std::deque<SpEvent> queue_;
+  std::int64_t config_counter_ = 0;  ///< persists across leave/join
+};
+
+}  // namespace tordb::gc

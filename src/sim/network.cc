@@ -1,0 +1,268 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "util/log.h"
+
+namespace tordb {
+
+Network::Network(Simulator& sim, NetworkParams params) : sim_(sim), params_(params) {}
+
+void Network::add_node(NodeId id) {
+  if (nodes_.count(id)) throw std::invalid_argument("duplicate node id");
+  nodes_[id] = NodeState{};
+}
+
+void Network::set_packet_handler(NodeId id, PacketHandler handler, Channel channel) {
+  nodes_.at(id).on_packet[static_cast<int>(channel)] = std::move(handler);
+}
+
+void Network::clear_packet_handler(NodeId id, Channel channel) {
+  nodes_.at(id).on_packet[static_cast<int>(channel)] = nullptr;
+}
+
+void Network::set_reachability_handler(NodeId id, ReachabilityHandler handler) {
+  nodes_.at(id).on_reachability = std::move(handler);
+  schedule_notify(id);
+}
+
+void Network::clear_reachability_handler(NodeId id) {
+  nodes_.at(id).on_reachability = nullptr;
+}
+
+void Network::set_group_active(NodeId id, bool active) {
+  NodeState& s = nodes_.at(id);
+  if (s.group_active == active) return;
+  s.group_active = active;
+  topology_changed();
+}
+
+bool Network::group_active(NodeId id) const { return nodes_.at(id).group_active; }
+
+void Network::set_site(NodeId id, int site) { nodes_.at(id).site = site; }
+
+SimDuration Network::wan_serialize(NodeId from, std::size_t bytes) {
+  if (params_.wan_per_byte <= 0) return 0;
+  SimTime& busy = site_egress_busy_[nodes_.at(from).site];
+  const SimDuration ser = params_.wan_per_byte * static_cast<SimDuration>(bytes);
+  const SimTime start = std::max(sim_.now(), busy);
+  busy = start + ser;
+  return busy - sim_.now();
+}
+
+int Network::site(NodeId id) const { return nodes_.at(id).site; }
+
+bool Network::alive(NodeId id) const { return nodes_.at(id).up; }
+
+bool Network::connected(NodeId a, NodeId b) const {
+  const NodeState& sa = nodes_.at(a);
+  const NodeState& sb = nodes_.at(b);
+  return sa.up && sb.up && sa.component == sb.component;
+}
+
+std::vector<NodeId> Network::reachable_set(NodeId id) const {
+  std::vector<NodeId> out;
+  const NodeState& s = nodes_.at(id);
+  if (!s.up) return out;
+  for (const auto& [nid, ns] : nodes_) {
+    if (ns.up && ns.group_active && ns.component == s.component) out.push_back(nid);
+  }
+  return out;  // std::map iteration is already sorted
+}
+
+std::vector<NodeId> Network::node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (const auto& [nid, ns] : nodes_) out.push_back(nid);
+  return out;
+}
+
+void Network::charge(NodeId id, SimDuration d) {
+  NodeState& s = nodes_.at(id);
+  s.busy_until = std::max(s.busy_until, sim_.now()) + d;
+}
+
+SimTime Network::busy_until(NodeId id) const { return nodes_.at(id).busy_until; }
+
+void Network::send(NodeId from, NodeId to, Bytes payload, Channel channel) {
+  NodeState& src = nodes_.at(from);
+  if (!src.up) return;
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+  charge(from, params_.send_per_message);
+
+  if (!connected(from, to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+
+  SimDuration latency = 0;
+  if (from != to) {
+    latency = params_.base_latency +
+              params_.per_byte_latency * static_cast<SimDuration>(payload.size());
+    if (nodes_.at(from).site != nodes_.at(to).site) {
+      latency += params_.inter_site_latency + wan_serialize(from, payload.size());
+    }
+    if (params_.jitter > 0) latency += sim_.rng().next_range(0, params_.jitter - 1);
+  }
+  SimTime arrive = sim_.now() + latency;
+
+  // FIFO per directed link: never deliver earlier than a previous packet.
+  SimTime& horizon = link_horizon_[{from, to}];
+  arrive = std::max(arrive, horizon + 1);
+  horizon = arrive;
+
+  const std::uint64_t to_epoch = nodes_.at(to).epoch;
+  sim_.at(arrive, [this, from, to, to_epoch, channel, p = std::move(payload)]() mutable {
+    deliver(from, to, to_epoch, channel, std::move(p));
+  });
+}
+
+void Network::multicast(NodeId from, const std::vector<NodeId>& to, const Bytes& payload,
+                        Channel channel) {
+  // Models LAN hardware multicast (what Spread uses): the sender pays the
+  // send cost once and the wire fans out; receivers each pay receive costs.
+  NodeState& src = nodes_.at(from);
+  if (!src.up) return;
+  charge(from, params_.send_per_message);
+  ++stats_.messages_sent;
+  stats_.bytes_sent += payload.size();
+
+  // One WAN copy per remote site, not per remote target.
+  std::map<int, SimDuration> site_serialization;
+  if (params_.wan_per_byte > 0) {
+    const int my_site = nodes_.at(from).site;
+    for (NodeId t : to) {
+      const int s = nodes_.at(t).site;
+      if (s != my_site && !site_serialization.count(s)) {
+        site_serialization[s] = wan_serialize(from, payload.size());
+      }
+    }
+  }
+
+  for (NodeId t : to) {
+    if (!connected(from, t)) {
+      ++stats_.messages_dropped;
+      continue;
+    }
+    SimDuration latency = 0;
+    if (from != t) {
+      latency = params_.base_latency +
+                params_.per_byte_latency * static_cast<SimDuration>(payload.size());
+      if (nodes_.at(from).site != nodes_.at(t).site) {
+        latency += params_.inter_site_latency;
+        auto it = site_serialization.find(nodes_.at(t).site);
+        if (it != site_serialization.end()) latency += it->second;
+      }
+      if (params_.jitter > 0) latency += sim_.rng().next_range(0, params_.jitter - 1);
+    }
+    SimTime arrive = sim_.now() + latency;
+    SimTime& horizon = link_horizon_[{from, t}];
+    arrive = std::max(arrive, horizon + 1);
+    horizon = arrive;
+    const std::uint64_t to_epoch = nodes_.at(t).epoch;
+    Bytes copy = payload;
+    sim_.at(arrive, [this, from, t, to_epoch, channel, p = std::move(copy)]() mutable {
+      deliver(from, t, to_epoch, channel, std::move(p));
+    });
+  }
+}
+
+void Network::deliver(NodeId from, NodeId to, std::uint64_t to_epoch, Channel channel,
+                      Bytes payload) {
+  NodeState& dst = nodes_.at(to);
+  // Drop if the receiver crashed (epoch bumped), or the partition map
+  // changed while the packet was in flight.
+  if (!dst.up || dst.epoch != to_epoch || !connected(from, to)) {
+    ++stats_.messages_dropped;
+    return;
+  }
+  // Serialize receipt on the destination CPU.
+  const SimDuration cost = params_.proc_per_message +
+                           params_.proc_per_byte * static_cast<SimDuration>(payload.size());
+  const SimTime start = std::max(sim_.now(), dst.busy_until);
+  dst.busy_until = start + cost;
+  sim_.at(dst.busy_until, [this, from, to, to_epoch, channel, p = std::move(payload)]() mutable {
+    NodeState& d = nodes_.at(to);
+    if (!d.up || d.epoch != to_epoch || !connected(from, to)) {
+      ++stats_.messages_dropped;
+      return;
+    }
+    ++stats_.messages_delivered;
+    PacketHandler& handler = d.on_packet[static_cast<int>(channel)];
+    if (handler) handler(from, p);
+  });
+}
+
+void Network::set_components(const std::vector<std::vector<NodeId>>& components) {
+  std::map<NodeId, int> assignment;
+  for (std::size_t c = 0; c < components.size(); ++c) {
+    for (NodeId id : components[c]) {
+      if (!nodes_.count(id)) throw std::invalid_argument("unknown node in component");
+      if (assignment.count(id)) throw std::invalid_argument("node in two components");
+      assignment[id] = static_cast<int>(c);
+    }
+  }
+  if (assignment.size() != nodes_.size()) {
+    throw std::invalid_argument("every node must appear in exactly one component");
+  }
+  bool changed = false;
+  for (auto& [id, st] : nodes_) {
+    if (st.component != assignment[id]) {
+      st.component = assignment[id];
+      changed = true;
+    }
+  }
+  if (changed) topology_changed();
+}
+
+void Network::heal() {
+  bool changed = false;
+  for (auto& [id, st] : nodes_) {
+    if (st.component != 0) {
+      st.component = 0;
+      changed = true;
+    }
+  }
+  if (changed) topology_changed();
+}
+
+void Network::crash(NodeId id) {
+  NodeState& s = nodes_.at(id);
+  if (!s.up) return;
+  s.up = false;
+  ++s.epoch;       // all in-flight traffic to this node is dropped
+  s.busy_until = 0;
+  topology_changed();
+}
+
+void Network::recover(NodeId id) {
+  NodeState& s = nodes_.at(id);
+  if (s.up) return;
+  s.up = true;
+  ++s.epoch;
+  topology_changed();
+}
+
+void Network::topology_changed() {
+  for (auto& [id, st] : nodes_) {
+    if (st.up) schedule_notify(id);
+  }
+}
+
+void Network::schedule_notify(NodeId id) {
+  NodeState& s = nodes_.at(id);
+  if (s.notify_pending) return;
+  s.notify_pending = true;
+  const std::uint64_t epoch = s.epoch;
+  sim_.after(params_.detect_delay, [this, id, epoch] {
+    NodeState& st = nodes_.at(id);
+    st.notify_pending = false;
+    if (!st.up || st.epoch != epoch) return;
+    if (st.on_reachability) st.on_reachability(reachable_set(id));
+  });
+}
+
+}  // namespace tordb

@@ -1,0 +1,168 @@
+// Partitionable message-passing network (paper §2.1 failure model).
+//
+// Properties modelled:
+//  - Messages between connected, live nodes arrive after a latency that is
+//    base + per-byte + bounded jitter; links are FIFO.
+//  - The network may partition into any number of components; messages in
+//    flight across a new partition boundary are lost. Components may merge.
+//  - Nodes may crash (losing volatile state and all in-flight traffic to
+//    them) and later recover.
+//  - No corruption, no Byzantine behaviour.
+//  - Each node has a single CPU: message receipt is serialized and charged a
+//    processing cost, so a node flooded with protocol traffic saturates.
+//    This is the mechanism by which per-action message complexity (1
+//    multicast vs n multicasts vs 2n unicasts) turns into the throughput
+//    differences of the paper's Figure 5.
+//  - A reachability-notification service tells a node, after a detection
+//    delay, the set of nodes it can currently reach — the hook the group
+//    communication layer uses to trigger its membership protocol (the role
+//    Spread's token-loss/ hello mechanisms play in the real system).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/serde.h"
+#include "util/types.h"
+
+namespace tordb {
+
+struct NetworkParams {
+  SimDuration base_latency = micros(120);      ///< one-way LAN latency
+  SimDuration per_byte_latency = nanos(80);    ///< 100 Mbit/s ~= 80 ns/byte
+  SimDuration jitter = micros(20);             ///< uniform [0, jitter)
+  SimDuration proc_per_message = micros(40);   ///< CPU cost to receive one message
+  SimDuration proc_per_byte = nanos(300);      ///< CPU cost per received byte
+  SimDuration send_per_message = micros(25);   ///< CPU cost to send one message
+  SimDuration detect_delay = millis(1);        ///< failure/partition detection delay
+  /// One-way latency added between nodes assigned to different sites (see
+  /// set_site); models a WAN between LAN clusters. 0 = single site.
+  SimDuration inter_site_latency = 0;
+  /// Serialization time per byte on a site's shared WAN egress link for
+  /// cross-site traffic (0 = unconstrained). Cross-site copies queue on the
+  /// sending site's egress; a multicast puts ONE copy per remote site on
+  /// the wire (the Spread wide-area architecture), while unicasts pay per
+  /// message — the mechanism behind the paper's "on wide area networks
+  /// COReL will further outperform two-phase commit".
+  SimDuration wan_per_byte = 0;
+};
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+/// Logical channels multiplexed over one node-to-node transport. The group
+/// communication layer owns kGc; the replication engines use kDirect for
+/// point-to-point traffic (state transfer to joining replicas, 2PC rounds,
+/// COReL acknowledgements).
+enum class Channel : std::uint8_t { kGc = 0, kDirect = 1 };
+inline constexpr int kNumChannels = 2;
+
+class Network {
+ public:
+  using PacketHandler = std::function<void(NodeId from, const Bytes& payload)>;
+  using ReachabilityHandler = std::function<void(const std::vector<NodeId>& reachable)>;
+
+  Network(Simulator& sim, NetworkParams params = {});
+
+  /// Register a node. Nodes start alive, all in one component.
+  void add_node(NodeId id);
+
+  /// Install the handler invoked for each delivered packet on a channel.
+  void set_packet_handler(NodeId id, PacketHandler handler,
+                          Channel channel = Channel::kGc);
+  void clear_packet_handler(NodeId id, Channel channel);
+
+  /// Install the handler invoked (after detect_delay) whenever the set of
+  /// group-active nodes reachable from `id` changes. Also invoked once right
+  /// after installation so a node learns its initial surroundings.
+  void set_reachability_handler(NodeId id, ReachabilityHandler handler);
+  void clear_reachability_handler(NodeId id);
+
+  /// Mark a node as participating in the group (the role of joining the
+  /// daemon group in Spread). Nodes start active; a node that is up but not
+  /// group-active is excluded from reachable_set() — it can still exchange
+  /// kDirect traffic (e.g. a joining replica downloading a snapshot).
+  void set_group_active(NodeId id, bool active);
+  bool group_active(NodeId id) const;
+
+  /// Assign `id` to a WAN site; traffic between different sites pays
+  /// inter_site_latency on top of the base latency. All nodes start at
+  /// site 0.
+  void set_site(NodeId id, int site);
+  int site(NodeId id) const;
+
+  /// Send `payload` from `from` to `to`. Silently dropped when the sender is
+  /// crashed or the two nodes are (or become) disconnected.
+  void send(NodeId from, NodeId to, Bytes payload, Channel channel = Channel::kGc);
+
+  /// Unicast to every node in `to` (including `from` itself if listed);
+  /// self-delivery uses loopback (no wire latency, still CPU-charged).
+  void multicast(NodeId from, const std::vector<NodeId>& to, const Bytes& payload,
+                 Channel channel = Channel::kGc);
+
+  /// Partition the network into the given components. Every registered node
+  /// must appear in exactly one component.
+  void set_components(const std::vector<std::vector<NodeId>>& components);
+
+  /// Merge everything back into a single component.
+  void heal();
+
+  void crash(NodeId id);
+  void recover(NodeId id);
+  bool alive(NodeId id) const;
+
+  /// True when both nodes are alive and in the same component.
+  bool connected(NodeId a, NodeId b) const;
+
+  /// Alive, group-active nodes in `id`'s component (including itself if
+  /// group-active), sorted.
+  std::vector<NodeId> reachable_set(NodeId id) const;
+
+  /// Charge `d` of CPU time to node `id`; subsequent deliveries queue after.
+  void charge(NodeId id, SimDuration d);
+
+  /// Busy-time horizon (for tests).
+  SimTime busy_until(NodeId id) const;
+
+  const NetworkStats& stats() const { return stats_; }
+  NetworkParams& params() { return params_; }
+  Simulator& sim() { return sim_; }
+  std::vector<NodeId> node_ids() const;
+
+ private:
+  struct NodeState {
+    bool up = true;
+    bool group_active = true;
+    int component = 0;
+    int site = 0;
+    std::uint64_t epoch = 0;  ///< bumped on crash; stale deliveries dropped
+    SimTime busy_until = 0;
+    bool notify_pending = false;
+    PacketHandler on_packet[kNumChannels];
+    ReachabilityHandler on_reachability;
+  };
+
+  void topology_changed();
+  void schedule_notify(NodeId id);
+  void deliver(NodeId from, NodeId to, std::uint64_t to_epoch, Channel channel, Bytes payload);
+  /// Occupy `from`'s site egress for one cross-site copy of `bytes`;
+  /// returns the serialization delay to add to that copy's arrival time.
+  SimDuration wan_serialize(NodeId from, std::size_t bytes);
+
+  Simulator& sim_;
+  NetworkParams params_;
+  std::map<NodeId, NodeState> nodes_;
+  std::map<std::pair<NodeId, NodeId>, SimTime> link_horizon_;  ///< FIFO per link
+  std::map<int, SimTime> site_egress_busy_;  ///< WAN serialization per site
+  NetworkStats stats_;
+};
+
+}  // namespace tordb

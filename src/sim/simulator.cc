@@ -1,0 +1,47 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <utility>
+
+namespace tordb {
+
+void Simulator::at(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+Cancelable Simulator::after_cancelable(SimDuration delay, std::function<void()> fn) {
+  Cancelable token;
+  auto flag = token.flag();
+  at(now_ + delay, [flag, fn = std::move(fn)] {
+    if (*flag) fn();
+  });
+  return token;
+}
+
+void Simulator::pop_and_run() {
+  // priority_queue::top() is const; move out via const_cast, which is safe
+  // because we pop immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  assert(ev.time >= now_);
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t n = 0;
+  while (!queue_.empty() && n < limit) {
+    pop_and_run();
+    ++n;
+  }
+  return n;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) pop_and_run();
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace tordb

@@ -1,0 +1,83 @@
+// Discrete-event simulation kernel.
+//
+// A single-threaded, deterministic event loop with a virtual nanosecond
+// clock. All protocol stacks in this repository (network, storage, group
+// communication, replication engines) run as callbacks scheduled here, which
+// makes every experiment and property test exactly reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/types.h"
+
+namespace tordb {
+
+/// Token for a scheduled event that may be cancelled before it fires.
+class Cancelable {
+ public:
+  Cancelable() : alive_(std::make_shared<bool>(true)) {}
+  void cancel() { *alive_ = false; }
+  bool active() const { return *alive_; }
+  std::shared_ptr<bool> flag() const { return alive_; }
+
+ private:
+  std::shared_ptr<bool> alive_;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+
+  SimTime now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  /// Schedule `fn` at absolute time `t` (clamped to now).
+  void at(SimTime t, std::function<void()> fn);
+
+  /// Schedule `fn` after `delay`.
+  void after(SimDuration delay, std::function<void()> fn) { at(now_ + delay, std::move(fn)); }
+
+  /// Schedule `fn` after `delay`; the returned token cancels it.
+  Cancelable after_cancelable(SimDuration delay, std::function<void()> fn);
+
+  /// Run events until the queue is empty or `limit` events executed.
+  /// Returns the number of events executed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Run all events with time <= t, then advance the clock to t.
+  void run_until(SimTime t);
+
+  /// Run all events within the next `d` of simulated time.
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+  bool idle() const { return queue_.empty(); }
+  std::size_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  void pop_and_run();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  Rng rng_;
+};
+
+}  // namespace tordb

@@ -1,0 +1,30 @@
+#include "util/log.h"
+
+#include <cstdio>
+
+namespace tordb {
+
+namespace {
+const char* level_name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    default: return "?";
+  }
+}
+}  // namespace
+
+void Log::write(LogLevel lvl, const std::string& tag, const std::string& msg) {
+  if (!enabled(lvl)) return;
+  if (time_source()) {
+    std::fprintf(stderr, "[%10.4fms] %s %-14s %s\n", to_millis(time_source()()),
+                 level_name(lvl), tag.c_str(), msg.c_str());
+  } else {
+    std::fprintf(stderr, "[---] %s %-14s %s\n", level_name(lvl), tag.c_str(), msg.c_str());
+  }
+}
+
+}  // namespace tordb

@@ -1,0 +1,63 @@
+// Tiny leveled logger.
+//
+// Logging is off by default (benchmarks and property tests run millions of
+// simulated events); examples turn it on to narrate runs. A time source can
+// be injected so log lines carry the *simulated* clock.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "util/types.h"
+
+namespace tordb {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+class Log {
+ public:
+  static LogLevel& level() {
+    static LogLevel lvl = LogLevel::kOff;
+    return lvl;
+  }
+
+  /// Optional source for the simulated clock shown in each line.
+  static std::function<SimTime()>& time_source() {
+    static std::function<SimTime()> src;
+    return src;
+  }
+
+  static bool enabled(LogLevel lvl) { return lvl >= level() && level() != LogLevel::kOff; }
+
+  static void write(LogLevel lvl, const std::string& tag, const std::string& msg);
+};
+
+#define TORDB_LOG(lvl, tag)                                   \
+  for (bool _on = ::tordb::Log::enabled(lvl); _on; _on = false) \
+  ::tordb::LogLine(lvl, tag)
+
+#define LOG_TRACE(tag) TORDB_LOG(::tordb::LogLevel::kTrace, tag)
+#define LOG_DEBUG(tag) TORDB_LOG(::tordb::LogLevel::kDebug, tag)
+#define LOG_INFO(tag) TORDB_LOG(::tordb::LogLevel::kInfo, tag)
+#define LOG_WARN(tag) TORDB_LOG(::tordb::LogLevel::kWarn, tag)
+#define LOG_ERROR(tag) TORDB_LOG(::tordb::LogLevel::kError, tag)
+
+class LogLine {
+ public:
+  LogLine(LogLevel lvl, std::string tag) : lvl_(lvl), tag_(std::move(tag)) {}
+  ~LogLine() { Log::write(lvl_, tag_, out_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::string tag_;
+  std::ostringstream out_;
+};
+
+}  // namespace tordb

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random number generator (splitmix64 + xoshiro256**).
+//
+// The standard library engines are implementation-defined across platforms;
+// this RNG guarantees identical streams everywhere, which the simulator
+// relies on for reproducible experiments and seeded property tests.
+#pragma once
+
+#include <cstdint>
+
+namespace tordb {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 to spread the seed across the xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) {
+    // Debiased modulo via rejection sampling.
+    const std::uint64_t threshold = -bound % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t next_range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Derive an independent child stream (e.g. one per node).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace tordb

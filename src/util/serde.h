@@ -1,0 +1,161 @@
+// Minimal, explicit binary serialization used for every wire message and
+// stable-storage record.
+//
+// Writers append little-endian fixed-width integers, length-prefixed strings
+// and vectors. Readers validate bounds and throw SerdeError on malformed
+// input (storage corruption is a bug in this codebase, not an expected
+// condition, but we still fail loudly rather than reading garbage).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tordb {
+
+class SerdeError : public std::runtime_error {
+ public:
+  explicit SerdeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+class BufWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i32(std::int32_t v) { put_le(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void bytes(const Bytes& b) {
+    u32(static_cast<std::uint32_t>(b.size()));
+    buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  void action_id(const ActionId& a) {
+    i32(a.server_id);
+    i64(a.index);
+  }
+
+  void config_id(const ConfigId& c) {
+    i64(c.counter);
+    i32(c.coordinator);
+  }
+
+  template <typename T, typename Fn>
+  void vec(const std::vector<T>& v, Fn&& write_one) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const T& x : v) write_one(*this, x);
+  }
+
+  void node_ids(const std::vector<NodeId>& v) {
+    vec(v, [](BufWriter& w, NodeId n) { w.i32(n); });
+  }
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+
+  Bytes buf_;
+};
+
+class BufReader {
+ public:
+  explicit BufReader(const Bytes& b) : buf_(b) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return buf_[pos_++];
+  }
+  std::uint32_t u32() { return get_le<std::uint32_t>(); }
+  std::uint64_t u64() { return get_le<std::uint64_t>(); }
+  std::int32_t i32() { return static_cast<std::int32_t>(get_le<std::uint32_t>()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(get_le<std::uint64_t>()); }
+  bool boolean() { return u8() != 0; }
+
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  Bytes bytes() {
+    const std::uint32_t n = u32();
+    need(n);
+    Bytes b(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  ActionId action_id() {
+    ActionId a;
+    a.server_id = i32();
+    a.index = i64();
+    return a;
+  }
+
+  ConfigId config_id() {
+    ConfigId c;
+    c.counter = i64();
+    c.coordinator = i32();
+    return c;
+  }
+
+  template <typename T, typename Fn>
+  std::vector<T> vec(Fn&& read_one) {
+    const std::uint32_t n = u32();
+    std::vector<T> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(read_one(*this));
+    return v;
+  }
+
+  std::vector<NodeId> node_ids() {
+    return vec<NodeId>([](BufReader& r) { return r.i32(); });
+  }
+
+  bool done() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) {
+    if (pos_ + n > buf_.size()) throw SerdeError("buffer underrun");
+  }
+
+  template <typename T>
+  T get_le() {
+    need(sizeof(T));
+    T v = 0;
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v |= static_cast<T>(buf_[pos_ + i]) << (8 * i);
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const Bytes& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tordb

@@ -1,0 +1,13 @@
+#include "util/types.h"
+
+namespace tordb {
+
+std::string to_string(const ActionId& id) {
+  return "a(" + std::to_string(id.server_id) + ":" + std::to_string(id.index) + ")";
+}
+
+std::string to_string(const ConfigId& id) {
+  return "c(" + std::to_string(id.counter) + "@" + std::to_string(id.coordinator) + ")";
+}
+
+}  // namespace tordb

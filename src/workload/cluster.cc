@@ -1,0 +1,138 @@
+#include "workload/cluster.h"
+
+#include <map>
+#include <sstream>
+
+namespace tordb::workload {
+
+EngineCluster::EngineCluster(ClusterOptions options)
+    : options_(std::move(options)), sim_(options_.seed), net_(sim_, options_.net) {
+  std::vector<NodeId> all;
+  for (NodeId i = 0; i < options_.replicas; ++i) all.push_back(i);
+  for (NodeId i = 0; i < options_.replicas; ++i) {
+    nodes_.push_back(std::make_unique<core::ReplicaNode>(net_, i, all, options_.node));
+  }
+}
+
+std::vector<NodeId> EngineCluster::all_ids() const {
+  std::vector<NodeId> all;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) all.push_back(static_cast<NodeId>(i));
+  return all;
+}
+
+core::ReplicaNode& EngineCluster::add_dormant(NodeId id) {
+  if (id != static_cast<NodeId>(nodes_.size())) {
+    throw std::invalid_argument("dormant node ids must be contiguous");
+  }
+  nodes_.push_back(
+      std::make_unique<core::ReplicaNode>(net_, id, core::ReplicaNode::DormantTag{},
+                                          options_.node));
+  return *nodes_.back();
+}
+
+bool EngineCluster::converged_primary(const std::vector<NodeId>& ids) const {
+  std::int64_t green = -1;
+  std::uint64_t digest = 0;
+  for (NodeId id : ids) {
+    const auto& n = nodes_.at(static_cast<std::size_t>(id));
+    if (!n->running()) return false;
+    const auto& e = n->engine();
+    if (e.state() != core::EngineState::kRegPrim) return false;
+    if (green == -1) {
+      green = e.green_count();
+      digest = e.db_digest();
+    } else if (e.green_count() != green || e.db_digest() != digest) {
+      return false;
+    }
+  }
+  return green >= 0;
+}
+
+bool EngineCluster::all_green_at_least(const std::vector<NodeId>& ids,
+                                       std::int64_t count) const {
+  for (NodeId id : ids) {
+    const auto& n = nodes_.at(static_cast<std::size_t>(id));
+    if (!n->running() || n->engine().green_count() < count) return false;
+  }
+  return true;
+}
+
+std::optional<std::string> EngineCluster::check_green_prefix_consistency() const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->running()) continue;
+    const auto& a = nodes_[i]->engine();
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      if (!nodes_[j]->running()) continue;
+      const auto& b = nodes_[j]->engine();
+      const std::int64_t lo =
+          std::max(a.green_count() - static_cast<std::int64_t>(0), std::int64_t{0});
+      (void)lo;
+      const std::int64_t overlap_end = std::min(a.green_count(), b.green_count());
+      for (std::int64_t pos = 1; pos <= overlap_end; ++pos) {
+        const ActionId ia = a.green_action_at(pos);
+        const ActionId ib = b.green_action_at(pos);
+        if (ia.server_id == kNoNode || ib.server_id == kNoNode) continue;  // white-trimmed
+        if (!(ia == ib)) {
+          std::ostringstream os;
+          os << "green divergence at position " << pos << ": node " << a.id() << " has "
+             << to_string(ia) << ", node " << b.id() << " has " << to_string(ib);
+          return os.str();
+        }
+      }
+      if (a.green_count() == b.green_count() && a.db_digest() != b.db_digest()) {
+        std::ostringstream os;
+        os << "equal green count " << a.green_count() << " but different digests at nodes "
+           << a.id() << " and " << b.id();
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> EngineCluster::check_green_fifo() const {
+  for (const auto& n : nodes_) {
+    if (!n->running()) continue;
+    const auto& e = n->engine();
+    std::map<NodeId, std::int64_t> last;
+    for (std::int64_t pos = 1; pos <= e.green_count(); ++pos) {
+      const ActionId id = e.green_action_at(pos);
+      if (id.server_id == kNoNode) continue;  // white-trimmed
+      auto it = last.find(id.server_id);
+      if (it != last.end() && id.index != it->second + 1) {
+        std::ostringstream os;
+        os << "FIFO violation at node " << e.id() << ": creator " << id.server_id << " index "
+           << id.index << " after " << it->second;
+        return os.str();
+      }
+      last[id.server_id] = id.index;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> EngineCluster::check_single_primary() const {
+  std::map<std::int64_t, std::vector<NodeId>> prim_members;
+  for (const auto& n : nodes_) {
+    if (!n->running()) continue;
+    const auto& e = n->engine();
+    if (!e.in_primary()) continue;
+    const auto& p = e.prim_component();
+    auto [it, inserted] = prim_members.emplace(p.prim_index, p.servers);
+    if (!inserted && it->second != p.servers) {
+      std::ostringstream os;
+      os << "two primaries with index " << p.prim_index << " but different memberships";
+      return os.str();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> EngineCluster::check_all() const {
+  if (auto v = check_green_prefix_consistency()) return v;
+  if (auto v = check_green_fifo()) return v;
+  if (auto v = check_single_primary()) return v;
+  return std::nullopt;
+}
+
+}  // namespace tordb::workload

@@ -1,0 +1,79 @@
+// Cluster harness: a full simulated deployment of replica nodes, with
+// topology controls and the engine-level correctness checkers used by the
+// test suites (paper §5.2 safety properties).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/replica_node.h"
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace tordb::workload {
+
+struct ClusterOptions {
+  int replicas = 5;
+  std::uint64_t seed = 1;
+  NetworkParams net;
+  core::ReplicaOptions node;
+};
+
+class EngineCluster {
+ public:
+  explicit EngineCluster(ClusterOptions options);
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  core::ReplicaNode& node(NodeId id) { return *nodes_.at(static_cast<std::size_t>(id)); }
+  core::ReplicationEngine& engine(NodeId id) { return node(id).engine(); }
+  int replicas() const { return static_cast<int>(nodes_.size()); }
+  std::vector<NodeId> all_ids() const;
+
+  void run_for(SimDuration d) { sim_.run_for(d); }
+
+  /// Register an additional dormant node (a future §5.2 joiner).
+  core::ReplicaNode& add_dormant(NodeId id);
+
+  void partition(const std::vector<std::vector<NodeId>>& components) {
+    net_.set_components(components);
+  }
+  void heal() { net_.heal(); }
+  void crash(NodeId id) { node(id).crash(); }
+  void recover(NodeId id) { node(id).recover(); }
+
+  /// True when every listed node runs an engine in RegPrim with identical
+  /// green count and database digest.
+  bool converged_primary(const std::vector<NodeId>& ids) const;
+
+  /// True when every listed node's engine reached the given green count.
+  bool all_green_at_least(const std::vector<NodeId>& ids, std::int64_t count) const;
+
+  // --- invariant checkers (paper §5.2) --------------------------------------
+  // Return a violation description, or nullopt if the invariant holds.
+
+  /// Global Total Order: any two servers' green sequences agree on every
+  /// position both have (Theorem 1), and equal green counts imply equal
+  /// database digests.
+  std::optional<std::string> check_green_prefix_consistency() const;
+
+  /// Global FIFO Order: within every green sequence, each creator's actions
+  /// appear in creation-index order with no gaps (Theorem 2).
+  std::optional<std::string> check_green_fifo() const;
+
+  /// At most one primary component: two engines in RegPrim/TransPrim with
+  /// the same prim_index agree on its membership.
+  std::optional<std::string> check_single_primary() const;
+
+  std::optional<std::string> check_all() const;
+
+ private:
+  ClusterOptions options_;
+  Simulator sim_;
+  Network net_;
+  std::vector<std::unique_ptr<core::ReplicaNode>> nodes_;
+};
+
+}  // namespace tordb::workload

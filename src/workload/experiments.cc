@@ -1,0 +1,461 @@
+#include "workload/experiments.h"
+
+#include <functional>
+#include <memory>
+
+#include "baselines/corel.h"
+#include "baselines/twopc.h"
+#include "db/database.h"
+#include "workload/cluster.h"
+#include "workload/stats.h"
+
+namespace tordb::workload {
+
+namespace {
+
+/// One closed-loop client: issues the next action the moment the previous
+/// one completes; records latency for completions inside the measure
+/// window.
+class ClosedLoopDriver {
+ public:
+  /// The client calls done(true) on success, done(false) on abort/timeout;
+  /// only successes count toward throughput, but the loop always continues.
+  using SubmitFn = std::function<void(std::function<void(bool)> done)>;
+
+  ClosedLoopDriver(Simulator& sim, SimTime window_start, SimTime window_end)
+      : sim_(sim), window_start_(window_start), window_end_(window_end) {}
+
+  void add_client(SubmitFn submit) {
+    clients_.push_back(std::move(submit));
+    issue(clients_.size() - 1);
+  }
+
+  std::uint64_t completed_in_window() const { return completed_; }
+  const LatencyStats& latencies() const { return stats_; }
+
+ private:
+  void issue(std::size_t idx) {
+    const SimTime t0 = sim_.now();
+    if (t0 >= window_end_) return;  // stop issuing after the window
+    clients_[idx]([this, idx, t0](bool ok) {
+      const SimTime now = sim_.now();
+      if (ok && now >= window_start_ && now < window_end_) {
+        ++completed_;
+        stats_.record(now - t0);
+      }
+      issue(idx);
+    });
+  }
+
+  Simulator& sim_;
+  SimTime window_start_;
+  SimTime window_end_;
+  std::vector<SubmitFn> clients_;
+  std::uint64_t completed_ = 0;
+  LatencyStats stats_;
+};
+
+db::Command next_command(int client_id, std::int64_t& counter) {
+  return db::Command::put("key-" + std::to_string(client_id),
+                          "value-" + std::to_string(++counter));
+}
+
+// --- per-algorithm deployments ---------------------------------------------
+
+struct DeployTopology {
+  NetworkParams net;
+  int sites = 1;
+};
+
+struct EngineDeployment {
+  explicit EngineDeployment(int replicas, std::uint64_t seed, bool delayed,
+                            DeployTopology topo = {}) {
+    ClusterOptions o;
+    o.replicas = replicas;
+    o.seed = seed;
+    o.net = topo.net;
+    if (delayed) o.node.storage.mode = SyncMode::kDelayed;
+    cluster = std::make_unique<EngineCluster>(o);
+    for (NodeId i = 0; i < replicas; ++i) {
+      cluster->net().set_site(i, static_cast<int>(i) % topo.sites);
+    }
+    cluster->run_for(seconds(2));  // form the primary component
+  }
+
+  ClosedLoopDriver::SubmitFn client(int client_id) {
+    const NodeId replica = static_cast<NodeId>(client_id % cluster->replicas());
+    auto counter = std::make_shared<std::int64_t>(0);
+    return [this, replica, client_id, counter](std::function<void(bool)> done) {
+      cluster->engine(replica).submit(
+          {}, next_command(client_id, *counter), client_id, core::Semantics::kStrict,
+          [done = std::move(done)](const core::Reply& r) { done(!r.aborted); });
+    };
+  }
+
+  std::unique_ptr<EngineCluster> cluster;
+};
+
+template <typename Replica, typename Params>
+struct BaselineDeployment {
+  BaselineDeployment(int replicas, std::uint64_t seed, Params params,
+                     DeployTopology topo = {})
+      : sim(seed), net(sim, topo.net) {
+    std::vector<NodeId> all;
+    for (NodeId i = 0; i < replicas; ++i) all.push_back(i);
+    for (NodeId i = 0; i < replicas; ++i) {
+      net.add_node(i);
+      net.set_site(i, static_cast<int>(i) % topo.sites);
+    }
+    for (NodeId i = 0; i < replicas; ++i) {
+      nodes.push_back(std::make_unique<Replica>(net, i, all, params));
+    }
+    sim.run_for(seconds(2));  // views settle (no-op for 2PC)
+  }
+
+  ClosedLoopDriver::SubmitFn client(int client_id) {
+    Replica* replica = nodes[static_cast<std::size_t>(client_id) % nodes.size()].get();
+    auto counter = std::make_shared<std::int64_t>(0);
+    return [replica, client_id, counter](std::function<void(bool)> done) {
+      replica->submit(next_command(client_id, *counter),
+                      [done = std::move(done)](bool ok) { done(ok); });
+    };
+  }
+
+  Simulator sim;
+  Network net;
+  std::vector<std::unique_ptr<Replica>> nodes;
+};
+
+using CorelDeployment = BaselineDeployment<baselines::CorelReplica, baselines::CorelParams>;
+using TwoPcDeployment = BaselineDeployment<baselines::TwoPcReplica, baselines::TwoPcParams>;
+
+template <typename Deployment>
+ThroughputPoint run_throughput(Deployment& dep, Simulator& sim, Algorithm algorithm,
+                               int replicas, int clients, SimDuration warmup,
+                               SimDuration measure) {
+  ClosedLoopDriver driver(sim, sim.now() + warmup, sim.now() + warmup + measure);
+  for (int cidx = 0; cidx < clients; ++cidx) driver.add_client(dep.client(cidx));
+  sim.run_for(warmup + measure + millis(100));
+  ThroughputPoint p;
+  p.algorithm = algorithm;
+  p.replicas = replicas;
+  p.clients = clients;
+  p.completed = driver.completed_in_window();
+  p.actions_per_second = static_cast<double>(p.completed) / to_seconds(measure);
+  p.mean_latency_ms = driver.latencies().mean_ms();
+  return p;
+}
+
+template <typename Deployment>
+LatencyResult run_latency(Deployment& dep, Simulator& sim, Algorithm algorithm, int replicas,
+                          int actions) {
+  LatencyStats stats;
+  auto submit = dep.client(0);
+  int remaining = actions;
+  std::function<void()> issue = [&] {
+    if (remaining-- <= 0) return;
+    const SimTime t0 = sim.now();
+    submit([&, t0](bool) {
+      stats.record(sim.now() - t0);
+      issue();
+    });
+  };
+  issue();
+  sim.run(100'000'000);  // drain
+  LatencyResult r;
+  r.algorithm = algorithm;
+  r.replicas = replicas;
+  r.count = stats.count();
+  r.mean_ms = stats.mean_ms();
+  r.p50_ms = stats.percentile_ms(0.5);
+  r.p99_ms = stats.percentile_ms(0.99);
+  return r;
+}
+
+}  // namespace
+
+std::string to_string(Algorithm a) {
+  switch (a) {
+    case Algorithm::kEngine: return "engine(forced)";
+    case Algorithm::kEngineDelayed: return "engine(delayed)";
+    case Algorithm::kCorel: return "corel";
+    case Algorithm::kTwoPc: return "2pc";
+  }
+  return "?";
+}
+
+ThroughputPoint measure_throughput(Algorithm algorithm, int replicas, int clients,
+                                   SimDuration warmup, SimDuration measure,
+                                   std::uint64_t seed) {
+  switch (algorithm) {
+    case Algorithm::kEngine:
+    case Algorithm::kEngineDelayed: {
+      EngineDeployment dep(replicas, seed, algorithm == Algorithm::kEngineDelayed);
+      return run_throughput(dep, dep.cluster->sim(), algorithm, replicas, clients, warmup,
+                            measure);
+    }
+    case Algorithm::kCorel: {
+      CorelDeployment dep(replicas, seed, {});
+      return run_throughput(dep, dep.sim, algorithm, replicas, clients, warmup, measure);
+    }
+    case Algorithm::kTwoPc: {
+      TwoPcDeployment dep(replicas, seed, {});
+      return run_throughput(dep, dep.sim, algorithm, replicas, clients, warmup, measure);
+    }
+  }
+  return {};
+}
+
+LatencyResult measure_latency(Algorithm algorithm, int replicas, int actions,
+                              std::uint64_t seed) {
+  switch (algorithm) {
+    case Algorithm::kEngine:
+    case Algorithm::kEngineDelayed: {
+      EngineDeployment dep(replicas, seed, algorithm == Algorithm::kEngineDelayed);
+      return run_latency(dep, dep.cluster->sim(), algorithm, replicas, actions);
+    }
+    case Algorithm::kCorel: {
+      CorelDeployment dep(replicas, seed, {});
+      return run_latency(dep, dep.sim, algorithm, replicas, actions);
+    }
+    case Algorithm::kTwoPc: {
+      TwoPcDeployment dep(replicas, seed, {});
+      return run_latency(dep, dep.sim, algorithm, replicas, actions);
+    }
+  }
+  return {};
+}
+
+ThroughputPoint measure_throughput_wan(Algorithm algorithm, int replicas, int clients,
+                                       int sites, SimDuration inter_site_latency,
+                                       SimDuration wan_per_byte, SimDuration warmup,
+                                       SimDuration measure, std::uint64_t seed) {
+  DeployTopology topo;
+  topo.sites = sites;
+  topo.net.inter_site_latency = inter_site_latency;
+  topo.net.wan_per_byte = wan_per_byte;
+  switch (algorithm) {
+    case Algorithm::kEngine:
+    case Algorithm::kEngineDelayed: {
+      EngineDeployment dep(replicas, seed, algorithm == Algorithm::kEngineDelayed, topo);
+      return run_throughput(dep, dep.cluster->sim(), algorithm, replicas, clients, warmup,
+                            measure);
+    }
+    case Algorithm::kCorel: {
+      CorelDeployment dep(replicas, seed, {}, topo);
+      return run_throughput(dep, dep.sim, algorithm, replicas, clients, warmup, measure);
+    }
+    case Algorithm::kTwoPc: {
+      TwoPcDeployment dep(replicas, seed, {}, topo);
+      return run_throughput(dep, dep.sim, algorithm, replicas, clients, warmup, measure);
+    }
+  }
+  return {};
+}
+
+ViewChangePoint measure_engine_under_view_changes(int replicas, int clients,
+                                                  SimDuration change_period,
+                                                  SimDuration measure, std::uint64_t seed) {
+  EngineDeployment dep(replicas, seed, /*delayed=*/false);
+  EngineCluster& c = *dep.cluster;
+  Simulator& sim = c.sim();
+
+  // Periodically detach and re-attach the highest-id replica: each cycle is
+  // two membership changes, each costing one end-to-end exchange round.
+  std::uint64_t changes = 0;
+  std::function<void()> cycle = [&] {
+    if (change_period <= 0) return;
+    std::vector<NodeId> rest;
+    for (NodeId i = 0; i < replicas - 1; ++i) rest.push_back(i);
+    c.partition({rest, {static_cast<NodeId>(replicas - 1)}});
+    ++changes;
+    sim.after(change_period / 2, [&] {
+      c.heal();
+      ++changes;
+      sim.after(change_period / 2, cycle);
+    });
+  };
+  const auto exchanges_before = c.engine(0).stats().exchanges;
+  sim.after(change_period > 0 ? change_period : measure * 2, cycle);
+
+  ClosedLoopDriver driver(sim, sim.now() + millis(500), sim.now() + millis(500) + measure);
+  // Clients attach to replicas that stay in the majority.
+  for (int cidx = 0; cidx < clients; ++cidx) {
+    const NodeId replica = static_cast<NodeId>(cidx % (replicas - 1));
+    auto counter = std::make_shared<std::int64_t>(0);
+    driver.add_client([&c, replica, cidx, counter](std::function<void(bool)> done) {
+      c.engine(replica).submit({}, next_command(cidx, *counter), cidx,
+                               core::Semantics::kStrict,
+                               [done = std::move(done)](const core::Reply& r) { done(!r.aborted); });
+    });
+  }
+  sim.run_for(millis(500) + measure + millis(100));
+
+  ViewChangePoint p;
+  p.change_period = change_period;
+  p.actions_per_second = static_cast<double>(driver.completed_in_window()) / to_seconds(measure);
+  p.membership_changes = changes;
+  p.end_to_end_rounds = c.engine(0).stats().exchanges - exchanges_before;
+  return p;
+}
+
+SemanticsResult measure_semantics(int replicas, SimDuration partition_length,
+                                  std::uint64_t seed) {
+  EngineDeployment dep(replicas, seed, /*delayed=*/false);
+  EngineCluster& c = *dep.cluster;
+  Simulator& sim = c.sim();
+  c.engine(0).submit({}, db::Command::put("k", "pre-partition"), 1, core::Semantics::kStrict,
+                     nullptr);
+  sim.run_for(millis(200));
+
+  // Minority component: the last two replicas.
+  std::vector<NodeId> majority, minority;
+  for (NodeId i = 0; i < replicas - 2; ++i) majority.push_back(i);
+  minority = {static_cast<NodeId>(replicas - 2), static_cast<NodeId>(replicas - 1)};
+  c.partition({majority, minority});
+  sim.run_for(millis(300));
+
+  SemanticsResult r;
+  const NodeId m = minority[0];
+
+  SimTime t0 = sim.now();
+  c.engine(m).submit_query(db::Command::get("k"), core::QueryMode::kWeak,
+                           [&](const core::Reply&) { r.weak_query_ms = to_millis(sim.now() - t0); });
+  sim.run_for(millis(50));
+
+  t0 = sim.now();
+  c.engine(m).submit_query(db::Command::get("k"), core::QueryMode::kDirty,
+                           [&](const core::Reply&) { r.dirty_query_ms = to_millis(sim.now() - t0); });
+  sim.run_for(millis(50));
+
+  t0 = sim.now();
+  bool commutative_done = false;
+  c.engine(m).submit({}, db::Command::add("stock", -1), 1, core::Semantics::kCommutative,
+                     [&](const core::Reply&) {
+                       commutative_done = true;
+                       r.commutative_update_ms = to_millis(sim.now() - t0);
+                     });
+  sim.run_for(millis(100));
+
+  t0 = sim.now();
+  bool strict_done = false;
+  double strict_ms = 0;
+  c.engine(m).submit({}, db::Command::put("k", "strict"), 1, core::Semantics::kStrict,
+                     [&](const core::Reply&) {
+                       strict_done = true;
+                       strict_ms = to_millis(sim.now() - t0);
+                     });
+  sim.run_for(partition_length);
+  r.strict_blocked_during_partition = !strict_done;
+  c.heal();
+  sim.run_for(seconds(5));
+  r.strict_latency_ms = strict_done ? strict_ms : -1;
+  (void)commutative_done;
+  return r;
+}
+
+ScalingPoint measure_engine_scaling(int replicas, std::uint32_t action_padding, int clients,
+                                    SimDuration warmup, SimDuration measure,
+                                    std::uint64_t seed) {
+  ClusterOptions o;
+  o.replicas = replicas;
+  o.seed = seed;
+  o.node.engine.action_padding = action_padding;
+  EngineCluster c(o);
+  c.run_for(seconds(2));
+  ClosedLoopDriver driver(c.sim(), c.sim().now() + warmup, c.sim().now() + warmup + measure);
+  for (int cidx = 0; cidx < clients; ++cidx) {
+    const NodeId replica = static_cast<NodeId>(cidx % replicas);
+    auto counter = std::make_shared<std::int64_t>(0);
+    driver.add_client([&c, replica, cidx, counter](std::function<void(bool)> done) {
+      c.engine(replica).submit({}, next_command(cidx, *counter), cidx,
+                               core::Semantics::kStrict,
+                               [done = std::move(done)](const core::Reply& r) { done(!r.aborted); });
+    });
+  }
+  c.run_for(warmup + measure + millis(100));
+  ScalingPoint p;
+  p.replicas = replicas;
+  p.action_bytes = action_padding + 90;  // header + command overhead
+  p.actions_per_second =
+      static_cast<double>(driver.completed_in_window()) / to_seconds(measure);
+  p.mean_latency_ms = driver.latencies().mean_ms();
+  return p;
+}
+
+AvailabilityPoint measure_quorum_availability(bool dynamic_linear_voting, int replicas,
+                                              SimDuration measure, std::uint64_t seed) {
+  ClusterOptions o;
+  o.replicas = replicas;
+  o.seed = seed;
+  o.node.engine.quorum_mode = dynamic_linear_voting ? core::QuorumMode::kDynamicLinearVoting
+                                                    : core::QuorumMode::kStaticMajority;
+  EngineCluster c(o);
+  Simulator& sim = c.sim();
+  c.run_for(seconds(2));
+
+  // One closed-loop client per replica keeps offering work; commits count
+  // only when some primary exists to order them.
+  ClosedLoopDriver driver(sim, sim.now(), sim.now() + measure);
+  for (int cidx = 0; cidx < replicas; ++cidx) {
+    const NodeId replica = static_cast<NodeId>(cidx % replicas);
+    auto counter = std::make_shared<std::int64_t>(0);
+    driver.add_client([&c, replica, cidx, counter](std::function<void(bool)> done) {
+      c.engine(replica).submit({}, next_command(cidx, *counter), cidx,
+                               core::Semantics::kStrict,
+                               [done = std::move(done)](const core::Reply& r) { done(!r.aborted); });
+    });
+  }
+
+  // Cascading schedule: the connected component repeatedly shrinks by one
+  // replica, then the network heals, in a fixed rhythm.
+  const SimDuration phase = measure / (2 * replicas);
+  std::vector<NodeId> all;
+  for (NodeId i = 0; i < replicas; ++i) all.push_back(i);
+  std::uint64_t sampled = 0, primary_samples = 0;
+  const SimTime end = sim.now() + measure;
+  int shrink = 0;
+  SimTime next_change = sim.now() + phase;
+  while (sim.now() < end) {
+    c.run_for(millis(10));
+    ++sampled;
+    for (NodeId i = 0; i < replicas; ++i) {
+      if (c.node(i).running() && c.engine(i).state() == core::EngineState::kRegPrim) {
+        ++primary_samples;
+        break;
+      }
+    }
+    if (sim.now() >= next_change) {
+      next_change = sim.now() + phase;
+      ++shrink;
+      if (shrink >= replicas - 1) {
+        shrink = 0;
+        c.heal();
+      } else {
+        // Keep replicas [shrink, n) together; isolate the rest singly.
+        std::vector<std::vector<NodeId>> comps;
+        std::vector<NodeId> survivors;
+        for (NodeId i = static_cast<NodeId>(shrink); i < replicas; ++i) survivors.push_back(i);
+        comps.push_back(survivors);
+        for (NodeId i = 0; i < static_cast<NodeId>(shrink); ++i) comps.push_back({i});
+        c.partition(comps);
+      }
+    }
+  }
+
+  AvailabilityPoint p;
+  p.dynamic_linear_voting = dynamic_linear_voting;
+  p.primary_availability =
+      sampled ? static_cast<double>(primary_samples) / static_cast<double>(sampled) : 0;
+  p.actions_committed = driver.completed_in_window();
+  std::uint64_t installs = 0;
+  for (NodeId i = 0; i < replicas; ++i) {
+    if (c.node(i).running()) {
+      installs = std::max(installs, c.engine(i).stats().primaries_installed);
+    }
+  }
+  p.primaries_installed = installs;
+  return p;
+}
+
+}  // namespace tordb::workload

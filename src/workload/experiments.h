@@ -1,0 +1,129 @@
+// Experiment runners reproducing the paper's §7 evaluation and the
+// additional ablations listed in DESIGN.md. Each function builds a fresh
+// simulated deployment, drives closed-loop clients, and reports simulated
+// throughput/latency.
+//
+// Setup mirrors the paper: "clients are constantly injecting actions into
+// the system, the next action from a client being introduced immediately
+// after the previous action from that client is completed", each action
+// ~200 bytes, clients spread one per replica, and "clients receive
+// responses to their actions when the actions are globally ordered, without
+// any interaction with a database" — we keep the (cheap, deterministic)
+// database application since it costs nothing in simulated time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tordb::workload {
+
+enum class Algorithm {
+  kEngine,         ///< the paper's replication engine, forced disk writes
+  kEngineDelayed,  ///< the engine with delayed (asynchronous) disk writes
+  kCorel,          ///< COReL-style: per-action end-to-end acks
+  kTwoPc,          ///< replicated two-phase commit
+};
+
+std::string to_string(Algorithm a);
+
+struct ThroughputPoint {
+  Algorithm algorithm;
+  int replicas = 0;
+  int clients = 0;
+  double actions_per_second = 0;
+  double mean_latency_ms = 0;
+  std::uint64_t completed = 0;
+};
+
+/// Closed-loop throughput (Figure 5(a)/(b)): `clients` clients attached
+/// round-robin to `replicas` replicas; measured over `measure` after
+/// `warmup` of simulated time.
+ThroughputPoint measure_throughput(Algorithm algorithm, int replicas, int clients,
+                                   SimDuration warmup, SimDuration measure,
+                                   std::uint64_t seed = 1);
+
+struct LatencyResult {
+  Algorithm algorithm;
+  int replicas = 0;
+  std::uint64_t count = 0;
+  double mean_ms = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+/// Sequential-latency experiment (§7): one client submits `actions` actions
+/// back to back; reports the latency distribution.
+LatencyResult measure_latency(Algorithm algorithm, int replicas, int actions,
+                              std::uint64_t seed = 1);
+
+struct ViewChangePoint {
+  SimDuration change_period = 0;  ///< 0 = no membership changes
+  double actions_per_second = 0;
+  std::uint64_t membership_changes = 0;
+  std::uint64_t end_to_end_rounds = 0;  ///< engine: exchanges; per-action algs: acks
+};
+
+/// Ablation A1: engine throughput under periodic partition/heal cycles —
+/// the cost of the engine's one end-to-end exchange per membership change.
+ViewChangePoint measure_engine_under_view_changes(int replicas, int clients,
+                                                  SimDuration change_period,
+                                                  SimDuration measure,
+                                                  std::uint64_t seed = 1);
+
+struct SemanticsResult {
+  double weak_query_ms = 0;          ///< answered in the minority partition
+  double dirty_query_ms = 0;         ///< answered in the minority partition
+  double commutative_update_ms = 0;  ///< acknowledged in the minority
+  double strict_latency_ms = 0;      ///< strict action: waits for the merge
+  bool strict_blocked_during_partition = false;
+};
+
+/// Ablation A2 (§6): service latency of the relaxed semantics inside a
+/// non-primary component, versus a strict action that must wait for merge.
+SemanticsResult measure_semantics(int replicas, SimDuration partition_length,
+                                  std::uint64_t seed = 1);
+
+struct ScalingPoint {
+  int replicas = 0;
+  std::uint32_t action_bytes = 0;
+  double actions_per_second = 0;
+  double mean_latency_ms = 0;
+};
+
+/// Ablation A3: engine throughput/latency across replica counts and action
+/// sizes.
+ScalingPoint measure_engine_scaling(int replicas, std::uint32_t action_padding, int clients,
+                                    SimDuration warmup, SimDuration measure,
+                                    std::uint64_t seed = 1);
+
+/// Ablation A4: wide-area deployment. Replicas are spread round-robin over
+/// `sites`; traffic between sites pays `inter_site_latency` one way. The
+/// paper predicts (§7) that "on wide area network, where network latency
+/// becomes a more important factor, COReL will further outperform two-phase
+/// commit" — and the engine, with no end-to-end round at all, outperforms
+/// both.
+ThroughputPoint measure_throughput_wan(Algorithm algorithm, int replicas, int clients,
+                                       int sites, SimDuration inter_site_latency,
+                                       SimDuration wan_per_byte, SimDuration warmup,
+                                       SimDuration measure, std::uint64_t seed = 1);
+
+struct AvailabilityPoint {
+  bool dynamic_linear_voting = true;
+  double primary_availability = 0;   ///< fraction of time some primary exists
+  std::uint64_t actions_committed = 0;
+  std::uint64_t primaries_installed = 0;
+};
+
+/// Ablation A5: availability of the two quorum systems under a cascading
+/// partition schedule (the network repeatedly shrinks the surviving
+/// component, then heals). Dynamic linear voting (the paper's choice, [15])
+/// follows the surviving lineage; a static majority of the full replica set
+/// loses the primary as soon as fewer than ⌈(n+1)/2⌉ replicas remain
+/// connected.
+AvailabilityPoint measure_quorum_availability(bool dynamic_linear_voting, int replicas,
+                                              SimDuration measure, std::uint64_t seed = 1);
+
+}  // namespace tordb::workload

@@ -1,0 +1,264 @@
+#include "workload/scenario.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "db/database.h"
+
+namespace tordb::workload {
+
+namespace {
+
+std::runtime_error parse_error(int line, const std::string& what) {
+  return std::runtime_error("scenario line " + std::to_string(line) + ": " + what);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string tok;
+  while (in >> tok) {
+    if (tok[0] == '#') break;
+    tokens.push_back(tok);
+  }
+  return tokens;
+}
+
+SimDuration parse_duration(int line, const std::string& s) {
+  std::size_t pos = 0;
+  const long long value = std::stoll(s, &pos);
+  const std::string unit = s.substr(pos);
+  if (unit == "ms") return millis(value);
+  if (unit == "s") return seconds(value);
+  if (unit == "us") return micros(value);
+  throw parse_error(line, "bad duration '" + s + "' (use us/ms/s)");
+}
+
+std::vector<NodeId> parse_id_list(int line, const std::string& s) {
+  std::vector<NodeId> ids;
+  std::istringstream in(s);
+  std::string part;
+  while (std::getline(in, part, ',')) {
+    if (part.empty()) throw parse_error(line, "empty id in list '" + s + "'");
+    ids.push_back(static_cast<NodeId>(std::stoi(part)));
+  }
+  if (ids.empty()) throw parse_error(line, "empty id list");
+  return ids;
+}
+
+core::EngineState parse_state(int line, const std::string& s) {
+  for (auto st : {core::EngineState::kNonPrim, core::EngineState::kRegPrim,
+                  core::EngineState::kTransPrim, core::EngineState::kExchangeStates,
+                  core::EngineState::kExchangeActions, core::EngineState::kConstruct,
+                  core::EngineState::kNo, core::EngineState::kUn, core::EngineState::kLeft}) {
+    if (to_string(st) == s) return st;
+  }
+  throw parse_error(line, "unknown engine state '" + s + "'");
+}
+
+}  // namespace
+
+Scenario Scenario::parse(const std::string& text) {
+  Scenario sc;
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::vector<std::string> tokens = tokenize(raw);
+    if (tokens.empty()) continue;
+    Statement st;
+    st.line = line_no;
+    st.tokens = tokens;
+
+    const std::string& cmd = tokens[0];
+    auto need = [&](std::size_t n, const char* usage) {
+      if (tokens.size() != n) throw parse_error(line_no, std::string("usage: ") + usage);
+    };
+    if (cmd == "replicas") {
+      if (tokens.size() != 2 && !(tokens.size() == 4 && tokens[2] == "seed")) {
+        throw parse_error(line_no, "usage: replicas N [seed S]");
+      }
+    } else if (cmd == "run") {
+      need(2, "run <duration>");
+      parse_duration(line_no, tokens[1]);
+    } else if (cmd == "submit" || cmd == "submit-commutative") {
+      if (tokens.size() != 5 || (tokens[2] != "put" && tokens[2] != "add")) {
+        throw parse_error(line_no, std::string("usage: ") + cmd + " N put|add KEY VALUE");
+      }
+    } else if (cmd == "submit-timestamp") {
+      need(5, "submit-timestamp N KEY VALUE TS");
+    } else if (cmd == "query") {
+      need(4, "query N weak|dirty|strict KEY");
+      if (tokens[2] != "weak" && tokens[2] != "dirty" && tokens[2] != "strict") {
+        throw parse_error(line_no, "query mode must be weak|dirty|strict");
+      }
+    } else if (cmd == "partition") {
+      // partition 0,1 | 2,3 | 4
+      std::vector<NodeId> current;
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        if (tokens[i] == "|") {
+          if (current.empty()) throw parse_error(line_no, "empty component");
+          st.components.push_back(current);
+          current.clear();
+        } else {
+          for (NodeId id : parse_id_list(line_no, tokens[i])) current.push_back(id);
+        }
+      }
+      if (current.empty()) throw parse_error(line_no, "empty component");
+      st.components.push_back(current);
+    } else if (cmd == "heal" || cmd == "status" || cmd == "expect-consistent") {
+      need(1, cmd.c_str());
+    } else if (cmd == "crash" || cmd == "recover" || cmd == "leave") {
+      need(2, (cmd + " N").c_str());
+    } else if (cmd == "join") {
+      if (tokens.size() != 4 || tokens[2] != "via") {
+        throw parse_error(line_no, "usage: join N via P[,P...]");
+      }
+      parse_id_list(line_no, tokens[3]);
+    } else if (cmd == "expect-get") {
+      need(4, "expect-get N KEY VALUE");
+    } else if (cmd == "expect-state") {
+      need(3, "expect-state N STATE");
+      parse_state(line_no, tokens[2]);
+    } else if (cmd == "expect-converged") {
+      need(2, "expect-converged A,B,...");
+      parse_id_list(line_no, tokens[1]);
+    } else if (cmd == "expect-red") {
+      need(3, "expect-red N COUNT");
+    } else {
+      throw parse_error(line_no, "unknown statement '" + cmd + "'");
+    }
+    sc.statements_.push_back(std::move(st));
+  }
+  if (sc.statements_.empty() || sc.statements_[0].tokens[0] != "replicas") {
+    throw std::runtime_error("scenario must start with 'replicas N'");
+  }
+  return sc;
+}
+
+ScenarioResult Scenario::run(std::function<void(const std::string&)> echo) {
+  ScenarioResult result;
+  std::unique_ptr<EngineCluster> cluster;
+
+  auto note = [&](const std::string& s) {
+    result.narration.push_back(s);
+    if (echo) echo(s);
+  };
+  auto fail = [&](int line, const std::string& what) {
+    result.ok = false;
+    result.failures.push_back("line " + std::to_string(line) + ": " + what);
+    if (echo) echo("FAIL line " + std::to_string(line) + ": " + what);
+  };
+
+  for (const Statement& st : statements_) {
+    const auto& t = st.tokens;
+    const std::string& cmd = t[0];
+    if (cmd == "replicas") {
+      ClusterOptions o;
+      o.replicas = std::stoi(t[1]);
+      if (t.size() == 4) o.seed = std::stoull(t[3]);
+      cluster = std::make_unique<EngineCluster>(o);
+      continue;
+    }
+    if (!cluster) throw parse_error(st.line, "cluster not created yet");
+    EngineCluster& c = *cluster;
+
+    if (cmd == "run") {
+      c.run_for(parse_duration(st.line, t[1]));
+    } else if (cmd == "submit" || cmd == "submit-commutative") {
+      const NodeId n = static_cast<NodeId>(std::stoi(t[1]));
+      db::Command command = t[2] == "put" ? db::Command::put(t[3], t[4])
+                                          : db::Command::add(t[3], std::stoll(t[4]));
+      const auto sem = cmd == "submit" ? core::Semantics::kStrict
+                                       : core::Semantics::kCommutative;
+      c.engine(n).submit({}, std::move(command), 0, sem, nullptr);
+    } else if (cmd == "submit-timestamp") {
+      const NodeId n = static_cast<NodeId>(std::stoi(t[1]));
+      c.engine(n).submit({}, db::Command::timestamp_put(t[2], t[3], std::stoll(t[4])), 0,
+                         core::Semantics::kTimestamp, nullptr);
+    } else if (cmd == "query") {
+      const NodeId n = static_cast<NodeId>(std::stoi(t[1]));
+      const auto mode = t[2] == "weak"    ? core::QueryMode::kWeak
+                        : t[2] == "dirty" ? core::QueryMode::kDirty
+                                          : core::QueryMode::kStrict;
+      const std::string key = t[3];
+      const int line = st.line;
+      c.engine(n).submit_query(db::Command::get(key), mode,
+                               [&, n, key, line](const core::Reply& r) {
+                                 note("query(line " + std::to_string(line) + ") node " +
+                                      std::to_string(n) + " " + key + " = \"" +
+                                      (r.reads.empty() ? "" : r.reads[0]) + "\"");
+                               });
+      c.run_for(millis(1));  // weak/dirty answer immediately; strict may not
+    } else if (cmd == "partition") {
+      // Components must cover every registered node; fill in missing ones
+      // as singletons for script convenience.
+      std::vector<std::vector<NodeId>> comps = st.components;
+      std::vector<bool> covered(static_cast<std::size_t>(c.replicas()), false);
+      for (const auto& comp : comps) {
+        for (NodeId id : comp) covered.at(static_cast<std::size_t>(id)) = true;
+      }
+      for (NodeId id = 0; id < c.replicas(); ++id) {
+        if (!covered[static_cast<std::size_t>(id)]) comps.push_back({id});
+      }
+      c.partition(comps);
+    } else if (cmd == "heal") {
+      c.heal();
+    } else if (cmd == "crash") {
+      c.crash(static_cast<NodeId>(std::stoi(t[1])));
+    } else if (cmd == "recover") {
+      c.recover(static_cast<NodeId>(std::stoi(t[1])));
+    } else if (cmd == "join") {
+      const NodeId id = static_cast<NodeId>(std::stoi(t[1]));
+      auto& joiner = c.add_dormant(id);
+      joiner.join_via(parse_id_list(st.line, t[3]));
+    } else if (cmd == "leave") {
+      c.engine(static_cast<NodeId>(std::stoi(t[1]))).request_leave();
+    } else if (cmd == "status") {
+      for (NodeId i = 0; i < c.replicas(); ++i) {
+        std::ostringstream os;
+        os << "  node " << i << ": ";
+        if (!c.node(i).running()) {
+          os << (c.node(i).has_left() ? "left" : c.node(i).crashed() ? "crashed" : "dormant");
+        } else {
+          const auto& e = c.engine(i);
+          os << to_string(e.state()) << " green=" << e.green_count()
+             << " red=" << e.red_count() << " prim#" << e.prim_component().prim_index;
+        }
+        note(os.str());
+      }
+    } else if (cmd == "expect-get") {
+      const NodeId n = static_cast<NodeId>(std::stoi(t[1]));
+      const std::string got = c.engine(n).database().get(t[2]);
+      if (got != t[3]) {
+        fail(st.line, "expect-get " + t[2] + ": got \"" + got + "\", want \"" + t[3] + "\"");
+      }
+    } else if (cmd == "expect-state") {
+      const NodeId n = static_cast<NodeId>(std::stoi(t[1]));
+      const auto want = parse_state(st.line, t[2]);
+      if (!c.node(n).running()) {
+        fail(st.line, "expect-state: node not running");
+      } else if (c.engine(n).state() != want) {
+        fail(st.line, "expect-state: got " + to_string(c.engine(n).state()) + ", want " + t[2]);
+      }
+    } else if (cmd == "expect-converged") {
+      const auto ids = parse_id_list(st.line, t[1]);
+      if (!c.converged_primary(ids)) {
+        fail(st.line, "expect-converged: nodes are not one consistent primary");
+      }
+    } else if (cmd == "expect-red") {
+      const NodeId n = static_cast<NodeId>(std::stoi(t[1]));
+      const auto want = static_cast<std::size_t>(std::stoull(t[2]));
+      if (c.engine(n).red_count() != want) {
+        fail(st.line, "expect-red: got " + std::to_string(c.engine(n).red_count()) +
+                          ", want " + t[2]);
+      }
+    } else if (cmd == "expect-consistent") {
+      if (auto v = c.check_all()) fail(st.line, "invariant violated: " + *v);
+    }
+  }
+  return result;
+}
+
+}  // namespace tordb::workload

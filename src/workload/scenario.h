@@ -1,0 +1,79 @@
+// Scenario language: drive a simulated deployment from a small text script.
+//
+// Lets users (and tests) describe fault-injection scenarios declaratively
+// instead of writing C++ against the harness:
+//
+//     replicas 5
+//     run 1s
+//     submit 0 put owner alice
+//     partition 0,1,2 | 3,4
+//     run 500ms
+//     submit 4 put owner bob        # queued red in the minority
+//     expect-state 4 NonPrim
+//     heal
+//     run 2s
+//     expect-get 3 owner bob
+//     expect-converged 0,1,2,3,4
+//     expect-consistent
+//
+// Statements, one per line (`#` starts a comment):
+//   replicas N [seed S]        create the cluster (must come first)
+//   run D                      advance simulated time (e.g. 500ms, 2s)
+//   submit N put K V           strict put through replica N
+//   submit N add K DELTA       strict numeric add
+//   submit-commutative N add K DELTA     §6 commutative update
+//   submit-timestamp N K V TS            §6 timestamp update
+//   query N weak|dirty|strict K          print/record the answer
+//   partition A,B,... | C,... [| ...]    split the network
+//   heal                       merge everything
+//   crash N / recover N        node crash / recovery
+//   join N via P[,P...]        dynamic replica instantiation (§5.2)
+//   leave N                    PERSISTENT_LEAVE (§5.1)
+//   status                     narrate per-node engine state
+//   expect-get N K V           assert replica N's green database value
+//   expect-state N STATE       assert engine state (e.g. RegPrim, NonPrim)
+//   expect-converged A,B,...   assert one primary with equal state
+//   expect-red N COUNT         assert replica N holds COUNT red actions
+//   expect-consistent          run the §5.2 invariant checkers
+//
+// `run()` returns whether every expectation held; failures are collected
+// with their line numbers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/cluster.h"
+
+namespace tordb::workload {
+
+struct ScenarioResult {
+  bool ok = true;
+  std::vector<std::string> failures;   ///< "line 12: expect-get ..."
+  std::vector<std::string> narration;  ///< status/query output lines
+};
+
+class Scenario {
+ public:
+  /// Parse a script. Throws std::runtime_error with a line number on
+  /// malformed input.
+  static Scenario parse(const std::string& text);
+
+  /// Execute. `echo` (optional) receives narration lines as they happen.
+  ScenarioResult run(std::function<void(const std::string&)> echo = nullptr);
+
+  std::size_t statement_count() const { return statements_.size(); }
+
+ private:
+  struct Statement {
+    int line;
+    std::vector<std::string> tokens;
+    std::vector<std::vector<NodeId>> components;  ///< for partition
+  };
+
+  std::vector<Statement> statements_;
+};
+
+}  // namespace tordb::workload

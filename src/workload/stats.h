@@ -1,0 +1,48 @@
+// Latency/throughput accounting for the benchmark harness.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.h"
+
+namespace tordb::workload {
+
+class LatencyStats {
+ public:
+  void record(SimDuration d) { samples_.push_back(d); }
+  void clear() { samples_.clear(); }
+
+  std::size_t count() const { return samples_.size(); }
+
+  double mean_ms() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (SimDuration s : samples_) sum += to_millis(s);
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double percentile_ms(double p) const {
+    if (samples_.empty()) return 0;
+    std::vector<SimDuration> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(p * static_cast<double>(sorted.size() - 1));
+    return to_millis(sorted[idx]);
+  }
+
+  double min_ms() const {
+    if (samples_.empty()) return 0;
+    return to_millis(*std::min_element(samples_.begin(), samples_.end()));
+  }
+
+  double max_ms() const {
+    if (samples_.empty()) return 0;
+    return to_millis(*std::max_element(samples_.begin(), samples_.end()));
+  }
+
+ private:
+  std::vector<SimDuration> samples_;
+};
+
+}  // namespace tordb::workload

@@ -1,0 +1,148 @@
+// Randomized property tests with *dynamic membership churn*: on top of
+// traffic, partitions, merges, crashes and recoveries, the schedule also
+// instantiates brand-new replicas (§5.2 join with snapshot transfer) and
+// permanently removes members (§5.1 PERSISTENT_LEAVE). The paper's dynamic
+// safety theorems (Global Total Order and Global FIFO Order across
+// membership generations) are asserted throughout, and liveness at
+// quiescence.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/database.h"
+#include "util/rng.h"
+#include "workload/cluster.h"
+
+namespace tordb::core {
+namespace {
+
+using db::Command;
+using workload::ClusterOptions;
+using workload::EngineCluster;
+
+struct Scenario {
+  std::uint64_t seed;
+  int base_nodes;
+  int steps;
+  int max_joins;
+};
+
+class ChurnSchedule : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ChurnSchedule, DynamicSafetyAndLiveness) {
+  const Scenario sc = GetParam();
+  Rng rng(sc.seed * 104729);
+  ClusterOptions o;
+  o.replicas = sc.base_nodes;
+  o.seed = sc.seed;
+  EngineCluster c(o);
+  c.run_for(seconds(1));
+
+  int total_nodes = sc.base_nodes;
+  int joins_left = sc.max_joins;
+  std::set<NodeId> down;
+  std::set<NodeId> leave_requested;
+
+  auto running_members = [&] {
+    std::vector<NodeId> v;
+    for (NodeId i = 0; i < total_nodes; ++i) {
+      if (c.node(i).running() && !c.node(i).has_left()) v.push_back(i);
+    }
+    return v;
+  };
+
+  auto random_partition = [&] {
+    const int k = static_cast<int>(rng.next_range(1, 3));
+    std::vector<std::vector<NodeId>> comps(static_cast<std::size_t>(k));
+    for (NodeId i = 0; i < total_nodes; ++i) {
+      comps[rng.next_below(static_cast<std::uint64_t>(k))].push_back(i);
+    }
+    std::vector<std::vector<NodeId>> nonempty;
+    for (auto& comp : comps) {
+      if (!comp.empty()) nonempty.push_back(std::move(comp));
+    }
+    c.partition(nonempty);
+  };
+
+  for (int step = 0; step < sc.steps; ++step) {
+    const auto members = running_members();
+    const int what = static_cast<int>(rng.next_below(12));
+    if (what < 5 && !members.empty()) {
+      const int burst = static_cast<int>(rng.next_range(1, 4));
+      for (int b = 0; b < burst; ++b) {
+        const NodeId n = members[rng.next_below(members.size())];
+        c.engine(n).submit({}, Command::add("total", 1), n, Semantics::kStrict, nullptr);
+      }
+    } else if (what < 7) {
+      random_partition();
+    } else if (what == 7) {
+      c.heal();
+    } else if (what == 8 && members.size() > 2) {
+      const NodeId victim = members[rng.next_below(members.size())];
+      c.crash(victim);
+      down.insert(victim);
+    } else if (what == 9 && !down.empty()) {
+      const NodeId n = *down.begin();
+      c.recover(n);
+      down.erase(n);
+    } else if (what == 10 && joins_left > 0 && !members.empty()) {
+      --joins_left;
+      const NodeId id = static_cast<NodeId>(total_nodes++);
+      auto& joiner = c.add_dormant(id);
+      std::vector<NodeId> peers;
+      for (int p = 0; p < 3 && p < static_cast<int>(members.size()); ++p) {
+        peers.push_back(members[rng.next_below(members.size())]);
+      }
+      joiner.join_via(peers);
+    } else if (what == 11 && members.size() > 3 &&
+               leave_requested.size() + 1 < members.size()) {
+      const NodeId leaver = members[rng.next_below(members.size())];
+      if (!leave_requested.count(leaver)) {
+        leave_requested.insert(leaver);
+        c.engine(leaver).request_leave();
+      }
+    }
+    c.run_for(millis(static_cast<std::int64_t>(rng.next_range(10, 250))));
+    ASSERT_EQ(c.check_green_prefix_consistency(), std::nullopt) << "seed " << sc.seed;
+    ASSERT_EQ(c.check_single_primary(), std::nullopt) << "seed " << sc.seed;
+  }
+
+  // Quiesce.
+  for (NodeId n : down) c.recover(n);
+  c.heal();
+  c.run_for(seconds(15));
+
+  // Everything that is still a member converged into one primary.
+  std::vector<NodeId> active;
+  for (NodeId i = 0; i < total_nodes; ++i) {
+    if (c.node(i).running() && !c.node(i).has_left()) active.push_back(i);
+  }
+  ASSERT_GE(active.size(), 2u) << "seed " << sc.seed;
+  EXPECT_TRUE(c.converged_primary(active)) << "seed " << sc.seed;
+  EXPECT_EQ(c.check_all(), std::nullopt) << "seed " << sc.seed;
+  // All requested leaves eventually completed (liveness of the green order).
+  for (NodeId l : leave_requested) {
+    EXPECT_TRUE(c.node(l).has_left()) << "leave of " << l << " never completed, seed "
+                                      << sc.seed;
+  }
+  for (std::size_t i = 1; i < active.size(); ++i) {
+    EXPECT_EQ(c.engine(active[i]).db_digest(), c.engine(active[0]).db_digest());
+  }
+}
+
+std::vector<Scenario> scenarios() {
+  std::vector<Scenario> v;
+  for (std::uint64_t s = 101; s <= 124; ++s) v.push_back({s, 5, 35, 2});
+  for (std::uint64_t s = 201; s <= 214; ++s) v.push_back({s, 7, 30, 3});
+  for (std::uint64_t s = 301; s <= 306; ++s) v.push_back({s, 9, 40, 3});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, ChurnSchedule, ::testing::ValuesIn(scenarios()),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           return "seed" + std::to_string(info.param.seed) + "_n" +
+                                  std::to_string(info.param.base_nodes);
+                         });
+
+}  // namespace
+}  // namespace tordb::core

@@ -1,0 +1,267 @@
+// Online reconfiguration (paper §5.1 / §5.2): PERSISTENT_JOIN with snapshot
+// transfer and representative fail-over, PERSISTENT_LEAVE, administrative
+// removal, and the dynamic safety theorems.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "workload/cluster.h"
+
+namespace tordb::core {
+namespace {
+
+using db::Command;
+using workload::ClusterOptions;
+using workload::EngineCluster;
+
+ClusterOptions small(int n, std::uint64_t seed = 1) {
+  ClusterOptions o;
+  o.replicas = n;
+  o.seed = seed;
+  return o;
+}
+
+TEST(CoreDynamic, JoinerReceivesSnapshotAndParticipates) {
+  EngineCluster c(small(3));
+  c.run_for(seconds(1));
+  c.engine(0).submit({}, Command::put("history", "before-join"), 1, Semantics::kStrict, nullptr);
+  c.run_for(millis(300));
+
+  auto& joiner = c.add_dormant(3);
+  bool joined = false;
+  joiner.join_via({0}, [&] { joined = true; });
+  c.run_for(seconds(2));
+  ASSERT_TRUE(joined);
+  // The joiner inherited the green prefix (Theorem 2: "or it inherited a
+  // database state which incorporated the effect of these actions").
+  EXPECT_EQ(joiner.engine().database().get("history"), "before-join");
+  EXPECT_TRUE(c.converged_primary({0, 1, 2, 3}));
+  // And it is now in everyone's replica set.
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_TRUE(std::count(c.engine(i).server_set().begin(), c.engine(i).server_set().end(), 3));
+  }
+}
+
+TEST(CoreDynamic, JoinerSeesNewActionsAfterJoin) {
+  EngineCluster c(small(3));
+  c.run_for(seconds(1));
+  auto& joiner = c.add_dormant(3);
+  joiner.join_via({1});
+  c.run_for(seconds(2));
+  ASSERT_TRUE(joiner.running());
+  c.engine(0).submit({}, Command::put("after", "join"), 1, Semantics::kStrict, nullptr);
+  c.run_for(millis(500));
+  EXPECT_EQ(joiner.engine().database().get("after"), "join");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreDynamic, JoinerCountsTowardQuorumAfterJoining) {
+  EngineCluster c(small(3));
+  c.run_for(seconds(1));
+  auto& joiner = c.add_dormant(3);
+  joiner.join_via({0});
+  c.run_for(seconds(2));
+  ASSERT_TRUE(c.converged_primary({0, 1, 2, 3}));
+  // After the 4-member primary installs, a 3-of-4 component keeps quorum.
+  c.partition({{0, 1, 3}, {2}});
+  c.run_for(seconds(1));
+  EXPECT_TRUE(c.converged_primary({0, 1, 3}));
+}
+
+TEST(CoreDynamic, RepresentativeFailoverDuringJoin) {
+  EngineCluster c(small(4));
+  c.run_for(seconds(1));
+  auto& joiner = c.add_dormant(4);
+  // First chosen representative crashes before it can announce/transfer.
+  c.crash(0);
+  joiner.join_via({0, 1});  // §5.2: reconnect to a different member
+  c.run_for(seconds(3));
+  EXPECT_TRUE(joiner.running());
+  EXPECT_TRUE(c.converged_primary({1, 2, 3, 4}));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreDynamic, JoinViaMinorityCompletesAfterMerge) {
+  // §5.1: joining replicas may be connected to non-primary components; the
+  // announcement becomes green only once the representative's component
+  // merges with the primary, and the transfer then completes.
+  EngineCluster c(small(5));
+  c.run_for(seconds(1));
+  c.partition({{0, 1, 2}, {3, 4}});
+  c.run_for(millis(500));
+  auto& joiner = c.add_dormant(5);
+  c.partition({{0, 1, 2}, {3, 4, 5}});  // joiner's link reaches the minority
+  joiner.join_via({4});
+  c.run_for(seconds(1));
+  EXPECT_FALSE(joiner.running());  // join is still red in the minority
+  c.heal();
+  c.run_for(seconds(3));
+  EXPECT_TRUE(joiner.running());
+  EXPECT_TRUE(c.converged_primary({0, 1, 2, 3, 4, 5}));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreDynamic, LeaveShrinksReplicaSetEverywhere) {
+  EngineCluster c(small(4));
+  c.run_for(seconds(1));
+  bool left = false;
+  c.engine(3).request_leave();
+  c.run_for(seconds(1));
+  left = c.node(3).has_left();
+  EXPECT_TRUE(left);
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.engine(i).server_set(), (std::vector<NodeId>{0, 1, 2}));
+  }
+  // The remaining three still replicate.
+  c.engine(0).submit({}, Command::put("post-leave", "ok"), 1, Semantics::kStrict, nullptr);
+  c.run_for(millis(500));
+  EXPECT_EQ(c.engine(2).database().get("post-leave"), "ok");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreDynamic, AdministrativeRemovalOfDeadReplica) {
+  // §5.1: "The PERSISTENT_LEAVE message can also be administratively
+  // inserted ... to signal the permanent removal, due to failure, of one of
+  // the replicas."
+  EngineCluster c(small(5));
+  c.run_for(seconds(1));
+  c.crash(4);  // permanent
+  c.run_for(millis(500));
+  ASSERT_TRUE(c.converged_primary({0, 1, 2, 3}));
+  c.engine(0).remove_replica(4);
+  c.run_for(millis(500));
+  for (NodeId i = 0; i < 4; ++i) {
+    EXPECT_EQ(c.engine(i).server_set(), (std::vector<NodeId>{0, 1, 2, 3}));
+  }
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreDynamic, JoinLeaveChurn) {
+  EngineCluster c(small(3, 17));
+  c.run_for(seconds(1));
+  auto& j3 = c.add_dormant(3);
+  j3.join_via({0});
+  c.run_for(seconds(2));
+  ASSERT_TRUE(j3.running());
+  auto& j4 = c.add_dormant(4);
+  j4.join_via({3});  // join via the previous joiner
+  c.run_for(seconds(2));
+  ASSERT_TRUE(j4.running());
+  c.engine(1).request_leave();
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.node(1).has_left());
+  EXPECT_TRUE(c.converged_primary({0, 2, 3, 4}));
+  c.engine(0).submit({}, Command::put("final", "state"), 1, Semantics::kStrict, nullptr);
+  c.run_for(millis(500));
+  EXPECT_EQ(c.engine(4).database().get("final"), "state");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreDynamic, JoinerCrashAndRecovery) {
+  EngineCluster c(small(3));
+  c.run_for(seconds(1));
+  auto& joiner = c.add_dormant(3);
+  joiner.join_via({0});
+  c.run_for(seconds(2));
+  ASSERT_TRUE(joiner.running());
+  c.engine(0).submit({}, Command::put("x", "1"), 1, Semantics::kStrict, nullptr);
+  c.run_for(millis(500));
+  // The joiner persisted its inherited state; crash + recovery works like
+  // any other member.
+  c.crash(3);
+  c.run_for(millis(500));
+  c.engine(0).submit({}, Command::put("y", "2"), 1, Semantics::kStrict, nullptr);
+  c.run_for(millis(300));
+  c.recover(3);
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary({0, 1, 2, 3}));
+  EXPECT_EQ(c.engine(3).database().get("x"), "1");
+  EXPECT_EQ(c.engine(3).database().get("y"), "2");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreDynamic, StragglerCatchesUpFromJoinerViaStateTransfer) {
+  // A member that fell far behind merges with a component whose most
+  // updated member is a snapshot-based joiner holding no action bodies: the
+  // exchange falls back to a full state transfer (catch-up).
+  EngineCluster c(small(3));
+  c.run_for(seconds(1));
+  c.partition({{0, 1}, {2}});  // node 2 falls behind
+  c.run_for(millis(500));
+  for (int i = 0; i < 10; ++i) {
+    c.engine(0).submit({}, Command::add("n", 1), 1, Semantics::kStrict, nullptr);
+    c.run_for(millis(30));
+  }
+  auto& joiner = c.add_dormant(3);
+  c.partition({{0, 1, 3}, {2}});
+  joiner.join_via({0});
+  c.run_for(seconds(2));
+  ASSERT_TRUE(joiner.running());
+  // Now isolate the joiner with the straggler only.
+  c.partition({{2, 3}, {0, 1}});
+  c.run_for(seconds(2));
+  // Node 2 must have caught up from the joiner's snapshot (no bodies).
+  EXPECT_EQ(c.engine(2).green_count(), joiner.engine().green_count());
+  EXPECT_EQ(c.engine(2).db_digest(), joiner.engine().db_digest());
+  c.heal();
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary({0, 1, 2, 3}));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+
+TEST(CoreDynamic, LeaveOfPrimaryMemberDoesNotBlockQuorum) {
+  // Regression (found by the churn property tests): the last installed
+  // primary was {0,1}; node 1 then permanently left. If the leaver kept
+  // counting in the dynamic-linear-voting denominator, no surviving set
+  // could ever reach a majority of {0,1} again and the system would block —
+  // the very failure §5.1 says permanent removal exists to prevent.
+  EngineCluster c(small(5, 31));
+  c.run_for(seconds(1));
+  // Shrink the primary to {0,1} via successive minority splits.
+  c.partition({{0, 1, 2}, {3, 4}});
+  c.run_for(seconds(1));
+  ASSERT_TRUE(c.converged_primary({0, 1, 2}));
+  c.partition({{0, 1}, {2}, {3, 4}});
+  c.run_for(seconds(1));
+  ASSERT_TRUE(c.converged_primary({0, 1}));
+  // Node 1 leaves for good (ordered inside the {0,1} primary).
+  c.engine(1).request_leave();
+  c.run_for(seconds(1));
+  ASSERT_TRUE(c.node(1).has_left());
+  // Node 0 alone is now the whole voting set and keeps serving...
+  bool replied = false;
+  c.engine(0).submit({}, Command::put("after-leave", "ok"), 1, Semantics::kStrict,
+                     [&](const Reply&) { replied = true; });
+  c.run_for(seconds(1));
+  EXPECT_TRUE(replied);
+  // ...and after the merge the whole system recovers a common primary.
+  c.heal();
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary({0, 2, 3, 4}));
+  EXPECT_EQ(c.engine(4).database().get("after-leave"), "ok");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreDynamic, LeaveLearnedThroughExchangeAdjustsQuorum) {
+  // The same adjustment must survive ComputeKnowledge: members that learn
+  // the leave only through the exchange retransmission (their state
+  // messages predate it) still converge on the reduced voting set.
+  EngineCluster c(small(4, 37));
+  c.run_for(seconds(1));
+  c.partition({{0, 1, 2}, {3}});
+  c.run_for(seconds(1));
+  ASSERT_TRUE(c.converged_primary({0, 1, 2}));
+  c.engine(2).request_leave();
+  c.run_for(seconds(1));
+  ASSERT_TRUE(c.node(2).has_left());
+  // Node 3 learns the leave only via the merge exchange.
+  c.heal();
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary({0, 1, 3}));
+  // And the now 3-member lineage {0,1} majority still rules: {0,3} without
+  // 1 cannot be primary only if it lacks the majority of the last install.
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace tordb::core

@@ -1,0 +1,274 @@
+// Crash / recovery behaviour: Appendix A Recover, the vulnerable flag, and
+// the stable-storage interplay (paper §5).
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "workload/cluster.h"
+
+namespace tordb::core {
+namespace {
+
+using db::Command;
+using workload::ClusterOptions;
+using workload::EngineCluster;
+
+ClusterOptions small(int n, std::uint64_t seed = 1) {
+  ClusterOptions o;
+  o.replicas = n;
+  o.seed = seed;
+  return o;
+}
+
+TEST(CoreFault, CrashedReplicaRecoversAndCatchesUp) {
+  EngineCluster c(small(5));
+  c.run_for(seconds(1));
+  c.engine(0).submit({}, Command::put("a", "1"), 1, Semantics::kStrict, nullptr);
+  c.run_for(millis(300));
+  c.crash(4);
+  c.run_for(millis(500));
+  ASSERT_TRUE(c.converged_primary({0, 1, 2, 3}));
+  c.engine(0).submit({}, Command::put("b", "2"), 1, Semantics::kStrict, nullptr);
+  c.run_for(millis(300));
+  c.recover(4);
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.engine(4).database().get("a"), "1");
+  EXPECT_EQ(c.engine(4).database().get("b"), "2");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, OngoingQueueSurvivesCrash) {
+  // A.13: an action forced to the ongoingQueue before the crash is re-marked
+  // red on recovery and eventually ordered, even though it never reached the
+  // group communication.
+  EngineCluster c(small(3));
+  c.run_for(seconds(1));
+  // Submit and crash immediately after the forced write completes but
+  // before the multicast round trips (the force takes 8ms; ordering takes
+  // several more).
+  c.engine(2).submit({}, Command::put("survivor", "yes"), 1, Semantics::kStrict, nullptr);
+  c.run_for(millis(9));  // force done, action handed to GC, not yet ordered
+  c.crash(2);
+  c.run_for(millis(500));
+  c.recover(2);
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_EQ(c.engine(i).database().get("survivor"), "yes") << "node " << i;
+  }
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, ActionNotForcedIsLostButConsistent) {
+  // Crash before the forced write completes: the action is lost (the client
+  // was never answered), and the system stays consistent.
+  EngineCluster c(small(3));
+  c.run_for(seconds(1));
+  bool replied = false;
+  c.engine(2).submit({}, Command::put("lost", "yes"), 1, Semantics::kStrict,
+                     [&](const Reply&) { replied = true; });
+  c.run_for(millis(2));  // force (8ms) still in flight
+  c.crash(2);
+  c.run_for(millis(500));
+  c.recover(2);
+  c.run_for(seconds(2));
+  EXPECT_FALSE(replied);
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.engine(0).database().get("lost"), "");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, RecoveredPrimaryMemberRejoinsConsistently) {
+  // A server that crashes as a member of an installed primary recovers with
+  // its vulnerable record intact. Because it had received every CPC of the
+  // attempt, ComputeKnowledge rule 4 (complete bits) resolves the attempt at
+  // its next exchange — but isolated it still lacks a majority, so no solo
+  // primary forms.
+  EngineCluster c(small(3));
+  c.run_for(seconds(1));
+  ASSERT_TRUE(c.converged_primary(c.all_ids()));
+  ASSERT_TRUE(c.engine(0).vulnerable().valid);  // vulnerable while in prim
+  c.crash(0);
+  c.run_for(millis(200));
+  c.partition({{0}, {1, 2}});
+  c.recover(0);
+  c.run_for(seconds(1));
+  EXPECT_TRUE(c.node(0).running());
+  EXPECT_EQ(c.engine(0).state(), EngineState::kNonPrim);
+  // The other two carry on as the primary.
+  EXPECT_TRUE(c.converged_primary({1, 2}));
+  c.heal();
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, CrashWhileConstructingBlocksSoloQuorum) {
+  // The vulnerable flag's raison d'être (paper §5): a server that agreed to
+  // form a primary component (sent its CPC) and crashed before learning the
+  // outcome must not act on that attempt after recovery. With weights
+  // {3,1,1}, node 0 alone *is* a weighted majority — only the vulnerable
+  // flag stops it from forming a primary on its own.
+  ClusterOptions o = small(3);
+  o.node.engine.weights = {{0, 3}, {1, 1}, {2, 1}};
+  EngineCluster c(o);
+  c.run_for(seconds(1));
+  ASSERT_TRUE(c.converged_primary(c.all_ids()));
+
+  // Force a view change and catch node 0 in the Construct state *after* it
+  // sent its CPC (the vulnerable record is forced to disk first; crashing
+  // before the CPC leaves no obligation).
+  const auto cpc_before = c.engine(0).stats().cpc_sent;
+  c.partition({{0, 1}, {2}});
+  bool caught = false;
+  for (int i = 0; i < 4000; ++i) {
+    c.run_for(micros(250));
+    if (c.engine(0).state() == EngineState::kConstruct &&
+        c.engine(0).stats().cpc_sent > cpc_before) {
+      caught = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(caught) << "never observed Construct after CPC send";
+  ASSERT_TRUE(c.engine(0).vulnerable().valid);
+  c.crash(0);
+  c.run_for(millis(200));
+  c.partition({{0}, {1, 2}});
+  c.recover(0);
+  c.run_for(seconds(2));
+  // Solo it has the weighted majority, but the unresolved attempt keeps it
+  // vulnerable: no primary may form.
+  ASSERT_TRUE(c.node(0).running());
+  EXPECT_TRUE(c.engine(0).vulnerable().valid);
+  EXPECT_EQ(c.engine(0).state(), EngineState::kNonPrim);
+  // Merging back resolves the attempt through the exchange and the system
+  // reforms a single consistent primary.
+  c.heal();
+  c.run_for(seconds(3));
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, CleanCrashInPrimaryAllowsSoloWeightedQuorum) {
+  // Contrast with the above: a member that crashed *after* the primary was
+  // fully installed (all CPC bits set) self-resolves its attempt on
+  // recovery, and with dominant weight may continue alone.
+  ClusterOptions o = small(3);
+  o.node.engine.weights = {{0, 3}, {1, 1}, {2, 1}};
+  EngineCluster c(o);
+  c.run_for(seconds(1));
+  ASSERT_TRUE(c.converged_primary(c.all_ids()));
+  c.crash(0);
+  c.run_for(millis(200));
+  c.partition({{0}, {1, 2}});
+  c.recover(0);
+  c.run_for(seconds(2));
+  EXPECT_EQ(c.engine(0).state(), EngineState::kRegPrim);
+  // {1,2} has weight 2 of 5: they must NOT be a second primary.
+  EXPECT_EQ(c.engine(1).state(), EngineState::kNonPrim);
+  EXPECT_EQ(c.engine(2).state(), EngineState::kNonPrim);
+  c.heal();
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, AllPrimaryMembersCrashAndRecoverConsistently) {
+  // Paper §5: "If all the servers in the primary component crash ... they
+  // all need to exchange information with each other before continuing."
+  EngineCluster c(small(3));
+  c.run_for(seconds(1));
+  for (NodeId i = 0; i < 3; ++i) {
+    c.engine(i).submit({}, Command::add("n", 1), 1, Semantics::kStrict, nullptr);
+  }
+  c.run_for(millis(300));
+  for (NodeId i = 0; i < 3; ++i) c.crash(i);
+  c.run_for(millis(500));
+  for (NodeId i = 0; i < 3; ++i) c.recover(i);
+  c.run_for(seconds(3));
+  // All three recovered vulnerable to the same attempt; their collective
+  // bits cover every CPC, so ComputeKnowledge resolves the attempt and a
+  // new primary forms.
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.engine(0).database().get("n"), "3");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, CrashDuringPartitionRecoversIntoMinority) {
+  EngineCluster c(small(5));
+  c.run_for(seconds(1));
+  c.partition({{0, 1, 2}, {3, 4}});
+  c.run_for(millis(500));
+  c.crash(3);
+  c.run_for(millis(300));
+  c.recover(3);
+  c.run_for(seconds(1));
+  // Still a minority; no primary there, but it participates again.
+  EXPECT_EQ(c.engine(3).state(), EngineState::kNonPrim);
+  c.heal();
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, SequentialCrashesOfEveryNode) {
+  EngineCluster c(small(4, 9));
+  c.run_for(seconds(1));
+  std::int64_t expected = 0;
+  for (NodeId victim = 0; victim < 4; ++victim) {
+    c.engine((victim + 1) % 4).submit({}, Command::add("n", 1), 1, Semantics::kStrict, nullptr);
+    ++expected;
+    c.run_for(millis(300));
+    c.crash(victim);
+    c.run_for(millis(500));
+    c.recover(victim);
+    c.run_for(seconds(1));
+  }
+  c.run_for(seconds(1));
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.engine(0).database().get("n"), std::to_string(expected));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, DelayedWritesLoseTailButStayConsistent) {
+  // Figure 5(b)'s trade-off made concrete: with delayed writes a crash can
+  // forget acknowledged actions locally; recovery + exchange still yields a
+  // consistent (prefix-equal) system state.
+  ClusterOptions o = small(3);
+  o.node.storage.mode = SyncMode::kDelayed;
+  EngineCluster c(o);
+  c.run_for(seconds(1));
+  for (int i = 0; i < 5; ++i) {
+    c.engine(0).submit({}, Command::add("n", 1), 1, Semantics::kStrict, nullptr);
+    c.run_for(millis(2));
+  }
+  c.crash(0);
+  c.run_for(millis(500));
+  c.recover(0);
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(CoreFault, StorageCompactionPreservesRecovery) {
+  ClusterOptions o = small(3);
+  o.node.engine.compact_every_greens = 20;  // compact aggressively
+  EngineCluster c(o);
+  c.run_for(seconds(1));
+  for (int round = 0; round < 60; ++round) {
+    c.engine(0).submit({}, Command::add("n", 1), 1, Semantics::kStrict, nullptr);
+    c.run_for(millis(4));
+  }
+  c.run_for(millis(500));
+  ASSERT_EQ(c.engine(1).green_count(), 60);
+  c.crash(1);
+  c.run_for(millis(300));
+  c.recover(1);
+  c.run_for(seconds(2));
+  EXPECT_TRUE(c.converged_primary(c.all_ids()));
+  EXPECT_EQ(c.engine(1).database().get("n"), "60");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+}  // namespace
+}  // namespace tordb::core

@@ -1,0 +1,189 @@
+// Direct unit tests of the engine's crash-recovery constructor against
+// handcrafted stable-storage logs (Appendix A, Recover): record ordering,
+// duplicates, compaction snapshots, and the ongoing-queue replay rule.
+#include <gtest/gtest.h>
+
+#include "core/replication_engine.h"
+#include "db/database.h"
+
+namespace tordb::core {
+namespace {
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  RecoveryTest() : sim_(1), net_(sim_), storage_(sim_) {
+    for (NodeId n : {0, 1, 2}) net_.add_node(n);
+  }
+
+  Action make_action(NodeId creator, std::int64_t index, db::Command update,
+                     ActionType type = ActionType::kUpdate, NodeId subject = kNoNode) {
+    Action a;
+    a.type = type;
+    a.id = ActionId{creator, index};
+    a.update = std::move(update);
+    a.subject = subject;
+    return a;
+  }
+
+  void force_all() {
+    bool done = false;
+    storage_.sync([&] { done = true; });
+    sim_.run();
+    ASSERT_TRUE(done);
+  }
+
+  std::unique_ptr<ReplicationEngine> recover() {
+    return std::make_unique<ReplicationEngine>(net_, storage_, 0,
+                                               ReplicationEngine::RecoverTag{},
+                                               std::vector<NodeId>{0, 1, 2});
+  }
+
+  Simulator sim_;
+  Network net_;
+  StableStorage storage_;
+};
+
+TEST_F(RecoveryTest, EmptyLogFallsBackToInitialServers) {
+  auto e = recover();
+  EXPECT_EQ(e->state(), EngineState::kNonPrim);
+  EXPECT_EQ(e->green_count(), 0);
+  EXPECT_EQ(e->server_set(), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(e->prim_component().servers, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST_F(RecoveryTest, GreenRecordsRebuildDatabaseInOrder) {
+  storage_.append(encode_log_green(1, make_action(1, 1, db::Command::put("k", "a"))));
+  storage_.append(encode_log_green(2, make_action(2, 1, db::Command::append("k", "b"))));
+  storage_.append(encode_log_green(3, make_action(1, 2, db::Command::append("k", "c"))));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->green_count(), 3);
+  EXPECT_EQ(e->database().get("k"), "abc");
+  EXPECT_EQ(e->green_action_at(2), (ActionId{2, 1}));
+}
+
+TEST_F(RecoveryTest, OutOfOrderGreenRecordIgnored) {
+  storage_.append(encode_log_green(1, make_action(1, 1, db::Command::put("k", "a"))));
+  storage_.append(encode_log_green(5, make_action(1, 2, db::Command::put("k", "GAP"))));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->green_count(), 1);
+  EXPECT_EQ(e->database().get("k"), "a");
+}
+
+TEST_F(RecoveryTest, DuplicateGreenRecordIgnored) {
+  const Action a = make_action(1, 1, db::Command::add("n", 1));
+  storage_.append(encode_log_green(1, a));
+  storage_.append(encode_log_green(1, a));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->green_count(), 1);
+  EXPECT_EQ(e->database().get("n"), "1");
+}
+
+TEST_F(RecoveryTest, RedRecordsRebuildRedQueue) {
+  storage_.append(encode_log_red(make_action(2, 1, db::Command::put("r", "1"))));
+  storage_.append(encode_log_red(make_action(2, 2, db::Command::put("r", "2"))));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->green_count(), 0);
+  EXPECT_EQ(e->red_count(), 2u);
+  EXPECT_EQ(e->database().get("r"), "");           // reds not green-applied
+  EXPECT_EQ(e->dirty_database().get("r"), "2");    // but visible dirty
+}
+
+TEST_F(RecoveryTest, OngoingBeyondRedCutIsReMarkedRed) {
+  // A.13: an own action that was forced but never ordered comes back red.
+  storage_.append(encode_log_ongoing(make_action(0, 1, db::Command::put("mine", "yes"))));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->red_count(), 1u);
+  EXPECT_EQ(e->dirty_database().get("mine"), "yes");
+}
+
+TEST_F(RecoveryTest, OngoingCoveredByGreenIsNotDuplicated) {
+  const Action a = make_action(0, 1, db::Command::add("n", 5));
+  storage_.append(encode_log_ongoing(a));
+  storage_.append(encode_log_green(1, a));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->green_count(), 1);
+  EXPECT_EQ(e->red_count(), 0u);
+  EXPECT_EQ(e->database().get("n"), "5");
+}
+
+TEST_F(RecoveryTest, MetaRecordRestoresMembershipAndVulnerability) {
+  MetaRecord m;
+  m.server_set = {0, 1};
+  m.prim = PrimComponent{4, 2, {0, 1}};
+  m.attempt_index = 2;
+  m.vulnerable.valid = true;
+  m.vulnerable.prim_index = 4;
+  m.vulnerable.attempt_index = 2;
+  m.vulnerable.set = {0, 1};
+  m.vulnerable.bits = {true, false};
+  m.green_lines = {{0, 7}, {1, 6}};
+  m.gc_counter = 12;
+  storage_.append(encode_log_meta(m));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->server_set(), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(e->prim_component().prim_index, 4);
+  EXPECT_TRUE(e->vulnerable().valid);
+  EXPECT_EQ(e->vulnerable().bits, (std::vector<bool>{true, false}));
+}
+
+TEST_F(RecoveryTest, SnapshotRecordResetsThenTailExtends) {
+  // Compaction snapshot at green 10, followed by two more greens.
+  db::Database db;
+  db.apply(db::Command::put("base", "state"));
+  DbSnapshotRecord snap;
+  snap.db_snapshot = db.snapshot();
+  snap.green_count = 10;
+  snap.green_red_cut = {{1, 6}, {2, 4}};
+  snap.meta.server_set = {0, 1, 2};
+  snap.meta.prim = PrimComponent{3, 1, {0, 1, 2}};
+  snap.red_actions = {make_action(2, 5, db::Command::put("red", "tail"))};
+  storage_.append(encode_log_db_snapshot(snap));
+  storage_.append(encode_log_green(11, make_action(1, 7, db::Command::put("after", "snap"))));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->green_count(), 11);
+  EXPECT_EQ(e->database().get("base"), "state");
+  EXPECT_EQ(e->database().get("after"), "snap");
+  EXPECT_EQ(e->red_count(), 1u);
+  EXPECT_EQ(e->white_line(), 0);  // green lines of others unknown
+  // Positions at or below the snapshot have no bodies.
+  EXPECT_EQ(e->green_action_at(10).server_id, kNoNode);
+  EXPECT_EQ(e->green_action_at(11), (ActionId{1, 7}));
+}
+
+TEST_F(RecoveryTest, GreenJoinRecordExtendsServerSet) {
+  storage_.append(
+      encode_log_green(1, make_action(0, 1, {}, ActionType::kPersistentJoin, 7)));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->server_set(), (std::vector<NodeId>{0, 1, 2, 7}));
+}
+
+TEST_F(RecoveryTest, GreenLeaveRecordShrinksServerSetAndVotes) {
+  storage_.append(
+      encode_log_green(1, make_action(0, 1, {}, ActionType::kPersistentLeave, 2)));
+  force_all();
+  auto e = recover();
+  EXPECT_EQ(e->server_set(), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(e->prim_component().servers, (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(RecoveryTest, VolatileTailIsInvisible) {
+  storage_.append(encode_log_green(1, make_action(1, 1, db::Command::put("k", "durable"))));
+  force_all();
+  storage_.append(encode_log_green(2, make_action(1, 2, db::Command::put("k", "volatile"))));
+  storage_.crash();  // the second record was never forced
+  auto e = recover();
+  EXPECT_EQ(e->green_count(), 1);
+  EXPECT_EQ(e->database().get("k"), "durable");
+}
+
+}  // namespace
+}  // namespace tordb::core

@@ -1,0 +1,198 @@
+// Application semantics (paper §6): weak/dirty queries, timestamp and
+// commutative updates, active and interactive actions.
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "workload/cluster.h"
+
+namespace tordb::core {
+namespace {
+
+using db::Command;
+using workload::ClusterOptions;
+using workload::EngineCluster;
+
+ClusterOptions small(int n, std::uint64_t seed = 1) {
+  ClusterOptions o;
+  o.replicas = n;
+  o.seed = seed;
+  return o;
+}
+
+class SemanticsTest : public ::testing::Test {
+ protected:
+  SemanticsTest() : c_(small(5)) {
+    c_.run_for(seconds(1));
+    c_.engine(0).submit({}, Command::put("k", "initial"), 1, Semantics::kStrict, nullptr);
+    c_.run_for(millis(300));
+  }
+
+  void split_minority() {
+    c_.partition({{0, 1, 2}, {3, 4}});
+    c_.run_for(millis(500));
+  }
+
+  EngineCluster c_;
+};
+
+TEST_F(SemanticsTest, WeakQueryAnswersImmediatelyInMinority) {
+  split_minority();
+  bool answered = false;
+  c_.engine(4).submit_query(Command::get("k"), QueryMode::kWeak, [&](const Reply& r) {
+    answered = true;
+    ASSERT_EQ(r.reads.size(), 1u);
+    EXPECT_EQ(r.reads[0], "initial");  // consistent but possibly obsolete
+  });
+  c_.run_for(millis(10));
+  EXPECT_TRUE(answered);
+}
+
+TEST_F(SemanticsTest, WeakQueryMayMissOwnPendingUpdate) {
+  // §6: "a client requesting some updates ... then querying and getting an
+  // old result which does not reflect the updates it just made."
+  split_minority();
+  c_.engine(4).submit({}, Command::put("k", "pending"), 1, Semantics::kStrict, nullptr);
+  c_.run_for(millis(100));  // ordered red locally, not green
+  bool answered = false;
+  c_.engine(4).submit_query(Command::get("k"), QueryMode::kWeak, [&](const Reply& r) {
+    answered = true;
+    EXPECT_EQ(r.reads[0], "initial");  // green state does not include it
+  });
+  c_.run_for(millis(10));
+  EXPECT_TRUE(answered);
+}
+
+TEST_F(SemanticsTest, DirtyQuerySeesRedActions) {
+  split_minority();
+  c_.engine(4).submit({}, Command::put("k", "red-value"), 1, Semantics::kStrict, nullptr);
+  c_.run_for(millis(100));
+  bool answered = false;
+  c_.engine(4).submit_query(Command::get("k"), QueryMode::kDirty, [&](const Reply& r) {
+    answered = true;
+    EXPECT_EQ(r.reads[0], "red-value");  // latest, though not consistent
+  });
+  c_.run_for(millis(10));
+  EXPECT_TRUE(answered);
+}
+
+TEST_F(SemanticsTest, StrictQueryWaitsForPrimary) {
+  split_minority();
+  bool answered = false;
+  c_.engine(4).submit_query(Command::get("k"), QueryMode::kStrict,
+                            [&](const Reply&) { answered = true; });
+  c_.run_for(seconds(1));
+  EXPECT_FALSE(answered);  // blocked in the non-primary component
+  c_.heal();
+  c_.run_for(seconds(2));
+  EXPECT_TRUE(answered);
+}
+
+TEST_F(SemanticsTest, StrictQueryInPrimaryAnswersAfterOwnActions) {
+  bool update_done = false, query_done = false;
+  c_.engine(0).submit({}, Command::put("k", "new"), 1, Semantics::kStrict,
+                      [&](const Reply&) { update_done = true; });
+  c_.engine(0).submit_query(Command::get("k"), QueryMode::kStrict, [&](const Reply& r) {
+    query_done = true;
+    EXPECT_TRUE(update_done);  // answered only after the preceding action
+    EXPECT_EQ(r.reads[0], "new");
+  });
+  c_.run_for(millis(300));
+  EXPECT_TRUE(query_done);
+}
+
+TEST_F(SemanticsTest, CommutativeUpdateRepliesInMinority) {
+  split_minority();
+  bool replied = false;
+  c_.engine(4).submit({}, Command::add("stock", -3), 1, Semantics::kCommutative,
+                      [&](const Reply&) { replied = true; });
+  c_.run_for(millis(100));
+  EXPECT_TRUE(replied);  // §6: no global order needed to acknowledge
+}
+
+TEST_F(SemanticsTest, CommutativeUpdatesConvergeAfterMerge) {
+  split_minority();
+  c_.engine(0).submit({}, Command::add("stock", 7), 1, Semantics::kCommutative, nullptr);
+  c_.engine(4).submit({}, Command::add("stock", -3), 1, Semantics::kCommutative, nullptr);
+  c_.run_for(millis(300));
+  c_.heal();
+  c_.run_for(seconds(2));
+  ASSERT_TRUE(c_.converged_primary(c_.all_ids()));
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(c_.engine(i).database().get("stock"), "4") << "node " << i;
+  }
+}
+
+TEST_F(SemanticsTest, TimestampUpdatesLastWriterWins) {
+  // §6 location-tracking example: only the highest timestamp matters; after
+  // the partition heals the replicas converge on it regardless of order.
+  split_minority();
+  c_.engine(0).submit({}, Command::timestamp_put("loc", "majority-pos", 100), 1,
+                      Semantics::kTimestamp, nullptr);
+  c_.engine(4).submit({}, Command::timestamp_put("loc", "minority-pos", 200), 1,
+                      Semantics::kTimestamp, nullptr);
+  c_.run_for(millis(300));
+  c_.heal();
+  c_.run_for(seconds(2));
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(c_.engine(i).database().get("loc"), "minority-pos") << "node " << i;
+  }
+  EXPECT_EQ(c_.check_all(), std::nullopt);
+}
+
+TEST_F(SemanticsTest, ActiveActionExecutesAtOrderingTime) {
+  // §6 active transactions: the procedure (an add) runs when the action is
+  // ordered, on the then-current state — not a value frozen at submit time.
+  c_.engine(0).submit({}, Command::put("n", "10"), 1, Semantics::kStrict, nullptr);
+  c_.engine(1).submit({}, Command::add("n", 5), 1, Semantics::kStrict, nullptr);
+  c_.engine(2).submit({}, Command::add("n", 5), 1, Semantics::kStrict, nullptr);
+  c_.run_for(millis(500));
+  EXPECT_EQ(c_.engine(3).database().get("n"), "20");
+}
+
+TEST_F(SemanticsTest, InteractiveTransactionCommitPath) {
+  // §6 interactive transactions: read, then submit an active action that
+  // re-checks what was read.
+  std::string seen;
+  c_.engine(0).submit_query(Command::get("k"), QueryMode::kStrict,
+                            [&](const Reply& r) { seen = r.reads[0]; });
+  c_.run_for(millis(100));
+  ASSERT_EQ(seen, "initial");
+  bool aborted = true;
+  c_.engine(0).submit({}, Command::checked_put("k", seen, "updated-by-user"), 1,
+                      Semantics::kStrict, [&](const Reply& r) { aborted = r.aborted; });
+  c_.run_for(millis(300));
+  EXPECT_FALSE(aborted);
+  EXPECT_EQ(c_.engine(4).database().get("k"), "updated-by-user");
+}
+
+TEST_F(SemanticsTest, InteractiveTransactionAbortsEverywhereOnConflict) {
+  // A conflicting write sneaks in between read and update: the check fails
+  // identically at every replica ("if one server aborts, all of the
+  // servers will abort that (trans)action").
+  std::string seen;
+  c_.engine(0).submit_query(Command::get("k"), QueryMode::kStrict,
+                            [&](const Reply& r) { seen = r.reads[0]; });
+  c_.run_for(millis(100));
+  c_.engine(3).submit({}, Command::put("k", "conflict"), 9, Semantics::kStrict, nullptr);
+  c_.run_for(millis(300));
+  bool aborted = false;
+  c_.engine(0).submit({}, Command::checked_put("k", seen, "stale-write"), 1, Semantics::kStrict,
+                      [&](const Reply& r) { aborted = r.aborted; });
+  c_.run_for(millis(300));
+  EXPECT_TRUE(aborted);
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(c_.engine(i).database().get("k"), "conflict") << "node " << i;
+  }
+  EXPECT_EQ(c_.check_all(), std::nullopt);
+}
+
+TEST_F(SemanticsTest, DirtyDatabaseDoesNotPolluteGreenState) {
+  split_minority();
+  c_.engine(4).submit({}, Command::put("k", "red-only"), 1, Semantics::kStrict, nullptr);
+  c_.run_for(millis(100));
+  EXPECT_EQ(c_.engine(4).database().get("k"), "initial");       // green state clean
+  EXPECT_EQ(c_.engine(4).dirty_database().get("k"), "red-only");  // overlay sees it
+}
+
+}  // namespace
+}  // namespace tordb::core

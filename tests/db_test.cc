@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace tordb::db {
+namespace {
+
+TEST(Database, PutAndGet) {
+  Database d;
+  d.apply(Command::put("a", "1"));
+  EXPECT_EQ(d.get("a"), "1");
+  EXPECT_EQ(d.get("missing"), "");
+  EXPECT_EQ(d.version(), 1);
+}
+
+TEST(Database, AddIsNumeric) {
+  Database d;
+  d.apply(Command::add("n", 5));
+  d.apply(Command::add("n", -2));
+  EXPECT_EQ(d.get("n"), "3");
+}
+
+TEST(Database, AppendConcatenates) {
+  Database d;
+  d.apply(Command::append("s", "ab"));
+  d.apply(Command::append("s", "cd"));
+  EXPECT_EQ(d.get("s"), "abcd");
+}
+
+TEST(Database, GetReturnsReads) {
+  Database d;
+  d.apply(Command::put("a", "x"));
+  auto res = d.apply(Command::get("a"));
+  ASSERT_EQ(res.reads.size(), 1u);
+  EXPECT_EQ(res.reads[0], "x");
+  EXPECT_FALSE(res.aborted);
+}
+
+TEST(Database, CheckedPutAppliesWhenPreconditionHolds) {
+  Database d;
+  d.apply(Command::put("a", "old"));
+  auto res = d.apply(Command::checked_put("a", "old", "new"));
+  EXPECT_FALSE(res.aborted);
+  EXPECT_EQ(d.get("a"), "new");
+}
+
+TEST(Database, CheckedPutAbortsWhenPreconditionFails) {
+  // Paper §6: interactive transactions become an active action that first
+  // checks the values read earlier; all replicas abort identically.
+  Database d;
+  d.apply(Command::put("a", "changed"));
+  const std::int64_t v = d.version();
+  auto res = d.apply(Command::checked_put("a", "old", "new"));
+  EXPECT_TRUE(res.aborted);
+  EXPECT_EQ(d.get("a"), "changed");
+  EXPECT_EQ(d.version(), v);  // aborted commands do not bump the version
+}
+
+TEST(Database, AbortHasNoPartialEffects) {
+  Database d;
+  Command c;
+  c.ops.push_back(Op{OpType::kPut, "x", "1", 0});
+  c.ops.push_back(Op{OpType::kCheck, "nope", "must-be-this", 0});
+  auto res = d.apply(c);
+  EXPECT_TRUE(res.aborted);
+  EXPECT_EQ(d.get("x"), "");  // first op not applied either
+}
+
+TEST(Database, TimestampPutKeepsNewest) {
+  // Paper §6 timestamp update semantics: only the highest timestamp wins,
+  // regardless of apply order, so replicas converge without ordering.
+  Database a, b;
+  a.apply(Command::timestamp_put("loc", "newer", 10));
+  a.apply(Command::timestamp_put("loc", "older", 5));
+  b.apply(Command::timestamp_put("loc", "older", 5));
+  b.apply(Command::timestamp_put("loc", "newer", 10));
+  EXPECT_EQ(a.get("loc"), "newer");
+  EXPECT_EQ(b.get("loc"), "newer");
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Database, AddIsCommutative) {
+  // Paper §6 commutative update semantics (inventory example).
+  Database a, b;
+  a.apply(Command::add("stock", 7));
+  a.apply(Command::add("stock", -3));
+  b.apply(Command::add("stock", -3));
+  b.apply(Command::add("stock", 7));
+  EXPECT_EQ(a.get("stock"), "4");
+  EXPECT_EQ(a.digest(), b.digest());
+}
+
+TEST(Database, DeterministicAcrossReplicas) {
+  Database a, b;
+  std::vector<Command> cmds = {
+      Command::put("k1", "v1"), Command::add("n", 3), Command::append("s", "x"),
+      Command::checked_put("k1", "v1", "v2"), Command::timestamp_put("t", "late", 9)};
+  for (const auto& c : cmds) {
+    a.apply(c);
+    b.apply(c);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.version(), b.version());
+}
+
+TEST(Database, SnapshotRestoreRoundTrip) {
+  Database a;
+  a.apply(Command::put("a", "1"));
+  a.apply(Command::add("n", 42));
+  a.apply(Command::timestamp_put("t", "v", 7));
+  Database b;
+  b.restore(a.snapshot());
+  EXPECT_EQ(b.digest(), a.digest());
+  EXPECT_EQ(b.version(), a.version());
+  EXPECT_EQ(b.get("n"), "42");
+  // Timestamp metadata survives the transfer.
+  b.apply(Command::timestamp_put("t", "stale", 3));
+  EXPECT_EQ(b.get("t"), "v");
+}
+
+TEST(Database, SnapshotOfEmpty) {
+  Database a, b;
+  b.apply(Command::put("junk", "x"));
+  b.restore(a.snapshot());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.digest(), a.digest());
+}
+
+TEST(Database, DigestDetectsDifference) {
+  Database a, b;
+  a.apply(Command::put("a", "1"));
+  b.apply(Command::put("a", "2"));
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Database, CommandSerdeRoundTrip) {
+  Command c;
+  c.ops.push_back(Op{OpType::kPut, "k", "v", 0});
+  c.ops.push_back(Op{OpType::kAdd, "n", "", -17});
+  c.ops.push_back(Op{OpType::kCheck, "c", "expected", 0});
+  c.ops.push_back(Op{OpType::kTimestampPut, "t", "x", 123});
+  BufWriter w;
+  c.encode(w);
+  Bytes b = w.take();
+  BufReader r(b);
+  Command back = Command::decode(r);
+  EXPECT_EQ(back.ops, c.ops);
+}
+
+TEST(Database, CloneIsIndependent) {
+  Database a;
+  a.apply(Command::put("a", "1"));
+  Database b = a.clone();
+  b.apply(Command::put("a", "2"));
+  EXPECT_EQ(a.get("a"), "1");
+  EXPECT_EQ(b.get("a"), "2");
+}
+
+
+TEST(Database, DeleteRemovesKey) {
+  Database d;
+  d.apply(Command::put("a", "1"));
+  d.apply(Command::del("a"));
+  EXPECT_EQ(d.get("a"), "");
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(Database, DeleteMissingKeyIsNoop) {
+  Database d;
+  const auto before = d.digest();
+  d.apply(Command::del("never-there"));
+  EXPECT_EQ(d.digest(), before);
+  EXPECT_EQ(d.version(), 1);  // still counts as an applied command
+}
+
+TEST(Database, DeleteAffectsDigestAndSnapshot) {
+  Database a, b;
+  a.apply(Command::put("k", "v"));
+  b.apply(Command::put("k", "v"));
+  a.apply(Command::del("k"));
+  EXPECT_NE(a.digest(), b.digest());
+  Database c;
+  c.restore(a.snapshot());
+  EXPECT_EQ(c.get("k"), "");
+}
+
+TEST(Database, DeleteInsideCheckedCommand) {
+  Database d;
+  d.apply(Command::put("k", "old"));
+  Command c;
+  c.ops.push_back(Op{OpType::kCheck, "k", "old", 0});
+  c.ops.push_back(Op{OpType::kDelete, "k", "", 0});
+  EXPECT_FALSE(d.apply(c).aborted);
+  EXPECT_EQ(d.get("k"), "");
+}
+
+}  // namespace
+}  // namespace tordb::db

@@ -1,0 +1,129 @@
+// Targeted coverage of the flush (membership) protocol internals through
+// observable behaviour: coordinator contention, retry paths, retransmission
+// content, and configuration-id monotonicity across adversarial timings.
+#include <gtest/gtest.h>
+
+#include "gc_harness.h"
+
+namespace tordb::gc {
+namespace {
+
+using tordb::gc::testing::GcCluster;
+using tordb::gc::testing::parse_payload;
+
+TEST(GcFlush, CoordinatorIsLowestReachableId) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  // In {1,2,3} (node 0 isolated), node 1 coordinates and sequences.
+  c.net().set_components({{0}, {1, 2, 3}});
+  c.run_for(millis(500));
+  ASSERT_TRUE(c.converged({1, 2, 3}));
+  EXPECT_EQ(c.gc(1).config().id.coordinator, 1);
+  c.multicast(3, 1);
+  c.run_for(millis(100));
+  EXPECT_GT(c.gc(1).stats().messages_ordered, 0u);
+}
+
+TEST(GcFlush, ConfigCountersMonotoneThroughChaos) {
+  GcCluster c(5, 77);
+  c.run_for(millis(300));
+  for (int i = 0; i < 8; ++i) {
+    c.net().set_components(i % 2 ? std::vector<std::vector<NodeId>>{{0, 1, 2}, {3, 4}}
+                                 : std::vector<std::vector<NodeId>>{{0, 4}, {1, 2, 3}});
+    c.run_for(millis(60));
+  }
+  c.net().heal();
+  c.run_for(seconds(1));
+  for (NodeId n = 0; n < 5; ++n) {
+    const auto& regs = c.record(n).regulars;
+    for (std::size_t i = 1; i < regs.size(); ++i) {
+      EXPECT_GT(regs[i].id.counter, regs[i - 1].id.counter)
+          << "node " << n << " config " << i;
+    }
+  }
+  c.check_all_invariants();
+}
+
+TEST(GcFlush, RetransmissionFillsStragglerExactly) {
+  // One member of a component misses traffic only in the sense of being
+  // behind (slow acks); all members still deliver identical sets after the
+  // next flush — validated via virtual synchrony over a forced view change.
+  GcCluster c(3);
+  c.run_for(millis(500));
+  for (std::int64_t k = 1; k <= 25; ++k) c.multicast(0, k);
+  // Trigger a flush immediately: in-flight messages must be reconciled.
+  c.net().set_components({{0, 1, 2}});  // no-op topology "change"
+  c.run_for(millis(2));
+  c.net().set_components({{0, 1}, {2}});
+  c.run_for(seconds(1));
+  c.check_all_invariants();
+  // Both continuing members hold identical delivery sequences.
+  const auto& a = c.record(0).deliveries;
+  const auto& b = c.record(1).deliveries;
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].payload, b[i].payload);
+}
+
+TEST(GcFlush, MergeOfThreeSingletons) {
+  GcCluster c(3);
+  c.net().set_components({{0}, {1}, {2}});
+  c.run_for(millis(400));
+  EXPECT_TRUE(c.converged({0}));
+  EXPECT_TRUE(c.converged({1}));
+  EXPECT_TRUE(c.converged({2}));
+  // Each singleton orders its own traffic meanwhile.
+  c.multicast(0, 1);
+  c.multicast(1, 1);
+  c.multicast(2, 1);
+  c.run_for(millis(200));
+  c.net().heal();
+  c.run_for(seconds(1));
+  EXPECT_TRUE(c.converged({0, 1, 2}));
+  c.check_all_invariants();
+}
+
+TEST(GcFlush, AsymmetricDetectionStillConverges) {
+  // Stagger the changes so reachability notifications interleave: one node
+  // flips between components across two quick changes.
+  GcCluster c(5, 13);
+  c.run_for(millis(400));
+  c.net().set_components({{0, 1, 2, 3}, {4}});
+  c.run_for(micros(1200));  // detection window is 1ms: mid-flight
+  c.net().set_components({{0, 1}, {2, 3, 4}});
+  c.run_for(micros(1200));
+  c.net().set_components({{0, 1, 2}, {3, 4}});
+  c.run_for(seconds(1));
+  EXPECT_TRUE(c.converged({0, 1, 2}));
+  EXPECT_TRUE(c.converged({3, 4}));
+  c.check_all_invariants();
+}
+
+TEST(GcFlush, TrafficDuringRepeatedFlushesNeverReorders) {
+  GcCluster c(4, 31);
+  c.run_for(millis(400));
+  std::int64_t k = 0;
+  for (int round = 0; round < 10; ++round) {
+    for (int i = 0; i < 5; ++i) c.multicast(round % 4, ++k);
+    c.net().set_components(round % 2 ? std::vector<std::vector<NodeId>>{{0, 1, 2, 3}}
+                                     : std::vector<std::vector<NodeId>>{{0, 1}, {2, 3}});
+    c.run_for(millis(35));
+  }
+  c.net().heal();
+  c.run_for(seconds(1));
+  c.check_all_invariants();  // FIFO checker forbids reordering
+}
+
+TEST(GcFlush, GatherStatsAccount) {
+  GcCluster c(3);
+  c.run_for(millis(500));
+  const auto gathers = c.gc(0).stats().gathers_started;
+  EXPECT_GE(gathers, 1u);  // the startup merge
+  c.net().set_components({{0, 1}, {2}});
+  c.run_for(millis(500));
+  EXPECT_GT(c.gc(0).stats().gathers_started, gathers);
+  EXPECT_GE(c.gc(0).stats().regular_configs, 2u);
+  EXPECT_GE(c.gc(0).stats().transitional_configs, 1u);
+}
+
+}  // namespace
+}  // namespace tordb::gc

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "gc_harness.h"
+
+namespace tordb::gc {
+namespace {
+
+using testing::GcCluster;
+
+TEST(GcPartition, SplitFormsTwoConfigurations) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  ASSERT_TRUE(c.converged({0, 1, 2, 3}));
+  c.net().set_components({{0, 1}, {2, 3}});
+  c.run_for(millis(500));
+  EXPECT_TRUE(c.converged({0, 1}));
+  EXPECT_TRUE(c.converged({2, 3}));
+  EXPECT_NE(c.gc(0).config().id, c.gc(2).config().id);
+}
+
+TEST(GcPartition, TransitionalConfigDeliveredOnSplit) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  const ConfigId merged = c.gc(0).config().id;
+  c.net().set_components({{0, 1}, {2, 3}});
+  c.run_for(millis(500));
+  // Each side saw a transitional configuration of the merged config whose
+  // members are exactly the survivors on that side.
+  bool found = false;
+  for (const Configuration& t : c.record(0).transitionals) {
+    if (t.id == merged) {
+      EXPECT_EQ(t.members, (std::vector<NodeId>{0, 1}));
+      EXPECT_TRUE(t.transitional);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  found = false;
+  for (const Configuration& t : c.record(3).transitionals) {
+    if (t.id == merged) {
+      EXPECT_EQ(t.members, (std::vector<NodeId>{2, 3}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GcPartition, MergeReformsSingleConfiguration) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  c.net().set_components({{0, 1}, {2, 3}});
+  c.run_for(millis(500));
+  c.net().heal();
+  c.run_for(millis(500));
+  EXPECT_TRUE(c.converged({0, 1, 2, 3}));
+  c.check_all_invariants();
+}
+
+TEST(GcPartition, TrafficContinuesInBothComponentsAfterSplit) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  c.net().set_components({{0, 1}, {2, 3}});
+  c.run_for(millis(500));
+  c.multicast(0, 100);
+  c.multicast(3, 200);
+  c.run_for(millis(200));
+  // Side A delivered 0's message; side B delivered 3's; neither crossed.
+  auto delivered_in_current = [&](NodeId node, NodeId sender, std::int64_t k) {
+    for (const Delivery& d : c.record(node).deliveries) {
+      if (testing::parse_payload(d.payload) == std::make_pair(sender, k)) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(delivered_in_current(1, 0, 100));
+  EXPECT_FALSE(delivered_in_current(2, 0, 100));
+  EXPECT_TRUE(delivered_in_current(2, 3, 200));
+  EXPECT_FALSE(delivered_in_current(0, 3, 200));
+}
+
+TEST(GcPartition, InFlightMessagesRespectTrichotomy) {
+  GcCluster c(6);
+  c.run_for(millis(500));
+  std::vector<NodeId> all{0, 1, 2, 3, 4, 5};
+  ASSERT_TRUE(c.converged(all));
+  // Blast messages and split mid-stream, several times.
+  std::int64_t k = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (int burst = 0; burst < 20; ++burst) {
+      for (NodeId n = 0; n < 6; ++n) c.multicast(n, ++k);
+      c.run_for(micros(300));
+    }
+    c.net().set_components({{0, 1, 2}, {3, 4, 5}});
+    c.run_for(millis(400));
+    c.net().heal();
+    c.run_for(millis(600));
+  }
+  c.check_all_invariants();
+}
+
+TEST(GcPartition, MessageSentDuringGatherDeliveredAfterInstall) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  c.net().set_components({{0, 1}, {2, 3}});
+  // Within the detection window the GC has not noticed yet; right after the
+  // notification it is gathering. Send then.
+  c.run_for(millis(2));
+  c.multicast(0, 42);
+  c.run_for(millis(800));
+  bool delivered_at_1 = false;
+  for (const Delivery& d : c.record(1).deliveries) {
+    if (testing::parse_payload(d.payload) == std::make_pair(NodeId{0}, std::int64_t{42})) {
+      delivered_at_1 = true;
+    }
+  }
+  EXPECT_TRUE(delivered_at_1);
+  c.check_all_invariants();
+}
+
+TEST(GcPartition, CrashShrinksMembership) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  c.crash(3);
+  c.run_for(millis(500));
+  EXPECT_TRUE(c.converged({0, 1, 2}));
+}
+
+TEST(GcPartition, SequencerCrashFailsOver) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  c.crash(0);  // node 0 is the sequencer
+  c.run_for(millis(500));
+  ASSERT_TRUE(c.converged({1, 2, 3}));
+  // New sequencer (node 1) orders traffic.
+  c.multicast(2, 1);
+  c.run_for(millis(200));
+  EXPECT_EQ(c.record(1).deliveries.size(), 1u);
+  EXPECT_EQ(c.record(2).deliveries.size(), 1u);
+  EXPECT_EQ(c.record(3).deliveries.size(), 1u);
+  EXPECT_GT(c.gc(1).stats().messages_ordered, 0u);
+}
+
+TEST(GcPartition, RecoveredNodeRejoins) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  c.crash(2);
+  c.run_for(millis(500));
+  ASSERT_TRUE(c.converged({0, 1, 3}));
+  c.recover(2);
+  c.run_for(millis(800));
+  EXPECT_TRUE(c.converged({0, 1, 2, 3}));
+  // The rejoined node's config counter moved past everything it saw before.
+  c.check_all_invariants();
+}
+
+TEST(GcPartition, ThreeWaySplitAndStaggeredMerge) {
+  GcCluster c(6);
+  c.run_for(millis(500));
+  c.net().set_components({{0, 1}, {2, 3}, {4, 5}});
+  c.run_for(millis(600));
+  EXPECT_TRUE(c.converged({0, 1}));
+  EXPECT_TRUE(c.converged({2, 3}));
+  EXPECT_TRUE(c.converged({4, 5}));
+  c.net().set_components({{0, 1, 2, 3}, {4, 5}});
+  c.run_for(millis(600));
+  EXPECT_TRUE(c.converged({0, 1, 2, 3}));
+  c.net().heal();
+  c.run_for(millis(600));
+  EXPECT_TRUE(c.converged({0, 1, 2, 3, 4, 5}));
+  c.check_all_invariants();
+}
+
+TEST(GcPartition, CascadingChangesEventuallySettle) {
+  GcCluster c(5);
+  c.run_for(millis(300));
+  // Rapid-fire topology changes, faster than gathers can complete.
+  c.net().set_components({{0, 1, 2}, {3, 4}});
+  c.run_for(millis(15));
+  c.net().set_components({{0, 1}, {2, 3, 4}});
+  c.run_for(millis(15));
+  c.net().set_components({{0}, {1, 2}, {3, 4}});
+  c.run_for(millis(15));
+  c.net().heal();
+  c.run_for(seconds(1));
+  EXPECT_TRUE(c.converged({0, 1, 2, 3, 4}));
+  c.check_all_invariants();
+}
+
+TEST(GcPartition, IsolatedNodeFormsSingleton) {
+  GcCluster c(3);
+  c.run_for(millis(500));
+  c.net().set_components({{0}, {1, 2}});
+  c.run_for(millis(500));
+  EXPECT_TRUE(c.converged({0}));
+  EXPECT_EQ(c.gc(0).config().members, (std::vector<NodeId>{0}));
+  // The singleton still makes progress.
+  c.multicast(0, 5);
+  c.run_for(millis(100));
+  bool got = false;
+  for (const Delivery& d : c.record(0).deliveries) {
+    if (testing::parse_payload(d.payload).second == 5) got = true;
+  }
+  EXPECT_TRUE(got);
+}
+
+TEST(GcPartition, SafeMessageNotDeliveredSafeWithoutStability) {
+  // Split immediately after sending: the message may be delivered in the
+  // transitional configuration but must never be claimed safe-in-regular by
+  // one side while the other side never sees it — checked by the
+  // trichotomy checker over many interleavings in the property test; here
+  // we check the basic case.
+  GcCluster c(4);
+  c.run_for(millis(500));
+  for (std::int64_t k = 1; k <= 10; ++k) c.multicast(0, k);
+  c.net().set_components({{0, 1}, {2, 3}});
+  c.run_for(seconds(1));
+  c.check_safe_trichotomy();
+  c.check_virtual_synchrony();
+}
+
+TEST(GcPartition, ManyCrashRecoverCycles) {
+  GcCluster c(4);
+  c.run_for(millis(500));
+  for (int i = 0; i < 3; ++i) {
+    c.crash(1);
+    c.run_for(millis(400));
+    EXPECT_TRUE(c.converged({0, 2, 3}));
+    c.recover(1);
+    c.run_for(millis(600));
+    EXPECT_TRUE(c.converged({0, 1, 2, 3}));
+  }
+  c.check_all_invariants();
+}
+
+}  // namespace
+}  // namespace tordb::gc

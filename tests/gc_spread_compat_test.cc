@@ -1,0 +1,122 @@
+// Spread-style facade: join/leave, service types, poll-receive, membership
+// events in Spread's event model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gc/spread_compat.h"
+#include "sim/simulator.h"
+
+namespace tordb::gc {
+namespace {
+
+class SpreadCompatTest : public ::testing::Test {
+ protected:
+  SpreadCompatTest() : sim_(5), net_(sim_) {
+    for (NodeId n = 0; n < 3; ++n) {
+      net_.add_node(n);
+      mboxes_.push_back(std::make_unique<SpreadMailbox>(net_, n));
+    }
+  }
+
+  void join_all() {
+    for (auto& m : mboxes_) m->join();
+    sim_.run_for(seconds(1));
+  }
+
+  std::vector<SpEvent> drain(NodeId n) {
+    std::vector<SpEvent> events;
+    while (auto ev = mboxes_[static_cast<std::size_t>(n)]->receive()) {
+      events.push_back(std::move(*ev));
+    }
+    return events;
+  }
+
+  Simulator sim_;
+  Network net_;
+  std::vector<std::unique_ptr<SpreadMailbox>> mboxes_;
+};
+
+TEST_F(SpreadCompatTest, JoinDeliversMembershipEvents) {
+  join_all();
+  auto events = drain(0);
+  ASSERT_FALSE(events.empty());
+  // The last regular membership covers all three members.
+  const SpEvent* last_reg = nullptr;
+  for (const auto& ev : events) {
+    if (ev.type == SpEventType::kRegularMembership) last_reg = &ev;
+  }
+  ASSERT_NE(last_reg, nullptr);
+  EXPECT_EQ(last_reg->members, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(mboxes_[0]->current_members(), (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST_F(SpreadCompatTest, SafeMulticastDeliveredEverywhereInOrder) {
+  join_all();
+  for (NodeId n = 0; n < 3; ++n) drain(n);
+  mboxes_[1]->multicast(Bytes{1}, SpService::kSafe);
+  mboxes_[1]->multicast(Bytes{2}, SpService::kSafe);
+  sim_.run_for(millis(200));
+  for (NodeId n = 0; n < 3; ++n) {
+    auto events = drain(n);
+    ASSERT_EQ(events.size(), 2u) << "node " << n;
+    EXPECT_EQ(events[0].payload, Bytes{1});
+    EXPECT_EQ(events[1].payload, Bytes{2});
+    EXPECT_TRUE(events[0].safe_delivered);
+    EXPECT_EQ(events[0].sender, 1);
+  }
+}
+
+TEST_F(SpreadCompatTest, AgreedServiceMarksNonSafe) {
+  join_all();
+  for (NodeId n = 0; n < 3; ++n) drain(n);
+  mboxes_[0]->multicast(Bytes{7}, SpService::kAgreed);
+  sim_.run_for(millis(100));
+  auto events = drain(2);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].safe_delivered);
+}
+
+TEST_F(SpreadCompatTest, PartitionProducesTransitionThenRegular) {
+  join_all();
+  for (NodeId n = 0; n < 3; ++n) drain(n);
+  net_.set_components({{0, 1}, {2}});
+  sim_.run_for(seconds(1));
+  auto events = drain(0);
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_EQ(events[0].type, SpEventType::kTransitionalMembership);
+  EXPECT_EQ(events[1].type, SpEventType::kRegularMembership);
+  EXPECT_EQ(events[1].members, (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(SpreadCompatTest, LeaveShrinksMembership) {
+  join_all();
+  mboxes_[2]->leave();
+  sim_.run_for(seconds(1));
+  EXPECT_EQ(mboxes_[0]->current_members(), (std::vector<NodeId>{0, 1}));
+  EXPECT_FALSE(mboxes_[2]->joined());
+}
+
+TEST_F(SpreadCompatTest, RejoinAfterLeave) {
+  join_all();
+  mboxes_[2]->leave();
+  sim_.run_for(seconds(1));
+  mboxes_[2]->join();
+  sim_.run_for(seconds(1));
+  EXPECT_EQ(mboxes_[0]->current_members(), (std::vector<NodeId>{0, 1, 2}));
+  // Messages flow to the re-joined member.
+  for (NodeId n = 0; n < 3; ++n) drain(n);
+  mboxes_[0]->multicast(Bytes{9}, SpService::kSafe);
+  sim_.run_for(millis(200));
+  auto events = drain(2);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].payload, Bytes{9});
+}
+
+TEST_F(SpreadCompatTest, ReceiveOnEmptyMailboxReturnsNothing) {
+  EXPECT_EQ(mboxes_[0]->receive(), std::nullopt);
+  EXPECT_FALSE(mboxes_[0]->has_pending());
+}
+
+}  // namespace
+}  // namespace tordb::gc

@@ -1,0 +1,301 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/network.h"
+#include "sim/simulator.h"
+
+namespace tordb {
+namespace {
+
+TEST(Simulator, ExecutesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.at(millis(3), [&] { order.push_back(3); });
+  sim.at(millis(1), [&] { order.push_back(1); });
+  sim.at(millis(2), [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), millis(3));
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) sim.at(millis(1), [&order, i] { order.push_back(i); });
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> times;
+  sim.after(millis(1), [&] {
+    times.push_back(sim.now());
+    sim.after(millis(1), [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], millis(1));
+  EXPECT_EQ(times[1], millis(2));
+}
+
+TEST(Simulator, PastEventClampsToNow) {
+  Simulator sim;
+  sim.at(millis(5), [] {});
+  sim.run();
+  bool ran = false;
+  sim.at(millis(1), [&] { ran = true; });  // in the past
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), millis(5));
+}
+
+TEST(Simulator, RunUntilAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.at(millis(2), [&] { ++fired; });
+  sim.at(millis(10), [&] { ++fired; });
+  sim.run_until(millis(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), millis(5));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, CancelableDoesNotFire) {
+  Simulator sim;
+  bool fired = false;
+  Cancelable c = sim.after_cancelable(millis(1), [&] { fired = true; });
+  c.cancel();
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunWithLimit) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.at(millis(i), [] {});
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(sim.run(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : sim_(42), net_(sim_, quiet_params()) {
+    for (NodeId n : {0, 1, 2, 3}) {
+      net_.add_node(n);
+      net_.set_packet_handler(n, [this, n](NodeId from, const Bytes& p) {
+        received_.push_back({n, from, p});
+      });
+    }
+  }
+
+  static NetworkParams quiet_params() {
+    NetworkParams p;
+    p.jitter = 0;  // deterministic latencies for exact assertions
+    return p;
+  }
+
+  struct Recv {
+    NodeId at;
+    NodeId from;
+    Bytes payload;
+  };
+
+  Bytes payload(std::initializer_list<std::uint8_t> b) { return Bytes(b); }
+
+  Simulator sim_;
+  Network net_;
+  std::vector<Recv> received_;
+};
+
+TEST_F(NetworkTest, DeliversBetweenConnectedNodes) {
+  net_.send(0, 1, payload({1, 2, 3}));
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, 1);
+  EXPECT_EQ(received_[0].from, 0);
+  EXPECT_EQ(received_[0].payload, payload({1, 2, 3}));
+}
+
+TEST_F(NetworkTest, SelfSendDelivered) {
+  net_.send(2, 2, payload({9}));
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, 2);
+  EXPECT_EQ(received_[0].from, 2);
+}
+
+TEST_F(NetworkTest, LinkIsFifo) {
+  for (std::uint8_t i = 0; i < 50; ++i) net_.send(0, 1, payload({i}));
+  sim_.run();
+  ASSERT_EQ(received_.size(), 50u);
+  for (std::uint8_t i = 0; i < 50; ++i) EXPECT_EQ(received_[i].payload[0], i);
+}
+
+TEST_F(NetworkTest, PartitionBlocksTraffic) {
+  net_.set_components({{0, 1}, {2, 3}});
+  sim_.run();
+  received_.clear();
+  net_.send(0, 2, payload({1}));
+  net_.send(0, 1, payload({2}));
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].payload[0], 2);
+}
+
+TEST_F(NetworkTest, InFlightMessageLostOnPartition) {
+  net_.send(0, 2, payload({7}));  // in flight...
+  net_.set_components({{0, 1}, {2, 3}});  // ...when the network splits
+  sim_.run();
+  EXPECT_TRUE(received_.empty());
+}
+
+TEST_F(NetworkTest, MergeRestoresTraffic) {
+  net_.set_components({{0, 1}, {2, 3}});
+  sim_.run();
+  net_.heal();
+  net_.send(0, 3, payload({4}));
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, 3);
+}
+
+TEST_F(NetworkTest, CrashedNodeReceivesNothing) {
+  net_.crash(1);
+  net_.send(0, 1, payload({1}));
+  sim_.run();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_FALSE(net_.alive(1));
+}
+
+TEST_F(NetworkTest, CrashedNodeSendsNothing) {
+  net_.crash(0);
+  net_.send(0, 1, payload({1}));
+  sim_.run();
+  EXPECT_TRUE(received_.empty());
+}
+
+TEST_F(NetworkTest, InFlightToCrashedNodeDropped) {
+  net_.send(0, 1, payload({1}));
+  net_.crash(1);  // crash while in flight
+  sim_.run();
+  EXPECT_TRUE(received_.empty());
+}
+
+TEST_F(NetworkTest, RecoveryAllowsTrafficAgain) {
+  net_.crash(1);
+  sim_.run();
+  net_.recover(1);
+  net_.send(0, 1, payload({1}));
+  sim_.run();
+  ASSERT_EQ(received_.size(), 1u);
+}
+
+TEST_F(NetworkTest, ReachableSetReflectsTopology) {
+  net_.set_components({{0, 1, 2}, {3}});
+  net_.crash(2);
+  EXPECT_EQ(net_.reachable_set(0), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(net_.reachable_set(3), (std::vector<NodeId>{3}));
+  EXPECT_TRUE(net_.reachable_set(2).empty());
+}
+
+TEST_F(NetworkTest, ReachabilityNotificationOnChange) {
+  std::vector<std::vector<NodeId>> seen;
+  net_.set_reachability_handler(0, [&](const std::vector<NodeId>& r) { seen.push_back(r); });
+  sim_.run();
+  ASSERT_EQ(seen.size(), 1u);  // initial notification
+  EXPECT_EQ(seen[0], (std::vector<NodeId>{0, 1, 2, 3}));
+  net_.set_components({{0, 1}, {2, 3}});
+  sim_.run();
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[1], (std::vector<NodeId>{0, 1}));
+}
+
+TEST_F(NetworkTest, NotificationsCoalesce) {
+  std::vector<std::vector<NodeId>> seen;
+  net_.set_reachability_handler(0, [&](const std::vector<NodeId>& r) { seen.push_back(r); });
+  sim_.run();
+  seen.clear();
+  // Two rapid changes within the detection delay produce one notification
+  // with the final state.
+  net_.set_components({{0, 1}, {2, 3}});
+  net_.set_components({{0}, {1, 2, 3}});
+  sim_.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], (std::vector<NodeId>{0}));
+}
+
+TEST_F(NetworkTest, ProcessingSerializesOnReceiver) {
+  // Flood node 1; its busy horizon must extend beyond a single message cost.
+  for (int i = 0; i < 100; ++i) net_.send(0, 1, Bytes(100));
+  sim_.run();
+  EXPECT_EQ(received_.size(), 100u);
+  // 100 messages * (proc_per_message + 100 * proc_per_byte) of CPU.
+  const SimDuration per = net_.params().proc_per_message + 100 * net_.params().proc_per_byte;
+  EXPECT_GE(net_.busy_until(1), 100 * per);
+}
+
+TEST_F(NetworkTest, LatencyScalesWithSize) {
+  SimTime t_small = 0, t_big = 0;
+  net_.set_packet_handler(1, [&](NodeId, const Bytes& p) {
+    if (p.size() < 100) {
+      t_small = sim_.now();
+    } else {
+      t_big = sim_.now();
+    }
+  });
+  const SimTime start_small = sim_.now();
+  net_.send(0, 1, Bytes(10));
+  sim_.run();
+  const SimTime start_big = sim_.now();
+  net_.send(0, 1, Bytes(10000));
+  sim_.run();
+  const SimDuration lat_small = t_small - start_small;
+  const SimDuration lat_big = t_big - start_big;
+  EXPECT_GT(lat_big - lat_small, net_.params().per_byte_latency * 9000);
+}
+
+TEST_F(NetworkTest, StatsCount) {
+  net_.send(0, 1, payload({1}));
+  net_.set_components({{0}, {1, 2, 3}});
+  net_.send(0, 1, payload({2}));  // dropped
+  sim_.run();
+  EXPECT_EQ(net_.stats().messages_sent, 2u);
+  EXPECT_GE(net_.stats().messages_dropped, 1u);
+}
+
+TEST(NetworkStandalone, MulticastReachesAllListed) {
+  Simulator sim(1);
+  Network net(sim);
+  std::vector<NodeId> got;
+  for (NodeId n : {0, 1, 2}) {
+    net.add_node(n);
+    net.set_packet_handler(n, [&got, n](NodeId, const Bytes&) { got.push_back(n); });
+  }
+  net.multicast(0, {0, 1, 2}, Bytes{1});
+  sim.run();
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(NetworkStandalone, ChargeDelaysDelivery) {
+  Simulator sim(1);
+  NetworkParams p;
+  p.jitter = 0;
+  Network net(sim, p);
+  net.add_node(0);
+  net.add_node(1);
+  SimTime delivered = -1;
+  net.set_packet_handler(1, [&](NodeId, const Bytes&) { delivered = sim.now(); });
+  net.charge(1, millis(50));
+  net.send(0, 1, Bytes{1});
+  sim.run();
+  EXPECT_GE(delivered, millis(50));
+}
+
+}  // namespace
+}  // namespace tordb

@@ -1,0 +1,156 @@
+// The scenario language: parsing, execution, expectations.
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace tordb::workload {
+namespace {
+
+TEST(Scenario, ParsesAndRunsMinimalScript) {
+  auto sc = Scenario::parse(R"(
+replicas 3
+run 1s
+submit 0 put k v
+run 300ms
+expect-get 2 k v
+expect-converged 0,1,2
+expect-consistent
+)");
+  EXPECT_EQ(sc.statement_count(), 7u);
+  auto result = sc.run();
+  EXPECT_TRUE(result.ok) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(Scenario, CommentsAndBlankLinesIgnored) {
+  auto sc = Scenario::parse(R"(
+# leading comment
+replicas 2   # trailing comment
+
+run 500ms
+)");
+  EXPECT_EQ(sc.statement_count(), 2u);
+  EXPECT_TRUE(sc.run().ok);
+}
+
+TEST(Scenario, FailedExpectationReported) {
+  auto sc = Scenario::parse(R"(
+replicas 3
+run 1s
+expect-get 0 missing there
+)");
+  auto result = sc.run();
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.failures.size(), 1u);
+  EXPECT_NE(result.failures[0].find("line 4"), std::string::npos);
+}
+
+TEST(Scenario, PartitionAndStateExpectations) {
+  auto sc = Scenario::parse(R"(
+replicas 5
+run 1s
+partition 0,1,2 | 3,4
+run 1s
+expect-state 0 RegPrim
+expect-state 4 NonPrim
+submit 4 put k red-only
+run 300ms
+expect-red 4 1
+heal
+run 2s
+expect-get 0 k red-only
+expect-consistent
+)");
+  auto result = sc.run();
+  EXPECT_TRUE(result.ok) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(Scenario, PartitionFillsMissingNodesAsSingletons) {
+  auto sc = Scenario::parse(R"(
+replicas 4
+run 1s
+partition 0,1   # nodes 2 and 3 become singletons automatically
+run 1s
+expect-state 2 NonPrim
+expect-state 3 NonPrim
+)");
+  EXPECT_TRUE(sc.run().ok);
+}
+
+TEST(Scenario, JoinLeaveCrashRecover) {
+  auto sc = Scenario::parse(R"(
+replicas 3
+run 1s
+submit 0 put k v
+run 300ms
+join 3 via 0,1
+run 3s
+expect-get 3 k v
+crash 2
+run 1s
+recover 2
+run 2s
+leave 1
+run 2s
+expect-converged 0,2,3
+expect-consistent
+)");
+  auto result = sc.run();
+  EXPECT_TRUE(result.ok) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(Scenario, SemanticsStatements) {
+  auto sc = Scenario::parse(R"(
+replicas 5
+run 1s
+partition 0,1,2 | 3,4
+run 500ms
+submit-commutative 4 add stock -3
+submit-commutative 0 add stock 10
+submit-timestamp 3 gps late 100
+submit-timestamp 1 gps early 50
+run 500ms
+heal
+run 2s
+expect-get 0 stock 7
+expect-get 4 gps late
+expect-consistent
+)");
+  auto result = sc.run();
+  EXPECT_TRUE(result.ok) << (result.failures.empty() ? "" : result.failures[0]);
+}
+
+TEST(Scenario, QueryNarration) {
+  auto sc = Scenario::parse(R"(
+replicas 3
+run 1s
+submit 0 put k v
+run 300ms
+query 1 weak k
+)");
+  auto result = sc.run();
+  ASSERT_EQ(result.narration.size(), 1u);
+  EXPECT_NE(result.narration[0].find("k = \"v\""), std::string::npos);
+}
+
+TEST(Scenario, ParseErrors) {
+  EXPECT_THROW(Scenario::parse("run 1s"), std::runtime_error);  // no replicas first
+  EXPECT_THROW(Scenario::parse("replicas 3\nrun 5m"), std::runtime_error);  // bad unit
+  EXPECT_THROW(Scenario::parse("replicas 3\nfrobnicate"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("replicas 3\nexpect-state 0 Bogus"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("replicas 3\npartition |"), std::runtime_error);
+  EXPECT_THROW(Scenario::parse("replicas 3\nsubmit 0 frob k v"), std::runtime_error);
+}
+
+TEST(Scenario, StatusNarratesEveryNode) {
+  auto sc = Scenario::parse(R"(
+replicas 3
+run 1s
+status
+)");
+  auto result = sc.run();
+  EXPECT_EQ(result.narration.size(), 3u);
+  EXPECT_NE(result.narration[0].find("RegPrim"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tordb::workload
