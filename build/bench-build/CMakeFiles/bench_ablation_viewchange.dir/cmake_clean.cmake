@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_viewchange"
+  "../bench/bench_ablation_viewchange.pdb"
+  "CMakeFiles/bench_ablation_viewchange.dir/bench_ablation_viewchange.cc.o"
+  "CMakeFiles/bench_ablation_viewchange.dir/bench_ablation_viewchange.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_viewchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_wan"
+  "../bench/bench_ablation_wan.pdb"
+  "CMakeFiles/bench_ablation_wan.dir/bench_ablation_wan.cc.o"
+  "CMakeFiles/bench_ablation_wan.dir/bench_ablation_wan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_wan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5b_disk_writes"
+  "../bench/bench_fig5b_disk_writes.pdb"
+  "CMakeFiles/bench_fig5b_disk_writes.dir/bench_fig5b_disk_writes.cc.o"
+  "CMakeFiles/bench_fig5b_disk_writes.dir/bench_fig5b_disk_writes.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_disk_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

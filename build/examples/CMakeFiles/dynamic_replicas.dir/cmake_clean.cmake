@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_replicas.dir/dynamic_replicas.cpp.o"
+  "CMakeFiles/dynamic_replicas.dir/dynamic_replicas.cpp.o.d"
+  "dynamic_replicas"
+  "dynamic_replicas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_replicas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/tordb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tordb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tordb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/gc/CMakeFiles/tordb_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tordb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tordb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tordb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tordb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sessions.dir/sessions.cpp.o"
+  "CMakeFiles/sessions.dir/sessions.cpp.o.d"
+  "sessions"
+  "sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tordb_baselines.dir/corel.cc.o"
+  "CMakeFiles/tordb_baselines.dir/corel.cc.o.d"
+  "CMakeFiles/tordb_baselines.dir/twopc.cc.o"
+  "CMakeFiles/tordb_baselines.dir/twopc.cc.o.d"
+  "libtordb_baselines.a"
+  "libtordb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tordb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

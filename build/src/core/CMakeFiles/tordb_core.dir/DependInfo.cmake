@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action.cc" "src/core/CMakeFiles/tordb_core.dir/action.cc.o" "gcc" "src/core/CMakeFiles/tordb_core.dir/action.cc.o.d"
+  "/root/repo/src/core/client_session.cc" "src/core/CMakeFiles/tordb_core.dir/client_session.cc.o" "gcc" "src/core/CMakeFiles/tordb_core.dir/client_session.cc.o.d"
+  "/root/repo/src/core/messages.cc" "src/core/CMakeFiles/tordb_core.dir/messages.cc.o" "gcc" "src/core/CMakeFiles/tordb_core.dir/messages.cc.o.d"
+  "/root/repo/src/core/replica_node.cc" "src/core/CMakeFiles/tordb_core.dir/replica_node.cc.o" "gcc" "src/core/CMakeFiles/tordb_core.dir/replica_node.cc.o.d"
+  "/root/repo/src/core/replication_engine.cc" "src/core/CMakeFiles/tordb_core.dir/replication_engine.cc.o" "gcc" "src/core/CMakeFiles/tordb_core.dir/replication_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gc/CMakeFiles/tordb_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/tordb_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tordb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tordb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tordb_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

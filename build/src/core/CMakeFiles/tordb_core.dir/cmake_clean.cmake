@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tordb_core.dir/action.cc.o"
+  "CMakeFiles/tordb_core.dir/action.cc.o.d"
+  "CMakeFiles/tordb_core.dir/client_session.cc.o"
+  "CMakeFiles/tordb_core.dir/client_session.cc.o.d"
+  "CMakeFiles/tordb_core.dir/messages.cc.o"
+  "CMakeFiles/tordb_core.dir/messages.cc.o.d"
+  "CMakeFiles/tordb_core.dir/replica_node.cc.o"
+  "CMakeFiles/tordb_core.dir/replica_node.cc.o.d"
+  "CMakeFiles/tordb_core.dir/replication_engine.cc.o"
+  "CMakeFiles/tordb_core.dir/replication_engine.cc.o.d"
+  "libtordb_core.a"
+  "libtordb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tordb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

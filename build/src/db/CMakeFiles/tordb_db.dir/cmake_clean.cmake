@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tordb_db.dir/database.cc.o"
+  "CMakeFiles/tordb_db.dir/database.cc.o.d"
+  "libtordb_db.a"
+  "libtordb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tordb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

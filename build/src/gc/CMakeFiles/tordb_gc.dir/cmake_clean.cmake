@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tordb_gc.dir/group_communication.cc.o"
+  "CMakeFiles/tordb_gc.dir/group_communication.cc.o.d"
+  "CMakeFiles/tordb_gc.dir/messages.cc.o"
+  "CMakeFiles/tordb_gc.dir/messages.cc.o.d"
+  "CMakeFiles/tordb_gc.dir/spread_compat.cc.o"
+  "CMakeFiles/tordb_gc.dir/spread_compat.cc.o.d"
+  "libtordb_gc.a"
+  "libtordb_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tordb_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

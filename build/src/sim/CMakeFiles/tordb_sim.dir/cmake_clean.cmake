@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tordb_sim.dir/network.cc.o"
+  "CMakeFiles/tordb_sim.dir/network.cc.o.d"
+  "CMakeFiles/tordb_sim.dir/simulator.cc.o"
+  "CMakeFiles/tordb_sim.dir/simulator.cc.o.d"
+  "libtordb_sim.a"
+  "libtordb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tordb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

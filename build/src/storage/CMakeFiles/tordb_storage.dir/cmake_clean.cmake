@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tordb_storage.dir/stable_storage.cc.o"
+  "CMakeFiles/tordb_storage.dir/stable_storage.cc.o.d"
+  "libtordb_storage.a"
+  "libtordb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tordb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

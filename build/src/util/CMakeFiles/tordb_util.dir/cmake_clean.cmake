@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tordb_util.dir/log.cc.o"
+  "CMakeFiles/tordb_util.dir/log.cc.o.d"
+  "CMakeFiles/tordb_util.dir/types.cc.o"
+  "CMakeFiles/tordb_util.dir/types.cc.o.d"
+  "libtordb_util.a"
+  "libtordb_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tordb_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tordb_workload.dir/cluster.cc.o"
+  "CMakeFiles/tordb_workload.dir/cluster.cc.o.d"
+  "CMakeFiles/tordb_workload.dir/experiments.cc.o"
+  "CMakeFiles/tordb_workload.dir/experiments.cc.o.d"
+  "CMakeFiles/tordb_workload.dir/scenario.cc.o"
+  "CMakeFiles/tordb_workload.dir/scenario.cc.o.d"
+  "libtordb_workload.a"
+  "libtordb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tordb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dynamic_test.dir/core_dynamic_test.cc.o"
+  "CMakeFiles/core_dynamic_test.dir/core_dynamic_test.cc.o.d"
+  "core_dynamic_test"
+  "core_dynamic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dynamic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_exchange_test.dir/core_exchange_test.cc.o"
+  "CMakeFiles/core_exchange_test.dir/core_exchange_test.cc.o.d"
+  "core_exchange_test"
+  "core_exchange_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_exchange_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

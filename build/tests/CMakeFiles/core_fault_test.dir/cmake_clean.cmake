@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_fault_test.dir/core_fault_test.cc.o"
+  "CMakeFiles/core_fault_test.dir/core_fault_test.cc.o.d"
+  "core_fault_test"
+  "core_fault_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_flush_test.dir/gc_flush_test.cc.o"
+  "CMakeFiles/gc_flush_test.dir/gc_flush_test.cc.o.d"
+  "gc_flush_test"
+  "gc_flush_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_flush_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

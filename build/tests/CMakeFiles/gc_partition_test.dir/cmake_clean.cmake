@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_partition_test.dir/gc_partition_test.cc.o"
+  "CMakeFiles/gc_partition_test.dir/gc_partition_test.cc.o.d"
+  "gc_partition_test"
+  "gc_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_regression_test.dir/gc_regression_test.cc.o"
+  "CMakeFiles/gc_regression_test.dir/gc_regression_test.cc.o.d"
+  "gc_regression_test"
+  "gc_regression_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

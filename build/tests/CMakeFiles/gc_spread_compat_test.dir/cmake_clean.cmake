@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_spread_compat_test.dir/gc_spread_compat_test.cc.o"
+  "CMakeFiles/gc_spread_compat_test.dir/gc_spread_compat_test.cc.o.d"
+  "gc_spread_compat_test"
+  "gc_spread_compat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_spread_compat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_wan_test.dir/sim_wan_test.cc.o"
+  "CMakeFiles/sim_wan_test.dir/sim_wan_test.cc.o.d"
+  "sim_wan_test"
+  "sim_wan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_wan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_scenario_test.dir/workload_scenario_test.cc.o"
+  "CMakeFiles/workload_scenario_test.dir/workload_scenario_test.cc.o.d"
+  "workload_scenario_test"
+  "workload_scenario_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_scenario_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
