@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/action.h"
+#include "core/action_log.h"
 #include "core/messages.h"
 #include "db/database.h"
 #include "sim/simulator.h"
@@ -63,6 +64,57 @@ void BM_DatabaseSnapshot(benchmark::State& state) {
   for (auto _ : state) benchmark::DoNotOptimize(d.snapshot());
 }
 BENCHMARK(BM_DatabaseSnapshot)->Arg(100)->Arg(10000);
+
+core::Action mk_action(NodeId creator, std::int64_t index) {
+  core::Action a;
+  a.id = ActionId{creator, index};
+  a.update = db::Command::add("k" + std::to_string(index % 64), 1);
+  return a;
+}
+
+void BM_ActionLogMarkGreen(benchmark::State& state) {
+  // Throughput of the engine's hottest coloring path: admit an action red
+  // and append it to the green sequence, round-robin over 8 creators.
+  const int kCreators = 8;
+  std::vector<std::int64_t> next(kCreators, 1);
+  core::ActionLog log;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const NodeId c = static_cast<NodeId>(i++ % kCreators);
+    benchmark::DoNotOptimize(log.mark_green(mk_action(c, next[c]++)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ActionLogMarkGreen);
+
+void BM_ActionLogTrimWhite(benchmark::State& state) {
+  // Cost of trimming the white prefix out of a log holding range(0) green
+  // actions (body release + green-vector compaction), per trimmed action.
+  const std::int64_t n = state.range(0);
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::ActionLog log;
+    for (std::int64_t i = 1; i <= n; ++i) log.mark_green(mk_action(0, i));
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(log.trim_white_to(n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ActionLogTrimWhite)->Arg(10000)->Arg(100000);
+
+void BM_ActionLogGreenPositionLookup(benchmark::State& state) {
+  core::ActionLog log;
+  const std::int64_t n = 100000;
+  for (std::int64_t i = 1; i <= n; ++i) log.mark_green(mk_action(0, i));
+  log.trim_white_to(n / 2);  // half the positions behind the trim offset
+  std::int64_t pos = n / 2;
+  for (auto _ : state) {
+    if (++pos > n) pos = n / 2 + 1;
+    benchmark::DoNotOptimize(log.green_body_at(pos));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ActionLogGreenPositionLookup);
 
 void BM_SimulatedReplicatedAction(benchmark::State& state) {
   // Real-time cost of simulating one fully replicated action on a

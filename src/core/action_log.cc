@@ -1,0 +1,205 @@
+#include "core/action_log.h"
+
+#include <algorithm>
+
+namespace tordb::core {
+
+std::vector<const Action*> ActionLog::mark_red(const Action& a) {
+  std::vector<const Action*> admitted;
+  CreatorState& cs = creators_[a.id.server_id];
+  if (cs.red_cut >= a.id.index) return admitted;  // duplicate
+  if (cs.red_cut < a.id.index - 1) {
+    // Creator-FIFO gap: exchange-phase red and green retransmissions come
+    // from different members and may interleave out of creator order;
+    // park the action until its predecessors arrive.
+    red_waiting_.emplace(a.id, a);
+    return admitted;
+  }
+  Action current = a;
+  for (;;) {
+    cs.red_cut = current.id.index;
+    auto [it, _] = store_.insert_or_assign(current.id, std::move(current));
+    admitted.push_back(&it->second);
+    auto next = red_waiting_.find(ActionId{a.id.server_id, cs.red_cut + 1});
+    if (next == red_waiting_.end()) break;
+    current = std::move(next->second);
+    red_waiting_.erase(next);
+  }
+  return admitted;
+}
+
+ActionLog::GreenResult ActionLog::mark_green(const Action& a) {
+  GreenResult res;
+  res.newly_red = mark_red(a);
+  if (is_green(a.id)) return res;  // duplicate: position stays 0
+  ++green_count_;
+  green_seq_.push_back(a.id);
+  green_pos_[a.id] = green_count_;
+  CreatorState& cs = creators_[a.id.server_id];
+  cs.green_red_cut = std::max(cs.green_red_cut, a.id.index);
+  // The action may have been parked (gap) rather than admitted red; the
+  // green order still needs its body.
+  store_.try_emplace(a.id, a);
+  res.position = green_count_;
+  return res;
+}
+
+const Action* ActionLog::body_of(const ActionId& id) const {
+  auto it = store_.find(id);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+const Action* ActionLog::green_body_at(std::int64_t position) const {
+  const ActionId id = green_action_at(position);
+  return id.server_id == kNoNode ? nullptr : body_of(id);
+}
+
+ActionId ActionLog::green_action_at(std::int64_t position) const {
+  if (position <= white_count_ || position > green_count_) return ActionId{};
+  const std::size_t idx =
+      green_head_ + static_cast<std::size_t>(position - white_count_ - 1);
+  // An adopted prefix has no per-position ids; never index out of range.
+  if (idx >= green_seq_.size()) return ActionId{};
+  return green_seq_[idx];
+}
+
+std::int64_t ActionLog::position_of(const ActionId& id) const {
+  auto it = green_pos_.find(id);
+  return it == green_pos_.end() ? 0 : it->second;
+}
+
+std::size_t ActionLog::red_count() const {
+  std::size_t n = 0;
+  for (const auto& [c, cs] : creators_) {
+    if (cs.red_cut > cs.green_red_cut) {
+      n += static_cast<std::size_t>(cs.red_cut - cs.green_red_cut);
+    }
+  }
+  return n;
+}
+
+std::int64_t ActionLog::red_cut(NodeId creator) const {
+  auto it = creators_.find(creator);
+  return it == creators_.end() ? 0 : it->second.red_cut;
+}
+
+std::int64_t ActionLog::green_red_cut(NodeId creator) const {
+  auto it = creators_.find(creator);
+  return it == creators_.end() ? 0 : it->second.green_red_cut;
+}
+
+std::vector<NodeId> ActionLog::sorted_creators() const {
+  std::vector<NodeId> v;
+  v.reserve(creators_.size());
+  for (const auto& [c, cs] : creators_) v.push_back(c);
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+std::vector<std::pair<NodeId, std::int64_t>> ActionLog::red_cut_pairs() const {
+  std::vector<std::pair<NodeId, std::int64_t>> v;
+  v.reserve(creators_.size());
+  for (NodeId c : sorted_creators()) v.emplace_back(c, creators_.at(c).red_cut);
+  return v;
+}
+
+std::vector<std::pair<NodeId, std::int64_t>> ActionLog::green_red_cut_pairs() const {
+  std::vector<std::pair<NodeId, std::int64_t>> v;
+  v.reserve(creators_.size());
+  for (NodeId c : sorted_creators()) v.emplace_back(c, creators_.at(c).green_red_cut);
+  return v;
+}
+
+std::vector<ActionId> ActionLog::pending_red_ids() const {
+  std::vector<ActionId> ids;
+  for (NodeId c : sorted_creators()) {
+    const CreatorState& cs = creators_.at(c);
+    for (std::int64_t i = cs.green_red_cut + 1; i <= cs.red_cut; ++i) {
+      ids.push_back(ActionId{c, i});
+    }
+  }
+  return ids;
+}
+
+void ActionLog::for_each_pending_red(const std::function<void(const Action&)>& fn) const {
+  for (NodeId c : sorted_creators()) {
+    const CreatorState& cs = creators_.at(c);
+    for (std::int64_t i = cs.green_red_cut + 1; i <= cs.red_cut; ++i) {
+      if (const Action* b = body_of(ActionId{c, i})) fn(*b);
+    }
+  }
+}
+
+std::size_t ActionLog::trim_white_to(std::int64_t white_line) {
+  std::size_t trimmed = 0;
+  while (white_count_ < white_line && green_head_ < green_seq_.size()) {
+    const ActionId aid = green_seq_[green_head_++];
+    ++white_count_;
+    store_.erase(aid);
+    green_pos_.erase(aid);
+    ++trimmed;
+  }
+  compact_green_seq();
+  return trimmed;
+}
+
+void ActionLog::compact_green_seq() {
+  // Amortized O(1): release the trimmed prefix once it dominates the
+  // vector, keeping position lookup a plain offset index in between.
+  if (green_head_ >= 64 && green_head_ * 2 >= green_seq_.size()) {
+    green_seq_.erase(green_seq_.begin(),
+                     green_seq_.begin() + static_cast<std::ptrdiff_t>(green_head_));
+    green_head_ = 0;
+  }
+}
+
+void ActionLog::reset(std::int64_t green_count,
+                      const std::vector<std::pair<NodeId, std::int64_t>>& green_red_cut) {
+  green_count_ = white_count_ = green_count;
+  green_seq_.clear();
+  green_head_ = 0;
+  green_pos_.clear();
+  store_.clear();
+  red_waiting_.clear();
+  creators_.clear();
+  for (const auto& [c, v] : green_red_cut) creators_[c] = CreatorState{v, v};
+}
+
+void ActionLog::adopt_green_prefix(
+    std::int64_t green_count,
+    const std::vector<std::pair<NodeId, std::int64_t>>& green_red_cut) {
+  green_count_ = green_count;
+  white_count_ = green_count;
+  green_seq_.clear();
+  green_head_ = 0;
+  green_pos_.clear();
+  for (const auto& [c, v] : green_red_cut) {
+    CreatorState& cs = creators_[c];
+    cs.green_red_cut = std::max(cs.green_red_cut, v);
+    cs.red_cut = std::max(cs.red_cut, v);
+  }
+  // Bodies and parked retransmissions the adopted prefix covers are dead:
+  // green-by-position retransmission below our white line is impossible
+  // (the exchange falls back to a catch-up transfer), and covered indices
+  // can never be pending reds again.
+  for (auto it = store_.begin(); it != store_.end();) {
+    it = is_green(it->first) ? store_.erase(it) : std::next(it);
+  }
+  for (auto it = red_waiting_.begin(); it != red_waiting_.end();) {
+    it = is_green(it->first) ? red_waiting_.erase(it) : std::next(it);
+  }
+}
+
+bool ActionLog::replay_green(std::int64_t position, const Action& a) {
+  if (position != green_count_ + 1) return false;  // duplicate / out of order
+  ++green_count_;
+  green_seq_.push_back(a.id);
+  green_pos_[a.id] = green_count_;
+  CreatorState& cs = creators_[a.id.server_id];
+  cs.green_red_cut = std::max(cs.green_red_cut, a.id.index);
+  cs.red_cut = std::max(cs.red_cut, a.id.index);
+  store_.insert_or_assign(a.id, a);
+  return true;
+}
+
+}  // namespace tordb::core

@@ -1,0 +1,158 @@
+// The ordered-action log: the engine's colored-action history (paper
+// Figures 1 & 3) behind one typed interface.
+//
+// The replication engine colors every action it knows — red (ordered
+// locally, global order unknown), yellow (delivered in a primary's
+// transitional configuration), green (global order known), white (known
+// green at every replica, discardable). This module owns all of the
+// bookkeeping that coloring needs:
+//
+//   - action body storage (red + untrimmed green bodies),
+//   - the green sequence with O(1) position indexing (contiguous vector
+//     with a trim offset — positions white+1..green),
+//   - per-creator cuts: `red_cut` (contiguous locally-ordered prefix,
+//     Appendix A's redCut) and `green_red_cut` (prefix covered by the
+//     green order), from which the set of *pending* reds — red but not
+//     yet green — is derived in O(1) per creator instead of rescanning a
+//     global red-order list,
+//   - the out-of-creator-order retransmission buffer (exchange-phase red
+//     and green retransmissions may interleave across senders),
+//   - the white trim line (bodies below it are discarded).
+//
+// ActionLog is a pure data structure: it performs no disk or network I/O.
+// The engine persists records, multicasts, applies actions to the
+// database and answers clients from the values this module returns —
+// that boundary is what lets the log be unit-tested and benchmarked in
+// isolation, and later sharded or swapped without touching the protocol.
+//
+// Invariants (checked by tests/action_log_test.cc):
+//   - white_count() <= green_count(): the white prefix is a prefix of the
+//     green prefix.
+//   - green positions white+1..green resolve to ids/bodies; positions at
+//     or below the white line, or beyond the green count, resolve to
+//     kNoNode / nullptr (never an out-of-range access).
+//   - for every creator, indices (green_red_cut, red_cut] are exactly the
+//     pending reds: each has a stored body and is not green.
+//   - no pending red is trimmed: trimming only ever erases green bodies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/action.h"
+#include "util/types.h"
+
+namespace tordb::core {
+
+class ActionLog {
+ public:
+  struct GreenResult {
+    /// Actions newly admitted to the local red order by this call (the
+    /// argument and any unparked successors), in admission order.
+    std::vector<const Action*> newly_red;
+    /// Assigned global green position; 0 if the action was already green.
+    std::int64_t position = 0;
+  };
+
+  // --- coloring ------------------------------------------------------------
+
+  /// Admit `a` to the local red order (A.14). Ignores duplicates; parks
+  /// actions arriving ahead of their creator-FIFO predecessors in the
+  /// retransmission buffer; admitting a gap-filler drains the parked
+  /// chain. Returns every action newly ordered red, in order; pointers
+  /// are stable until the action is trimmed.
+  std::vector<const Action*> mark_red(const Action& a);
+
+  /// Append `a` to the green sequence (A.14 mark-green), admitting it red
+  /// first if needed. Duplicates (already green) return position 0.
+  GreenResult mark_green(const Action& a);
+
+  // --- queries -------------------------------------------------------------
+
+  bool is_green(const ActionId& id) const {
+    auto it = creators_.find(id.server_id);
+    return it != creators_.end() && id.index <= it->second.green_red_cut;
+  }
+  /// Stored body, or nullptr if unknown or trimmed.
+  const Action* body_of(const ActionId& id) const;
+  /// Body at green `position` (1-based); nullptr if trimmed/out of range.
+  const Action* green_body_at(std::int64_t position) const;
+  /// Id at green `position` (1-based); kNoNode id if trimmed/out of range.
+  ActionId green_action_at(std::int64_t position) const;
+  /// Green position of `id`, or 0 if not green here / already trimmed.
+  std::int64_t position_of(const ActionId& id) const;
+
+  std::int64_t green_count() const { return green_count_; }
+  std::int64_t white_count() const { return white_count_; }
+  /// Number of pending reds (red, not yet green). O(#creators).
+  std::size_t red_count() const;
+  /// Actions parked waiting for creator-FIFO predecessors.
+  std::size_t waiting_count() const { return red_waiting_.size(); }
+  /// Bodies currently stored (pending reds + untrimmed greens).
+  std::size_t stored_bodies() const { return store_.size(); }
+
+  std::int64_t red_cut(NodeId creator) const;
+  std::int64_t green_red_cut(NodeId creator) const;
+  /// Register `creator` so its (zero) cuts appear in the exported pairs.
+  void ensure_creator(NodeId creator) { creators_[creator]; }
+
+  /// Per-creator cuts sorted by creator — deterministic wire encoding.
+  std::vector<std::pair<NodeId, std::int64_t>> red_cut_pairs() const;
+  std::vector<std::pair<NodeId, std::int64_t>> green_red_cut_pairs() const;
+
+  /// Pending reds in ActionId order (creator-major, index ascending) —
+  /// the deterministic order Install (A.10) promotes them in.
+  std::vector<ActionId> pending_red_ids() const;
+  void for_each_pending_red(const std::function<void(const Action&)>& fn) const;
+
+  // --- white trim ----------------------------------------------------------
+
+  /// Discard bodies of green positions up to `white_line` (Figure 1:
+  /// white actions are known green everywhere). Returns how many green
+  /// entries were trimmed.
+  std::size_t trim_white_to(std::int64_t white_line);
+
+  // --- bulk transitions (recovery / state transfer) ------------------------
+
+  /// Recovery from a compaction record: forget everything and restart
+  /// from a green prefix of `green_count` (all trimmed) with the given
+  /// per-creator green coverage (red cuts start equal to it).
+  void reset(std::int64_t green_count,
+             const std::vector<std::pair<NodeId, std::int64_t>>& green_red_cut);
+
+  /// Adopt a transferred green prefix wholesale (§5.2 join snapshot /
+  /// exchange catch-up): the green count jumps to `green_count`, the
+  /// adopted prefix is entirely white (no bodies), per-creator cuts are
+  /// raised, and bodies the prefix covers are released. Pending reds the
+  /// prefix does not cover survive.
+  void adopt_green_prefix(std::int64_t green_count,
+                          const std::vector<std::pair<NodeId, std::int64_t>>& green_red_cut);
+
+  /// Recovery replay of a persisted green record: append iff `position`
+  /// extends the green sequence. Returns false on duplicates / gaps.
+  bool replay_green(std::int64_t position, const Action& a);
+
+ private:
+  struct CreatorState {
+    std::int64_t red_cut = 0;        ///< A: redCut — contiguous local prefix
+    std::int64_t green_red_cut = 0;  ///< prefix covered by the green order
+  };
+
+  std::vector<NodeId> sorted_creators() const;
+  void compact_green_seq();
+
+  std::int64_t green_count_ = 0;
+  std::int64_t white_count_ = 0;  ///< greens trimmed as white
+  /// Positions white+1..green live at indexes [green_head_, size).
+  std::vector<ActionId> green_seq_;
+  std::size_t green_head_ = 0;
+  std::unordered_map<ActionId, std::int64_t> green_pos_;
+  std::unordered_map<NodeId, CreatorState> creators_;
+  std::unordered_map<ActionId, Action> red_waiting_;
+  std::unordered_map<ActionId, Action> store_;  ///< bodies (red + untrimmed green)
+};
+
+}  // namespace tordb::core

@@ -126,6 +126,16 @@ Bytes encode_action_msg(const Action& a) {
                    [&](BufWriter& w) { a.encode(w); });
 }
 
+Bytes encode_action_batch(const std::vector<Action>& actions) {
+  return with_type(static_cast<std::uint8_t>(EngineMsgType::kActionBatch), [&](BufWriter& w) {
+    w.vec(actions, [](BufWriter& w2, const Action& a) { a.encode(w2); });
+  });
+}
+
+std::vector<Action> decode_action_batch(BufReader& r) {
+  return r.vec<Action>([](BufReader& r2) { return Action::decode(r2); });
+}
+
 Bytes encode_state_msg(const StateMessage& s) {
   return with_type(static_cast<std::uint8_t>(EngineMsgType::kState),
                    [&](BufWriter& w) { s.encode(w); });
@@ -218,6 +228,12 @@ void encode_meta_body(BufWriter& w, const MetaRecord& m) {
 Bytes encode_log_ongoing(const Action& a) {
   return with_type(static_cast<std::uint8_t>(LogRecordType::kOngoing),
                    [&](BufWriter& w) { a.encode(w); });
+}
+
+Bytes encode_log_ongoing_batch(const std::vector<Action>& actions) {
+  return with_type(static_cast<std::uint8_t>(LogRecordType::kOngoingBatch), [&](BufWriter& w) {
+    w.vec(actions, [](BufWriter& w2, const Action& a) { a.encode(w2); });
+  });
 }
 
 Bytes encode_log_red(const Action& a) {

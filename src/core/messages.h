@@ -98,9 +98,14 @@ enum class EngineMsgType : std::uint8_t {
                       ///  as a snapshot and holds no action bodies (§5.1;
                       ///  the database-transfer technique of Kemme et al.
                       ///  the paper says it can leverage)
+  kActionBatch = 7,   ///< several client actions in one multicast; members
+                      ///  process them in batch order (used when buffered
+                      ///  requests flush together)
 };
 
 Bytes encode_action_msg(const Action& a);
+Bytes encode_action_batch(const std::vector<Action>& actions);
+std::vector<Action> decode_action_batch(BufReader& r);
 Bytes encode_state_msg(const StateMessage& s);
 Bytes encode_cpc_msg(const CpcMessage& c);
 Bytes encode_green_retrans(std::int64_t position, const Action& a);
@@ -144,7 +149,9 @@ enum class LogRecordType : std::uint8_t {
   kRed = 2,       ///< action marked red (async)
   kGreen = 3,     ///< action marked green with its global position (async)
   kMeta = 4,      ///< metadata snapshot, forced at the `** sync` points
-  kDbSnapshot = 5 ///< compaction record: database + green count + metadata
+  kDbSnapshot = 5,///< compaction record: database + green count + metadata
+  kOngoingBatch = 6  ///< several own client actions framed as one record,
+                     ///  forced (and multicast) together
 };
 
 struct MetaRecord {
@@ -169,6 +176,7 @@ struct DbSnapshotRecord {
 };
 
 Bytes encode_log_ongoing(const Action& a);
+Bytes encode_log_ongoing_batch(const std::vector<Action>& actions);
 Bytes encode_log_red(const Action& a);
 Bytes encode_log_green(std::int64_t position, const Action& a);
 Bytes encode_log_meta(const MetaRecord& m);

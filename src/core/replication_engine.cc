@@ -69,12 +69,12 @@ ReplicationEngine::ReplicationEngine(Network& net, StableStorage& storage, NodeI
   adopt_snapshot(snapshot, /*set_prim=*/true);
   // §5.2 line 28: the joiner's green line is the position of its
   // PERSISTENT_JOIN action, inherited with the snapshot.
-  green_lines_[id_] = green_count_;
+  green_lines_[id_] = log_.green_count();
   // Persist the inherited state so a crash after joining recovers it.
   DbSnapshotRecord rec;
   rec.db_snapshot = snapshot.db_snapshot;
-  rec.green_count = green_count_;
-  rec.green_red_cut = map_to_pairs(green_red_cut_);
+  rec.green_count = log_.green_count();
+  rec.green_red_cut = log_.green_red_cut_pairs();
   rec.meta = current_meta();
   storage_.append(encode_log_db_snapshot(rec));
   storage_.sync([] {});
@@ -101,9 +101,8 @@ void ReplicationEngine::init_members(const std::vector<NodeId>& servers) {
   server_set_ = servers;
   std::sort(server_set_.begin(), server_set_.end());
   for (NodeId s : server_set_) {
-    red_cut_[s] = 0;
+    log_.ensure_creator(s);
     green_lines_[s] = 0;
-    green_red_cut_[s] = 0;
   }
   // The founding configuration is the first "primary component": dynamic
   // linear voting starts from a majority of the full initial set.
@@ -140,17 +139,7 @@ void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_ser
       case LogRecordType::kDbSnapshot: {
         DbSnapshotRecord s = decode_db_snapshot(r);
         db_.restore(s.db_snapshot);
-        green_count_ = white_count_ = s.green_count;
-        green_seq_.clear();
-        green_pos_.clear();
-        store_.clear();
-        red_order_.clear();
-        red_cut_.clear();
-        green_red_cut_.clear();
-        for (const auto& [c, v] : s.green_red_cut) {
-          green_red_cut_[c] = v;
-          red_cut_[c] = v;
-        }
+        log_.reset(s.green_count, s.green_red_cut);
         server_set_ = s.meta.server_set;
         prim_ = s.meta.prim;
         attempt_index_ = s.meta.attempt_index;
@@ -160,13 +149,7 @@ void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_ser
         for (const auto& [n, g] : s.meta.green_lines) green_lines_[n] = g;
         gc_counter = std::max(gc_counter, s.meta.gc_counter);
         ongoing_candidates.clear();
-        for (const Action& a : s.red_actions) {
-          if (red_cut_[a.id.server_id] == a.id.index - 1) {
-            red_cut_[a.id.server_id] = a.id.index;
-            store_[a.id] = a;
-            red_order_.push_back(a.id);
-          }
-        }
+        for (const Action& a : s.red_actions) log_.mark_red(a);
         for (const Action& a : s.ongoing_actions) ongoing_candidates.push_back(a);
         break;
       }
@@ -186,13 +169,7 @@ void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_ser
       case LogRecordType::kGreen: {
         const std::int64_t pos = r.i64();
         Action a = Action::decode(r);
-        if (pos != green_count_ + 1) break;  // duplicate / out of order
-        ++green_count_;
-        green_seq_.push_back(a.id);
-        green_pos_[a.id] = green_count_;
-        green_red_cut_[a.id.server_id] =
-            std::max(green_red_cut_[a.id.server_id], a.id.index);
-        red_cut_[a.id.server_id] = std::max(red_cut_[a.id.server_id], a.id.index);
+        if (!log_.replay_green(pos, a)) break;  // duplicate / out of order
         if (a.type == ActionType::kUpdate) {
           db::Command combined;
           combined.ops = a.query.ops;
@@ -201,28 +178,25 @@ void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_ser
         } else if (a.type == ActionType::kPersistentJoin) {
           if (!contains(server_set_, a.subject)) {
             insert_sorted(server_set_, a.subject);
-            green_lines_[a.subject] = green_count_;
+            green_lines_[a.subject] = log_.green_count();
           }
         } else if (a.type == ActionType::kPersistentLeave) {
           erase_value(server_set_, a.subject);
           green_lines_.erase(a.subject);
           erase_value(prim_.servers, a.subject);
         }
-        store_[a.id] = std::move(a);
         break;
       }
       case LogRecordType::kRed: {
-        Action a = Action::decode(r);
-        auto& cut = red_cut_[a.id.server_id];
-        if (cut == a.id.index - 1) {
-          cut = a.id.index;
-          red_order_.push_back(a.id);
-          store_[a.id] = std::move(a);
-        }
+        log_.mark_red(Action::decode(r));
         break;
       }
       case LogRecordType::kOngoing: {
         ongoing_candidates.push_back(Action::decode(r));
+        break;
+      }
+      case LogRecordType::kOngoingBatch: {
+        for (Action& a : decode_action_batch(r)) ongoing_candidates.push_back(std::move(a));
         break;
       }
     }
@@ -233,10 +207,10 @@ void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_ser
             [](const Action& a, const Action& b) { return a.id < b.id; });
   for (const Action& a : ongoing_candidates) {
     action_index_ = std::max(action_index_, a.id.index);
-    if (red_cut_[id_] < a.id.index) mark_red(a);
+    if (log_.red_cut(id_) < a.id.index) mark_red(a);
   }
-  action_index_ = std::max({action_index_, red_cut_[id_], green_red_cut_[id_]});
-  green_lines_[id_] = green_count_;
+  action_index_ = std::max({action_index_, log_.red_cut(id_), log_.green_red_cut(id_)});
+  green_lines_[id_] = log_.green_count();
   state_ = EngineState::kNonPrim;
   append_meta();
   storage_.sync([] {});
@@ -245,26 +219,15 @@ void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_ser
 
 void ReplicationEngine::adopt_snapshot(const SnapshotMessage& s, bool set_prim) {
   db_.restore(s.db_snapshot);
-  green_count_ = s.green_count;
-  white_count_ = s.green_count;
-  green_seq_.clear();
-  green_pos_.clear();
-  for (const auto& [c, v] : s.green_red_cut) {
-    green_red_cut_[c] = std::max(green_red_cut_[c], v);
-    red_cut_[c] = std::max(red_cut_[c], v);
-  }
+  // The log adopts the green prefix wholesale; pending reds the prefix
+  // swallowed (now green) drop out of the pending set automatically.
+  log_.adopt_green_prefix(s.green_count, s.green_red_cut);
   server_set_ = s.server_set;
   for (const auto& [n, g] : s.green_lines) {
     green_lines_[n] = std::max(green_lines_[n], g);
   }
   if (set_prim) prim_ = s.prim;
-  // Drop red-order entries swallowed by the snapshot (now green) and own
-  // in-flight actions the snapshot already ordered.
-  std::deque<ActionId> still_red;
-  for (const ActionId& rid : red_order_) {
-    if (!is_green(rid)) still_red.push_back(rid);
-  }
-  red_order_.assign(still_red.begin(), still_red.end());
+  // Own in-flight actions the snapshot already ordered are settled.
   for (auto it = ongoing_.begin(); it != ongoing_.end();) {
     if (is_green(it->first)) {
       auto pit = pending_replies_.find(it->first);
@@ -293,7 +256,7 @@ Action ReplicationEngine::make_action(ActionType type, db::Command query, db::Co
   Action a;
   a.type = type;
   a.id = ActionId{id_, ++action_index_};
-  a.green_line = green_count_;
+  a.green_line = log_.green_count();
   a.client = client;
   a.semantics = semantics;
   a.query = std::move(query);
@@ -307,15 +270,29 @@ Action ReplicationEngine::make_action(ActionType type, db::Command query, db::Co
 void ReplicationEngine::persist_and_send(std::vector<Action> actions) {
   // A.1 / A.2 / A.8: write to ongoingQueue, one forced sync (shared by all
   // actions created in this batch — and, via group commit, with concurrent
-  // batches), then hand to the group communication.
-  for (const Action& a : actions) {
-    ongoing_[a.id] = a;
-    storage_.append(encode_log_ongoing(a));
+  // batches), then hand to the group communication. Multi-action batches
+  // (buffered requests flushing together) are framed as one log record and
+  // one multicast instead of per-action records and messages.
+  if (actions.empty()) return;
+  for (const Action& a : actions) ongoing_[a.id] = a;
+  const bool batched = params_.batch_persist && actions.size() > 1;
+  if (batched) {
+    storage_.append(encode_log_ongoing_batch(actions));
+    ++stats_.persist_batches;
+    stats_.persist_batch_actions += actions.size();
+    stats_.persist_batch_max = std::max(stats_.persist_batch_max,
+                                        static_cast<std::uint64_t>(actions.size()));
+  } else {
+    for (const Action& a : actions) storage_.append(encode_log_ongoing(a));
   }
-  storage_.sync([this, alive = alive_, actions = std::move(actions)] {
+  storage_.sync([this, alive = alive_, batched, actions = std::move(actions)] {
     if (!*alive || state_ == EngineState::kLeft) return;
-    for (const Action& a : actions) {
-      gc_->multicast(encode_action_msg(a), gc::Service::kSafe);
+    if (batched) {
+      gc_->multicast(encode_action_batch(actions), gc::Service::kSafe);
+    } else {
+      for (const Action& a : actions) {
+        gc_->multicast(encode_action_msg(a), gc::Service::kSafe);
+      }
     }
   });
 }
@@ -510,6 +487,12 @@ void ReplicationEngine::on_deliver(const gc::Delivery& d) {
     case EngineMsgType::kAction:
       handle_action(Action::decode(r));
       break;
+    case EngineMsgType::kActionBatch: {
+      // A batch shares one delivery (and therefore one color decision);
+      // members process its actions in batch order.
+      for (const Action& a : decode_action_batch(r)) handle_action(a);
+      break;
+    }
     case EngineMsgType::kState:
       handle_state_msg(StateMessage::decode(r));
       break;
@@ -593,10 +576,10 @@ void ReplicationEngine::shift_to_exchange_states() {
     StateMessage s;
     s.server_id = id_;
     s.conf_id = conf_.id;
-    s.green_count = green_count_;
-    s.white_count = white_count_;
-    s.red_cut = map_to_pairs(red_cut_);
-    s.green_red_cut = map_to_pairs(green_red_cut_);
+    s.green_count = log_.green_count();
+    s.white_count = log_.white_count();
+    s.red_cut = log_.red_cut_pairs();
+    s.green_red_cut = log_.green_red_cut_pairs();
     s.server_set = server_set_;
     s.attempt_index = attempt_index_;
     s.prim = prim_;
@@ -648,8 +631,8 @@ void ReplicationEngine::shift_to_exchange_actions() {
       if (most_updated == id_) {
         SnapshotMessage snap;
         snap.db_snapshot = db_.snapshot();
-        snap.green_count = green_count_;
-        snap.green_red_cut = map_to_pairs(green_red_cut_);
+        snap.green_count = log_.green_count();
+        snap.green_red_cut = log_.green_red_cut_pairs();
         snap.server_set = server_set_;
         snap.green_lines = map_to_pairs(green_lines_);
         snap.prim = prim_;
@@ -660,7 +643,7 @@ void ReplicationEngine::shift_to_exchange_actions() {
       expected_retrans_ += max_green - min_green;
       if (most_updated == id_) {
         for (std::int64_t pos = min_green + 1; pos <= max_green; ++pos) {
-          const Action* body = green_body_at(pos);
+          const Action* body = log_.green_body_at(pos);
           assert(body != nullptr);
           gc_->multicast(encode_green_retrans(pos, *body), gc::Service::kAgreed);
           ++stats_.green_retrans_sent;
@@ -704,7 +687,7 @@ void ReplicationEngine::shift_to_exchange_actions() {
     expected_retrans_ += cmax - lo;
     if (holder == id_) {
       for (std::int64_t idx = lo + 1; idx <= cmax; ++idx) {
-        const Action* body = body_of(ActionId{c, idx});
+        const Action* body = log_.body_of(ActionId{c, idx});
         assert(body != nullptr);
         gc_->multicast(encode_red_retrans(*body), gc::Service::kAgreed);
         ++stats_.red_retrans_sent;
@@ -719,7 +702,7 @@ void ReplicationEngine::shift_to_exchange_actions() {
 void ReplicationEngine::handle_green_retrans(std::int64_t position, const Action& a) {
   ++stats_.retrans_received;
   ++received_retrans_;
-  if (position == green_count_ + 1) mark_green(a);
+  if (position == log_.green_count() + 1) mark_green(a);
   maybe_end_of_retrans();
 }
 
@@ -733,21 +716,19 @@ void ReplicationEngine::handle_red_retrans(const Action& a) {
 void ReplicationEngine::handle_catchup(const SnapshotMessage& s) {
   ++stats_.retrans_received;
   ++received_retrans_;
-  if (s.green_count > green_count_) {
+  if (s.green_count > log_.green_count()) {
     adopt_snapshot(s, /*set_prim=*/false);
     // Persist the adopted prefix as a compaction record so recovery does
     // not mix the old per-action log with the jumped green count.
     DbSnapshotRecord rec;
     rec.db_snapshot = s.db_snapshot;
-    rec.green_count = green_count_;
-    rec.green_red_cut = map_to_pairs(green_red_cut_);
+    rec.green_count = log_.green_count();
+    rec.green_red_cut = log_.green_red_cut_pairs();
     rec.meta = current_meta();
-    for (const ActionId& rid : red_order_) {
-      if (const Action* b = body_of(rid); b && !is_green(rid)) rec.red_actions.push_back(*b);
-    }
+    log_.for_each_pending_red([&](const Action& a2) { rec.red_actions.push_back(a2); });
     for (const auto& [aid, act] : ongoing_) rec.ongoing_actions.push_back(act);
     storage_.append(encode_log_db_snapshot(rec));
-    green_lines_[id_] = green_count_;
+    green_lines_[id_] = log_.green_count();
   }
   maybe_end_of_retrans();
 }
@@ -945,7 +926,10 @@ void ReplicationEngine::install() {
   if (yellow_.valid) {
     for (const ActionId& aid : yellow_.set) {
       if (is_green(aid)) continue;
-      if (const Action* body = body_of(aid)) mark_green(*body);  // OR-1.2
+      if (const Action* body = log_.body_of(aid)) {
+        const Action copy = *body;  // mark_green may invalidate `body`
+        mark_green(copy);  // OR-1.2
+      }
     }
   }
   yellow_ = YellowRecord{};
@@ -955,18 +939,18 @@ void ReplicationEngine::install() {
   prim_.servers = vulnerable_.set;
   attempt_index_ = 0;
 
-  std::vector<ActionId> reds;
-  for (const ActionId& rid : red_order_) {
-    if (!is_green(rid)) reds.push_back(rid);
+  // Pending reds are derived from the per-creator cuts, already in the
+  // deterministic ActionId order OR-2 requires.
+  for (const ActionId& rid : log_.pending_red_ids()) {
+    if (is_green(rid)) continue;  // promoted via the yellow set above
+    if (const Action* body = log_.body_of(rid)) {
+      const Action copy = *body;
+      mark_green(copy);  // OR-2
+    }
   }
-  std::sort(reds.begin(), reds.end());
-  for (const ActionId& rid : reds) {
-    if (const Action* body = body_of(rid)) mark_green(*body);  // OR-2
-  }
-  red_order_.clear();
 
   ++stats_.primaries_installed;
-  green_lines_[id_] = green_count_;
+  green_lines_[id_] = log_.green_count();
   append_meta();
   storage_.sync([] {});
 }
@@ -975,58 +959,18 @@ void ReplicationEngine::install() {
 // Coloring (A.14, CodeSegment 5.1)
 // ---------------------------------------------------------------------------
 
-bool ReplicationEngine::is_green(const ActionId& id) const {
-  auto it = green_red_cut_.find(id.server_id);
-  return it != green_red_cut_.end() && id.index <= it->second;
-}
-
-const Action* ReplicationEngine::body_of(const ActionId& id) const {
-  auto it = store_.find(id);
-  return it == store_.end() ? nullptr : &it->second;
-}
-
-const Action* ReplicationEngine::green_body_at(std::int64_t position) const {
-  if (position <= white_count_ || position > green_count_) return nullptr;
-  return body_of(green_seq_[static_cast<std::size_t>(position - white_count_ - 1)]);
-}
-
-ActionId ReplicationEngine::green_action_at(std::int64_t position) const {
-  if (position <= white_count_ || position > green_count_) return ActionId{};
-  return green_seq_[static_cast<std::size_t>(position - white_count_ - 1)];
-}
-
-std::size_t ReplicationEngine::red_count() const {
-  std::size_t n = 0;
-  for (const ActionId& rid : red_order_) {
-    if (!is_green(rid)) ++n;
-  }
-  return n;
+void ReplicationEngine::on_newly_red(const Action& a) {
+  // A.14: persist the red mark; the action is ordered, no longer at risk
+  // of loss, so it leaves the ongoing queue and (§6 semantics permitting)
+  // the client can be answered.
+  storage_.append(encode_log_red(a));
+  ++stats_.actions_red;
+  ongoing_.erase(a.id);
+  maybe_reply_red(a);
 }
 
 void ReplicationEngine::mark_red(const Action& a) {
-  auto& cut = red_cut_[a.id.server_id];
-  if (cut >= a.id.index) return;  // duplicate
-  if (cut < a.id.index - 1) {
-    // FIFO gap: during the exchange, red and green retransmissions come
-    // from different members and may interleave out of creator order; park
-    // the action until its predecessors arrive.
-    red_waiting_[a.id] = a;
-    return;
-  }
-  Action current = a;
-  for (;;) {
-    cut = current.id.index;
-    store_[current.id] = current;
-    red_order_.push_back(current.id);
-    storage_.append(encode_log_red(current));
-    ++stats_.actions_red;
-    ongoing_.erase(current.id);  // A.14: ordered, no longer at risk of loss
-    maybe_reply_red(current);
-    auto next = red_waiting_.find(ActionId{current.id.server_id, cut + 1});
-    if (next == red_waiting_.end()) break;
-    current = std::move(next->second);
-    red_waiting_.erase(next);
-  }
+  for (const Action* r : log_.mark_red(a)) on_newly_red(*r);
 }
 
 void ReplicationEngine::mark_yellow(const Action& a) {
@@ -1038,16 +982,11 @@ void ReplicationEngine::mark_yellow(const Action& a) {
 }
 
 void ReplicationEngine::mark_green(const Action& a) {
-  mark_red(a);
-  if (is_green(a.id)) return;
-  ++green_count_;
-  green_seq_.push_back(a.id);
-  green_pos_[a.id] = green_count_;
-  auto& gcut = green_red_cut_[a.id.server_id];
-  gcut = std::max(gcut, a.id.index);
-  green_lines_[id_] = green_count_;
-  if (!store_.count(a.id)) store_[a.id] = a;
-  storage_.append(encode_log_green(green_count_, a));
+  const ActionLog::GreenResult res = log_.mark_green(a);
+  for (const Action* r : res.newly_red) on_newly_red(*r);
+  if (res.position == 0) return;  // duplicate: already green
+  green_lines_[id_] = log_.green_count();
+  storage_.append(encode_log_green(res.position, a));
   ++stats_.actions_green;
   apply_green(a);
   maybe_compact();
@@ -1110,7 +1049,7 @@ void ReplicationEngine::on_join_green(const Action& a) {
   if (!contains(server_set_, j)) {
     insert_sorted(server_set_, j);
     // 5.1 line 7: the joiner's green line is the join action's position.
-    green_lines_[j] = green_count_;
+    green_lines_[j] = log_.green_count();
     if (callbacks_.on_join_green) callbacks_.on_join_green(j);
     if (a.id.server_id == id_ || pending_join_transfers_.count(j)) {
       send_snapshot_to(j);  // 5.1 lines 9-10
@@ -1140,8 +1079,8 @@ void ReplicationEngine::on_leave_green(const Action& a) {
 void ReplicationEngine::send_snapshot_to(NodeId joiner) {
   SnapshotMessage s;
   s.db_snapshot = db_.snapshot();
-  s.green_count = green_count_;
-  s.green_red_cut = map_to_pairs(green_red_cut_);
+  s.green_count = log_.green_count();
+  s.green_red_cut = log_.green_red_cut_pairs();
   s.server_set = server_set_;
   s.green_lines = map_to_pairs(green_lines_);
   s.prim = prim_;
@@ -1171,16 +1110,17 @@ void ReplicationEngine::enter_left() {
 
 db::Database ReplicationEngine::dirty_database() const {
   db::Database dirty = db_.clone();
-  for (const ActionId& rid : red_order_) {
-    if (is_green(rid)) continue;
-    const Action* body = body_of(rid);
-    if (body && body->type == ActionType::kUpdate) dirty.apply(body->update);
-  }
+  // §6 dirty overlay: pending reds applied over the green state in the
+  // deterministic per-creator order the log derives from its cuts (the
+  // same order Install would promote them in).
+  log_.for_each_pending_red([&](const Action& body) {
+    if (body.type == ActionType::kUpdate) dirty.apply(body.update);
+  });
   return dirty;
 }
 
 std::int64_t ReplicationEngine::white_line() const {
-  std::int64_t line = green_count_;
+  std::int64_t line = log_.green_count();
   for (NodeId s : server_set_) {
     auto it = green_lines_.find(s);
     line = std::min(line, it == green_lines_.end() ? 0 : it->second);
@@ -1188,17 +1128,13 @@ std::int64_t ReplicationEngine::white_line() const {
   return line;
 }
 
+ActionId ReplicationEngine::green_action_at(std::int64_t position) const {
+  return log_.green_action_at(position);
+}
+
 void ReplicationEngine::trim_white() {
   if (!params_.white_trim) return;
-  const std::int64_t white = white_line();
-  while (white_count_ < white && !green_seq_.empty()) {
-    const ActionId aid = green_seq_.front();
-    green_seq_.pop_front();
-    ++white_count_;
-    store_.erase(aid);
-    green_pos_.erase(aid);
-    ++stats_.actions_white_trimmed;
-  }
+  stats_.actions_white_trimmed += log_.trim_white_to(white_line());
 }
 
 MetaRecord ReplicationEngine::current_meta() const {
@@ -1217,17 +1153,15 @@ void ReplicationEngine::append_meta() { storage_.append(encode_log_meta(current_
 
 void ReplicationEngine::maybe_compact() {
   if (params_.compact_every_greens <= 0) return;
-  if (green_count_ % params_.compact_every_greens != 0) return;
+  if (log_.green_count() % params_.compact_every_greens != 0) return;
   const std::size_t upto = storage_.durable_size();
   if (upto < 2) return;
   DbSnapshotRecord rec;
   rec.db_snapshot = db_.snapshot();
-  rec.green_count = green_count_;
-  rec.green_red_cut = map_to_pairs(green_red_cut_);
+  rec.green_count = log_.green_count();
+  rec.green_red_cut = log_.green_red_cut_pairs();
   rec.meta = current_meta();
-  for (const ActionId& rid : red_order_) {
-    if (const Action* b = body_of(rid); b && !is_green(rid)) rec.red_actions.push_back(*b);
-  }
+  log_.for_each_pending_red([&](const Action& a) { rec.red_actions.push_back(a); });
   for (const auto& [aid, act] : ongoing_) rec.ongoing_actions.push_back(act);
   storage_.compact(upto, encode_log_db_snapshot(rec));
 }

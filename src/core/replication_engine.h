@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "core/action.h"
+#include "core/action_log.h"
 #include "core/messages.h"
 #include "core/quorum.h"
 #include "db/database.h"
@@ -89,6 +90,10 @@ struct EngineParams {
   std::uint32_t action_padding = 110;  ///< pads actions to ~200 wire bytes
   std::int64_t compact_every_greens = 8000;  ///< log compaction cadence (0 = off)
   bool white_trim = true;  ///< discard white action bodies (paper Figure 1)
+  /// Batch multi-action persist+multicast: one StableStorage append+sync
+  /// and one group multicast per batch of buffered client actions instead
+  /// of per action. Single-action submissions are unaffected.
+  bool batch_persist = true;
   gc::GcParams gc;
 };
 
@@ -105,6 +110,10 @@ struct EngineStats {
   std::uint64_t retrans_received = 0;
   std::uint64_t replies = 0;
   std::uint64_t snapshots_sent = 0;
+  // Write batching (one forced append+sync and one multicast per batch).
+  std::uint64_t persist_batches = 0;        ///< multi-action batches issued
+  std::uint64_t persist_batch_actions = 0;  ///< actions carried by them
+  std::uint64_t persist_batch_max = 0;      ///< largest batch so far
 };
 
 struct EngineCallbacks {
@@ -164,9 +173,12 @@ class ReplicationEngine {
   bool in_primary() const {
     return state_ == EngineState::kRegPrim || state_ == EngineState::kTransPrim;
   }
-  std::int64_t green_count() const { return green_count_; }
-  std::size_t red_count() const;
+  std::int64_t green_count() const { return log_.green_count(); }
+  std::size_t red_count() const { return log_.red_count(); }
   std::int64_t white_line() const;
+  /// The colored-action history (read-only; all mutation goes through the
+  /// engine's protocol paths).
+  const ActionLog& action_log() const { return log_; }
   const db::Database& database() const { return db_; }
   std::uint64_t db_digest() const { return db_.digest(); }
   /// Green state plus red actions applied on top (the §6 dirty version).
@@ -218,9 +230,8 @@ class ReplicationEngine {
   Action make_action(ActionType type, db::Command query, db::Command update,
                      std::int64_t client, Semantics semantics, NodeId subject);
   void persist_and_send(std::vector<Action> actions);
-  bool is_green(const ActionId& id) const;
-  const Action* body_of(const ActionId& id) const;
-  const Action* green_body_at(std::int64_t position) const;
+  void on_newly_red(const Action& a);
+  bool is_green(const ActionId& id) const { return log_.is_green(id); }
   MetaRecord current_meta() const;
   void append_meta();
   void trim_white();
@@ -254,17 +265,10 @@ class ReplicationEngine {
   YellowRecord yellow_;
   std::vector<NodeId> server_set_;
 
-  // Coloring bookkeeping.
-  std::map<NodeId, std::int64_t> red_cut_;        ///< A: redCut
-  std::map<NodeId, std::int64_t> green_lines_;    ///< A: greenLines (as counts)
-  std::map<NodeId, std::int64_t> green_red_cut_;  ///< per-creator green coverage
-  std::int64_t green_count_ = 0;
-  std::int64_t white_count_ = 0;                ///< greens trimmed as white
-  std::deque<ActionId> green_seq_;              ///< positions white+1..green
-  std::vector<ActionId> red_order_;             ///< local red order (may hold greens, filtered)
-  std::map<ActionId, Action> red_waiting_;      ///< out-of-creator-order retransmissions
-  std::unordered_map<ActionId, Action> store_;  ///< bodies (red + untrimmed green)
-  std::unordered_map<ActionId, std::int64_t> green_pos_;
+  // Coloring bookkeeping: the colored-action history lives in the
+  // ActionLog subsystem; the engine keeps only cluster-knowledge state.
+  ActionLog log_;
+  std::map<NodeId, std::int64_t> green_lines_;  ///< A: greenLines (as counts)
   std::map<ActionId, Action> ongoing_;          ///< A: ongoingQueue
 
   // Exchange state.

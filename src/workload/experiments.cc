@@ -296,6 +296,10 @@ ViewChangePoint measure_engine_under_view_changes(int replicas, int clients,
   p.actions_per_second = static_cast<double>(driver.completed_in_window()) / to_seconds(measure);
   p.membership_changes = changes;
   p.end_to_end_rounds = c.engine(0).stats().exchanges - exchanges_before;
+  for (NodeId i = 0; i < replicas; ++i) {
+    p.persist_batches += c.engine(i).stats().persist_batches;
+    p.persist_batch_actions += c.engine(i).stats().persist_batch_actions;
+  }
   return p;
 }
 

@@ -64,6 +64,8 @@ struct ViewChangePoint {
   double actions_per_second = 0;
   std::uint64_t membership_changes = 0;
   std::uint64_t end_to_end_rounds = 0;  ///< engine: exchanges; per-action algs: acks
+  std::uint64_t persist_batches = 0;       ///< multi-action persist+multicast batches
+  std::uint64_t persist_batch_actions = 0; ///< actions carried by those batches
 };
 
 /// Ablation A1: engine throughput under periodic partition/heal cycles —

@@ -225,6 +225,10 @@ ScenarioResult Scenario::run(std::function<void(const std::string&)> echo) {
           const auto& e = c.engine(i);
           os << to_string(e.state()) << " green=" << e.green_count()
              << " red=" << e.red_count() << " prim#" << e.prim_component().prim_index;
+          if (e.stats().persist_batches > 0) {
+            os << " batches=" << e.stats().persist_batches << "("
+               << e.stats().persist_batch_actions << " actions)";
+          }
         }
         note(os.str());
       }

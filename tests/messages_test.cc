@@ -194,6 +194,22 @@ TEST(CoreMessages, SnapshotRoundTrip) {
   EXPECT_EQ(d2.digest(), d.digest());
 }
 
+TEST(CoreMessages, ActionBatchWireRoundTrip) {
+  core::Action a;
+  a.id = ActionId{2, 7};
+  a.update = db::Command::add("n", 1);
+  core::Action b = a;
+  b.id = ActionId{2, 8};
+  Bytes wire = core::encode_action_batch({a, b});
+  EXPECT_EQ(core::peek_engine_type(wire), core::EngineMsgType::kActionBatch);
+  BufReader r(wire);
+  r.u8();
+  const auto back = core::decode_action_batch(r);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, a.id);
+  EXPECT_EQ(back[1].id, b.id);
+}
+
 TEST(CoreMessages, CatchupSharesSnapshotBody) {
   core::SnapshotMessage s;
   s.green_count = 3;
@@ -222,6 +238,19 @@ TEST(CoreMessages, LogRecordsRoundTrip) {
     r.u8();
     EXPECT_EQ(r.i64(), 17);
     EXPECT_EQ(core::Action::decode(r).id, a.id);
+  }
+
+  core::Action a2 = a;
+  a2.id = ActionId{1, 3};
+  Bytes batch = core::encode_log_ongoing_batch({a, a2});
+  EXPECT_EQ(core::peek_log_type(batch), core::LogRecordType::kOngoingBatch);
+  {
+    BufReader r(batch);
+    r.u8();
+    const auto back = core::decode_action_batch(r);
+    ASSERT_EQ(back.size(), 2u);
+    EXPECT_EQ(back[0].id, a.id);
+    EXPECT_EQ(back[1].id, a2.id);
   }
 
   core::MetaRecord m;
