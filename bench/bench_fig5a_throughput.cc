@@ -38,5 +38,17 @@ int main() {
                 k.mean_latency_ms, t.actions_per_second, t.mean_latency_ms);
   }
   std::printf("\n(in parentheses: mean closed-loop action latency)\n");
+
+  // Metrics time series (src/obs): the same engine run at the highest client
+  // count, with the registry rolling a window every 500ms of virtual time.
+  // Steady state shows up as flat greens-per-window; the storage.forces
+  // column is the disk-write budget the paper's batching argument is about.
+  const int peak_clients = clients.back();
+  const SimDuration window = millis(500);
+  std::string table;
+  measure_engine_throughput_windowed(/*delayed=*/false, replicas, peak_clients, warmup,
+                                     measure, window, 1, &table);
+  std::printf("\nengine metrics windows (%d clients, %.1fs windows):\n%s", peak_clients,
+              to_seconds(window), table.c_str());
   return 0;
 }

@@ -21,15 +21,16 @@ int main() {
   std::vector<int> replica_counts =
       bench::fast_mode() ? std::vector<int>{3, 14} : std::vector<int>{2, 4, 6, 8, 10, 12, 14};
 
-  std::printf("%9s | %21s | %21s | %21s\n", "replicas", "engine mean/p99 (ms)",
-              "COReL mean/p99 (ms)", "2PC mean/p99 (ms)");
+  std::printf("%9s | %26s | %26s | %26s\n", "replicas", "engine mean/p99/p999 (ms)",
+              "COReL mean/p99/p999 (ms)", "2PC mean/p99/p999 (ms)");
   bench::row_sep();
   for (int n : replica_counts) {
     const auto e = measure_latency(Algorithm::kEngine, n, actions, 1);
     const auto k = measure_latency(Algorithm::kCorel, n, actions, 1);
     const auto t = measure_latency(Algorithm::kTwoPc, n, actions, 1);
-    std::printf("%9d | %9.2f / %8.2f | %9.2f / %8.2f | %9.2f / %8.2f\n", n, e.mean_ms,
-                e.p99_ms, k.mean_ms, k.p99_ms, t.mean_ms, t.p99_ms);
+    std::printf("%9d | %8.2f /%7.2f /%7.2f | %8.2f /%7.2f /%7.2f | %8.2f /%7.2f /%7.2f\n",
+                n, e.mean_ms, e.p99_ms, e.p999_ms, k.mean_ms, k.p99_ms, k.p999_ms,
+                t.mean_ms, t.p99_ms, t.p999_ms);
   }
   std::printf("\n(%d actions per cell)\n", actions);
   return 0;

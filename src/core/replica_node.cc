@@ -12,7 +12,7 @@ ReplicaNode::ReplicaNode(Network& net, NodeId id, std::vector<NodeId> initial_se
       options_(std::move(options)),
       initial_servers_(std::move(initial_servers)),
       alive_(std::make_shared<bool>(true)),
-      storage_(std::make_unique<StableStorage>(sim_, options_.storage)) {
+      storage_(std::make_unique<StableStorage>(sim_, make_storage_params())) {
   net_.add_node(id_);
   register_direct_handler();
   EngineCallbacks cbs;
@@ -28,10 +28,16 @@ ReplicaNode::ReplicaNode(Network& net, NodeId id, DormantTag, ReplicaOptions opt
       id_(id),
       options_(std::move(options)),
       alive_(std::make_shared<bool>(true)),
-      storage_(std::make_unique<StableStorage>(sim_, options_.storage)) {
+      storage_(std::make_unique<StableStorage>(sim_, make_storage_params())) {
   net_.add_node(id_);
   net_.set_group_active(id_, false);
   register_direct_handler();
+}
+
+StorageParams ReplicaNode::make_storage_params() const {
+  StorageParams p = options_.storage;
+  if (options_.engine.trace_bus) p.tracer = obs::Tracer(options_.engine.trace_bus, id_);
+  return p;
 }
 
 ReplicaNode::~ReplicaNode() {

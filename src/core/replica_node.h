@@ -58,6 +58,9 @@ class ReplicaNode {
   StableStorage& storage() { return *storage_; }
 
  private:
+  /// Storage params with the per-node obs tracer attached (the shared
+  /// ReplicaOptions cannot carry per-node identity, so it is stamped here).
+  StorageParams make_storage_params() const;
   void register_direct_handler();
   void on_direct(NodeId from, const Bytes& wire);
   void try_next_join_peer();

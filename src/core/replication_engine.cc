@@ -51,7 +51,9 @@ ReplicationEngine::ReplicationEngine(Network& net, StableStorage& storage, NodeI
       callbacks_(std::move(callbacks)),
       quorum_(params_.weights, params_.quorum_mode),
       alive_(std::make_shared<bool>(true)) {
+  init_obs();
   init_members(initial_servers);
+  trace_engine_start(0);
   construct_gc(0);
 }
 
@@ -66,6 +68,7 @@ ReplicationEngine::ReplicationEngine(Network& net, StableStorage& storage, NodeI
       callbacks_(std::move(callbacks)),
       quorum_(params_.weights, params_.quorum_mode),
       alive_(std::make_shared<bool>(true)) {
+  init_obs();
   adopt_snapshot(snapshot, /*set_prim=*/true);
   // §5.2 line 28: the joiner's green line is the position of its
   // PERSISTENT_JOIN action, inherited with the snapshot.
@@ -78,6 +81,7 @@ ReplicationEngine::ReplicationEngine(Network& net, StableStorage& storage, NodeI
   rec.meta = current_meta();
   storage_.append(encode_log_db_snapshot(rec));
   storage_.sync([] {});
+  trace_engine_start(2);
   construct_gc(0);
 }
 
@@ -92,10 +96,43 @@ ReplicationEngine::ReplicationEngine(Network& net, StableStorage& storage, NodeI
       callbacks_(std::move(callbacks)),
       quorum_(params_.weights, params_.quorum_mode),
       alive_(std::make_shared<bool>(true)) {
+  init_obs();
   recover_from_log(fallback_servers);
 }
 
 ReplicationEngine::~ReplicationEngine() { *alive_ = false; }
+
+void ReplicationEngine::init_obs() {
+  if (params_.trace_bus) {
+    tracer_ = obs::Tracer(params_.trace_bus, id_);
+    params_.gc.tracer = tracer_;  // construct_gc copies params_.gc
+  }
+  if (params_.metrics) {
+    green_latency_hist_ = &params_.metrics->histogram("engine.green_latency_ms");
+    view_change_hist_ = &params_.metrics->histogram("engine.view_change_ms");
+    metric_green_ = &params_.metrics->counter("engine.actions_green");
+    metric_red_ = &params_.metrics->counter("engine.actions_red");
+    metric_installs_ = &params_.metrics->counter("engine.primaries_installed");
+  }
+}
+
+void ReplicationEngine::set_state(EngineState next) {
+  if (next == state_) return;
+  if (tracer_) {
+    tracer_.emit(obs::EventKind::kStateTransition, static_cast<std::int64_t>(state_),
+                 static_cast<std::int64_t>(next));
+  }
+  state_ = next;
+}
+
+void ReplicationEngine::trace_engine_start(std::int64_t mode) {
+  if (!tracer_) return;
+  tracer_.emit(obs::EventKind::kEngineStart, log_.green_count(), mode);
+  tracer_.emit(obs::EventKind::kMemberReset);
+  for (NodeId s : server_set_) {
+    tracer_.emit(obs::EventKind::kMemberAdd, static_cast<std::int64_t>(s));
+  }
+}
 
 void ReplicationEngine::init_members(const std::vector<NodeId>& servers) {
   server_set_ = servers;
@@ -211,14 +248,22 @@ void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_ser
   }
   action_index_ = std::max({action_index_, log_.red_cut(id_), log_.green_red_cut(id_)});
   green_lines_[id_] = log_.green_count();
-  state_ = EngineState::kNonPrim;
+  set_state(EngineState::kNonPrim);
   append_meta();
   storage_.sync([] {});
+  trace_engine_start(1);
   construct_gc(gc_counter + 1);
 }
 
 void ReplicationEngine::adopt_snapshot(const SnapshotMessage& s, bool set_prim) {
   db_.restore(s.db_snapshot);
+  if (tracer_) {
+    tracer_.emit(obs::EventKind::kStateTransferApply, s.green_count);
+    tracer_.emit(obs::EventKind::kMemberReset);
+    for (NodeId n : s.server_set) {
+      tracer_.emit(obs::EventKind::kMemberAdd, static_cast<std::int64_t>(n));
+    }
+  }
   // The log adopts the green prefix wholesale; pending reds the prefix
   // swallowed (now green) drop out of the pending set automatically.
   log_.adopt_green_prefix(s.green_count, s.green_red_cut);
@@ -264,6 +309,11 @@ Action ReplicationEngine::make_action(ActionType type, db::Command query, db::Co
   a.subject = subject;
   a.padding = type == ActionType::kUpdate ? params_.action_padding : 0;
   ++stats_.actions_created;
+  if (tracer_) {
+    tracer_.emit_action(obs::EventKind::kActionSubmitted, a.id,
+                        static_cast<std::int64_t>(semantics), static_cast<std::int64_t>(type));
+  }
+  if (green_latency_hist_ != nullptr) submit_times_[a.id] = sim_.now();
   return a;
 }
 
@@ -428,14 +478,14 @@ void ReplicationEngine::on_transitional_config(const gc::Configuration& conf) {
   (void)conf;
   switch (state_) {
     case EngineState::kRegPrim:
-      state_ = EngineState::kTransPrim;  // A.2
+      set_state(EngineState::kTransPrim);  // A.2
       break;
     case EngineState::kExchangeStates:
     case EngineState::kExchangeActions:
-      state_ = EngineState::kNonPrim;  // A.4 / A.6
+      set_state(EngineState::kNonPrim);  // A.4 / A.6
       break;
     case EngineState::kConstruct:
-      state_ = EngineState::kNo;  // A.9
+      set_state(EngineState::kNo);  // A.9
       break;
     case EngineState::kNonPrim:  // A.1: ignore
     default:
@@ -537,7 +587,7 @@ void ReplicationEngine::handle_action(const Action& a) {
       // consistent with it.
       install();
       mark_yellow(a);
-      state_ = EngineState::kTransPrim;
+      set_state(EngineState::kTransPrim);
       break;
     case EngineState::kNonPrim:
     case EngineState::kExchangeStates:
@@ -567,7 +617,12 @@ void ReplicationEngine::shift_to_exchange_states() {
   expected_retrans_ = 0;
   received_retrans_ = 0;
   effective_vulnerable_.clear();
-  state_ = EngineState::kExchangeStates;
+  set_state(EngineState::kExchangeStates);
+  if (tracer_) {
+    tracer_.emit(obs::EventKind::kExchangeStart, conf_.id.counter,
+                 static_cast<std::int64_t>(conf_.id.coordinator));
+  }
+  exchange_started_at_ = sim_.now();
   append_meta();
   const ConfigId cid = conf_.id;
   storage_.sync([this, alive = alive_, cid] {
@@ -600,7 +655,7 @@ void ReplicationEngine::handle_state_msg(const StateMessage& s) {
 }
 
 void ReplicationEngine::shift_to_exchange_actions() {
-  state_ = EngineState::kExchangeActions;
+  set_state(EngineState::kExchangeActions);
 
   // Deterministic retransmission plan, computed identically by every member
   // from the identical set of State messages (replacing the turn-based
@@ -754,7 +809,7 @@ void ReplicationEngine::end_of_retrans() {
     vulnerable_.attempt_index = attempt_index_;
     vulnerable_.set = conf_.members;
     vulnerable_.bits.assign(conf_.members.size(), false);
-    state_ = EngineState::kConstruct;
+    set_state(EngineState::kConstruct);
     append_meta();
     const ConfigId cid = conf_.id;
     storage_.sync([this, alive = alive_, cid] {
@@ -765,7 +820,7 @@ void ReplicationEngine::end_of_retrans() {
       ++stats_.cpc_sent;
     });
   } else {
-    state_ = EngineState::kNonPrim;
+    set_state(EngineState::kNonPrim);
     append_meta();
     storage_.sync([] {});
     handle_buffered_requests();
@@ -885,6 +940,11 @@ bool ReplicationEngine::is_quorum() const {
 void ReplicationEngine::handle_cpc(const CpcMessage& c) {
   if (!(c.conf_id == conf_.id)) return;
   cpc_received_.insert(c.server_id);
+  if (tracer_) {
+    tracer_.emit(obs::EventKind::kQuorumVote, c.conf_id.counter,
+                 static_cast<std::int64_t>(c.conf_id.coordinator),
+                 static_cast<std::int64_t>(c.server_id));
+  }
   if (vulnerable_.valid) vulnerable_.set_bit(c.server_id);
   if (state_ == EngineState::kConstruct) {
     check_construct_complete();
@@ -898,7 +958,7 @@ void ReplicationEngine::handle_cpc(const CpcMessage& c) {
         break;
       }
     }
-    if (all) state_ = EngineState::kUn;
+    if (all) set_state(EngineState::kUn);
   }
   // A.4: CPC in ExchangeStates is ignored (stale by definition).
 }
@@ -913,7 +973,7 @@ void ReplicationEngine::check_construct_complete() {
     green_lines_[m] = std::max(green_lines_[m], green_lines_[id_]);
   }
   install();
-  state_ = EngineState::kRegPrim;
+  set_state(EngineState::kRegPrim);
   handle_buffered_requests();
   flush_strict_queries();
   trim_white();
@@ -950,6 +1010,26 @@ void ReplicationEngine::install() {
   }
 
   ++stats_.primaries_installed;
+  if (metric_installs_ != nullptr) metric_installs_->inc();
+  if (view_change_hist_ != nullptr && exchange_started_at_ >= 0) {
+    view_change_hist_->record((sim_.now() - exchange_started_at_) / 1000000);  // ns -> ms
+    exchange_started_at_ = -1;
+  }
+  if (tracer_) {
+    // Membership hash lets the checker compare installations structurally
+    // without shipping the member list in one event.
+    std::uint64_t h = 1469598103934665603ull;
+    for (NodeId m : prim_.servers) {
+      h ^= static_cast<std::uint64_t>(m) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    tracer_.emit(obs::EventKind::kPrimaryInstall, prim_.prim_index, prim_.attempt_index,
+                 static_cast<std::int64_t>(prim_.servers.size()), static_cast<std::int64_t>(h));
+    for (NodeId m : prim_.servers) {
+      tracer_.emit(obs::EventKind::kPrimaryMember, prim_.prim_index,
+                   static_cast<std::int64_t>(m));
+    }
+  }
   green_lines_[id_] = log_.green_count();
   append_meta();
   storage_.sync([] {});
@@ -965,6 +1045,8 @@ void ReplicationEngine::on_newly_red(const Action& a) {
   // the client can be answered.
   storage_.append(encode_log_red(a));
   ++stats_.actions_red;
+  if (tracer_) tracer_.emit_action(obs::EventKind::kActionRed, a.id);
+  if (metric_red_ != nullptr) metric_red_->inc();
   ongoing_.erase(a.id);
   maybe_reply_red(a);
 }
@@ -988,6 +1070,15 @@ void ReplicationEngine::mark_green(const Action& a) {
   green_lines_[id_] = log_.green_count();
   storage_.append(encode_log_green(res.position, a));
   ++stats_.actions_green;
+  if (tracer_) tracer_.emit_action(obs::EventKind::kActionGreen, a.id, res.position);
+  if (metric_green_ != nullptr) metric_green_->inc();
+  if (green_latency_hist_ != nullptr) {
+    auto it = submit_times_.find(a.id);
+    if (it != submit_times_.end()) {
+      green_latency_hist_->record((sim_.now() - it->second) / 1000000);  // ns -> ms
+      submit_times_.erase(it);
+    }
+  }
   apply_green(a);
   maybe_compact();
 }
@@ -1050,6 +1141,7 @@ void ReplicationEngine::on_join_green(const Action& a) {
     insert_sorted(server_set_, j);
     // 5.1 line 7: the joiner's green line is the join action's position.
     green_lines_[j] = log_.green_count();
+    if (tracer_) tracer_.emit(obs::EventKind::kMemberAdd, static_cast<std::int64_t>(j));
     if (callbacks_.on_join_green) callbacks_.on_join_green(j);
     if (a.id.server_id == id_ || pending_join_transfers_.count(j)) {
       send_snapshot_to(j);  // 5.1 lines 9-10
@@ -1064,6 +1156,7 @@ void ReplicationEngine::on_leave_green(const Action& a) {
   if (!contains(server_set_, l)) return;
   erase_value(server_set_, l);
   green_lines_.erase(l);
+  if (tracer_) tracer_.emit(obs::EventKind::kMemberRemove, static_cast<std::int64_t>(l));
   // Remove the departed member from the dynamic-linear-voting denominator:
   // it can never vote again, and without this a leave of a recent-primary
   // member could block quorum forever — the very failure mode §5.1 says
@@ -1087,10 +1180,14 @@ void ReplicationEngine::send_snapshot_to(NodeId joiner) {
   net_.send(id_, joiner, encode_snapshot(s), Channel::kDirect);
   pending_join_transfers_.erase(joiner);
   ++stats_.snapshots_sent;
+  if (tracer_) {
+    tracer_.emit(obs::EventKind::kStateTransferSend, s.green_count,
+                 static_cast<std::int64_t>(joiner));
+  }
 }
 
 void ReplicationEngine::enter_left() {
-  state_ = EngineState::kLeft;
+  set_state(EngineState::kLeft);
   // Fail any requests that can no longer be served.
   for (auto& [aid, pending] : pending_replies_) {
     if (pending.fn) {
@@ -1134,7 +1231,12 @@ ActionId ReplicationEngine::green_action_at(std::int64_t position) const {
 
 void ReplicationEngine::trim_white() {
   if (!params_.white_trim) return;
-  stats_.actions_white_trimmed += log_.trim_white_to(white_line());
+  const std::int64_t line = white_line();
+  const auto trimmed = log_.trim_white_to(line);
+  stats_.actions_white_trimmed += trimmed;
+  if (trimmed > 0 && tracer_) {
+    tracer_.emit(obs::EventKind::kWhiteTrim, line, static_cast<std::int64_t>(trimmed));
+  }
 }
 
 MetaRecord ReplicationEngine::current_meta() const {

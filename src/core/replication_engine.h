@@ -52,6 +52,8 @@
 #include "core/quorum.h"
 #include "db/database.h"
 #include "gc/group_communication.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "storage/stable_storage.h"
 
@@ -95,6 +97,13 @@ struct EngineParams {
   /// of per action. Single-action submissions are unaffected.
   bool batch_persist = true;
   gc::GcParams gc;
+  /// Observability (all null by default — zero cost). When `trace_bus` is
+  /// set the engine constructs a per-node Tracer and emits the structured
+  /// event stream documented on obs::EventKind; it also hands the bus down
+  /// to its GroupCommunication instance. When `metrics` is set the engine
+  /// records green-commit latency and view-change duration histograms.
+  std::shared_ptr<obs::TraceBus> trace_bus;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
 };
 
 struct EngineStats {
@@ -244,6 +253,18 @@ class ReplicationEngine {
   std::vector<std::pair<NodeId, std::int64_t>> map_to_pairs(
       const std::map<NodeId, std::int64_t>& m) const;
 
+  // --- observability ---------------------------------------------------------
+  /// Builds the per-node Tracer from params_.trace_bus, hands it down to the
+  /// GC layer, and resolves metric handles. Must run before construct_gc.
+  void init_obs();
+  /// Single choke point for engine state transitions: emits kStateTransition
+  /// and closes the view-change duration histogram sample when a primary is
+  /// (re-)entered.
+  void set_state(EngineState next);
+  /// Emits kEngineStart (mode: 0 fresh, 1 recover, 2 join) plus a
+  /// kMemberReset / kMemberAdd sequence describing the server set.
+  void trace_engine_start(std::int64_t mode);
+
   Network& net_;
   Simulator& sim_;
   StableStorage& storage_;
@@ -307,6 +328,16 @@ class ReplicationEngine {
   std::set<NodeId> pending_join_transfers_;
 
   EngineStats stats_;
+
+  // Observability (all inert unless params_.trace_bus / params_.metrics set).
+  obs::Tracer tracer_;
+  obs::Histogram* green_latency_hist_ = nullptr;   ///< submit → green, ms
+  obs::Histogram* view_change_hist_ = nullptr;     ///< exchange → install, ms
+  obs::Counter* metric_green_ = nullptr;
+  obs::Counter* metric_red_ = nullptr;
+  obs::Counter* metric_installs_ = nullptr;
+  std::map<ActionId, SimTime> submit_times_;  ///< only populated when metrics on
+  SimTime exchange_started_at_ = -1;          ///< -1 = no exchange in flight
 };
 
 }  // namespace tordb::core

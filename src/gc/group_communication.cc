@@ -41,6 +41,7 @@ GroupCommunication::GroupCommunication(Network& net, NodeId id, Listener listene
   // Deliver the initial singleton configuration before anything else runs.
   schedule(0, [this] {
     ++stats_.regular_configs;
+    emit_config(config_);
     if (listener_.on_regular_config) listener_.on_regular_config(config_);
   });
   net_.set_reachability_handler(
@@ -174,6 +175,13 @@ void GroupCommunication::deliver_one(std::int64_t seq, DeliveryKind kind) {
   ++stats_.deliveries;
   if (kind == DeliveryKind::kSafeInRegular) ++stats_.safe_deliveries;
   if (kind == DeliveryKind::kTransitional) ++stats_.transitional_deliveries;
+  if (params_.tracer && kind == DeliveryKind::kSafeInRegular) {
+    // Safe delivery is the point the paper's trichotomy hinges on: every
+    // member of the configuration delivers the same payload at (config, seq).
+    params_.tracer.emit(obs::EventKind::kSafeDeliver, config_.id.counter,
+                        static_cast<std::int64_t>(config_.id.coordinator), seq,
+                        static_cast<std::int64_t>(obs::fingerprint(m.payload)));
+  }
   if (listener_.on_deliver) {
     Delivery d{m.origin, config_.id, seq, kind, m.payload};
     listener_.on_deliver(d);
@@ -508,6 +516,7 @@ void GroupCommunication::run_install() {
   trans.members = e.participants;
   trans.transitional = true;
   ++stats_.transitional_configs;
+  emit_config(trans);
   if (listener_.on_transitional_config) listener_.on_transitional_config(trans);
 
   // 3. Left-over messages, delivered in the transitional configuration.
@@ -551,7 +560,16 @@ void GroupCommunication::run_install() {
   for (const OutEntry& out : outbox_) send_data(out);
 
   ++stats_.regular_configs;
+  emit_config(config_);
   if (listener_.on_regular_config) listener_.on_regular_config(config_);
+}
+
+void GroupCommunication::emit_config(const Configuration& c) {
+  if (!params_.tracer) return;
+  params_.tracer.emit(c.transitional ? obs::EventKind::kViewTransitional
+                                     : obs::EventKind::kViewRegular,
+                      c.id.counter, static_cast<std::int64_t>(c.id.coordinator),
+                      static_cast<std::int64_t>(c.members.size()));
 }
 
 }  // namespace tordb::gc

@@ -43,6 +43,7 @@
 
 #include "gc/messages.h"
 #include "gc/types.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -53,6 +54,9 @@ struct GcParams {
   SimDuration ack_min_interval = millis(3);    ///< ack rate limit under load
   SimDuration gather_retry = millis(12);  ///< coordinator re-INQUIRE period
   SimDuration stuck_timeout = millis(60); ///< member watchdog during flush
+  /// Observability handle (disconnected by default — zero cost). Emits
+  /// kSafeDeliver, kViewRegular, and kViewTransitional events.
+  obs::Tracer tracer;
 };
 
 struct GcStats {
@@ -121,6 +125,7 @@ class GroupCommunication {
   void store_ordered(OrderedMsg&& msg);
   void try_deliver();
   void deliver_one(std::int64_t seq, DeliveryKind kind);
+  void emit_config(const Configuration& c);
   std::int64_t safe_line() const;
   void after_contig_advance();
   void schedule_ack();

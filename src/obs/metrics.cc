@@ -1,0 +1,148 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace tordb::obs {
+
+namespace {
+
+int bucket_of(std::int64_t v) {
+  if (v <= 0) return 0;
+  return std::bit_width(static_cast<std::uint64_t>(v));  // 1..63
+}
+
+double bucket_low(int b) { return b == 0 ? 0 : static_cast<double>(1ull << (b - 1)); }
+double bucket_high(int b) {
+  return b == 0 ? 1 : static_cast<double>(b >= 63 ? ~0ull : (1ull << b));
+}
+
+}  // namespace
+
+void Histogram::record(std::int64_t v) {
+  ++buckets_[bucket_of(v)];
+  ++count_;
+  sum_ += static_cast<double>(v);
+}
+
+double Histogram::quantile_from(const std::uint64_t* buckets, std::uint64_t total, double q) {
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total - 1) + 1;
+  double seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = seen + static_cast<double>(buckets[b]);
+    if (target <= next) {
+      // Linear interpolation inside the bucket.
+      const double frac = (target - seen) / static_cast<double>(buckets[b]);
+      return bucket_low(b) + frac * (bucket_high(b) - bucket_low(b));
+    }
+    seen = next;
+  }
+  return bucket_high(kBuckets - 1);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void MetricsRegistry::roll(SimTime now) {
+  MetricsWindow w;
+  w.start = window_start_;
+  w.end = now;
+  for (const auto& [name, c] : counters_) {
+    const std::uint64_t cur = c->value();
+    w.counter_deltas[name] = cur - last_counter_[name];
+    last_counter_[name] = cur;
+  }
+  for (const auto& [name, g] : gauges_) w.gauge_values[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistShadow& prev = last_hist_[name];
+    std::uint64_t delta_buckets[Histogram::kBuckets];
+    std::uint64_t delta_count = 0;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      delta_buckets[b] = h->buckets()[b] - prev.buckets[b];
+      delta_count += delta_buckets[b];
+      prev.buckets[b] = h->buckets()[b];
+    }
+    MetricsWindow::HistDelta d;
+    d.count = delta_count;
+    d.mean = delta_count
+                 ? (h->sum() - prev.sum) / static_cast<double>(delta_count)
+                 : 0;
+    d.p50 = Histogram::quantile_from(delta_buckets, delta_count, 0.50);
+    d.p99 = Histogram::quantile_from(delta_buckets, delta_count, 0.99);
+    prev.count = h->count();
+    prev.sum = h->sum();
+    w.histograms[name] = d;
+  }
+  window_start_ = now;
+  windows_.push_back(std::move(w));
+}
+
+std::string MetricsRegistry::totals() const {
+  std::string out;
+  for (const auto& [name, c] : counters_) out += name + " " + std::to_string(c->value()) + "\n";
+  for (const auto& [name, g] : gauges_) out += name + " " + std::to_string(g->value()) + "\n";
+  for (const auto& [name, h] : histograms_) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%s count=%llu mean=%.1f p50=%.0f p99=%.0f\n", name.c_str(),
+                  static_cast<unsigned long long>(h->count()), h->mean(), h->quantile(0.5),
+                  h->quantile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::window_table(const std::vector<std::string>& counter_names) const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "%14s", "window");
+  out += buf;
+  for (const auto& n : counter_names) {
+    // Last path component keeps columns narrow: "engine.actions_green" ->
+    // "actions_green".
+    const auto dot = n.rfind('.');
+    std::snprintf(buf, sizeof(buf), " | %16s", n.substr(dot == std::string::npos ? 0 : dot + 1).c_str());
+    out += buf;
+  }
+  bool any_hist = false;
+  for (const auto& w : windows_) any_hist |= !w.histograms.empty();
+  if (any_hist) out += " | histogram p50/p99 (ms)";
+  out += "\n";
+  for (const auto& w : windows_) {
+    std::snprintf(buf, sizeof(buf), "%6.2f-%5.2fs", to_seconds(w.start), to_seconds(w.end));
+    out += buf;
+    for (const auto& n : counter_names) {
+      auto it = w.counter_deltas.find(n);
+      std::snprintf(buf, sizeof(buf), " | %16llu",
+                    static_cast<unsigned long long>(it == w.counter_deltas.end() ? 0 : it->second));
+      out += buf;
+    }
+    for (const auto& [name, h] : w.histograms) {
+      // Histograms record in the unit the metric name declares (here: ms).
+      std::snprintf(buf, sizeof(buf), " | %s %.2f/%.2f", name.c_str(), h.p50, h.p99);
+      out += buf;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tordb::obs

@@ -1,0 +1,232 @@
+#include "obs/safety_checker.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tordb::obs {
+
+SafetyChecker::SafetyChecker(TraceBus& bus, CheckerOptions options) : options_(options) {
+  bus.subscribe([this](const TraceEvent& e) { on_event(e); });
+}
+
+SafetyChecker::NodeView& SafetyChecker::view(NodeId n) {
+  NodeView& v = nodes_[n];
+  v.seen = true;
+  return v;
+}
+
+void SafetyChecker::violation(const std::string& what) {
+  if (violations_.size() < options_.max_violations) violations_.push_back(what);
+  if (options_.fail_fast) {
+    std::fprintf(stderr, "\n=== obs::SafetyChecker: invariant violated ===\n%s\n", what.c_str());
+    std::abort();
+  }
+}
+
+std::string SafetyChecker::verdict() const {
+  if (ok()) {
+    return "checker: ok (" + std::to_string(events_checked_) + " events, green=" +
+           std::to_string(canon_.size()) + ")";
+  }
+  return "checker: " + std::to_string(violations_.size()) +
+         " violation(s): " + violations_.front();
+}
+
+std::string SafetyChecker::report() const {
+  std::string out = verdict() + "\n";
+  for (const std::string& v : violations_) out += "  - " + v + "\n";
+  return out;
+}
+
+std::string SafetyChecker::green_diff(NodeId node, std::int64_t position,
+                                      const ActionId& claimed) const {
+  // The paper's histories diverge at one position; show the canonical
+  // neighbourhood against the claim plus the node's own recent tail.
+  std::ostringstream os;
+  const std::int64_t ctx = static_cast<std::int64_t>(options_.diff_context);
+  const std::int64_t lo = std::max<std::int64_t>(1, position - ctx);
+  const std::int64_t hi =
+      std::min<std::int64_t>(static_cast<std::int64_t>(canon_.size()), position + ctx);
+  os << "\n  canonical history around position " << position << ":";
+  for (std::int64_t p = lo; p <= hi; ++p) {
+    os << "\n    [" << p << "] " << to_string(canon_[static_cast<std::size_t>(p - 1)]);
+    if (p == position) os << "   <-- node " << node << " claims " << to_string(claimed);
+  }
+  auto it = nodes_.find(node);
+  if (it != nodes_.end() && !it->second.recent.empty()) {
+    os << "\n  node " << node << " recent greens (oldest first):";
+    for (const ActionId& a : it->second.recent) os << " " << to_string(a);
+  }
+  return os.str();
+}
+
+void SafetyChecker::on_event(const TraceEvent& e) {
+  ++events_checked_;
+  switch (e.kind) {
+    case EventKind::kActionGreen:
+      on_green(e);
+      break;
+    case EventKind::kEngineStart:
+      on_adopt(e.node, e.a, e.b == 1 ? "recovery" : e.b == 2 ? "join snapshot" : "fresh start");
+      break;
+    case EventKind::kStateTransferApply:
+      on_adopt(e.node, e.a, "state transfer");
+      break;
+    case EventKind::kPrimaryInstall:
+      on_primary_install(e);
+      break;
+    case EventKind::kPrimaryMember:
+      if (e.a == pending_prim_index_ && e.node == pending_prim_node_) {
+        primaries_[e.a].members.push_back(static_cast<NodeId>(e.b));
+      }
+      break;
+    case EventKind::kWhiteTrim:
+      on_white_trim(e);
+      break;
+    case EventKind::kSafeDeliver:
+      on_safe_deliver(e);
+      break;
+    case EventKind::kMemberReset:
+      view(e.node).members.clear();
+      break;
+    case EventKind::kMemberAdd:
+      view(e.node).members.insert(static_cast<NodeId>(e.a));
+      break;
+    case EventKind::kMemberRemove:
+      view(e.node).members.erase(static_cast<NodeId>(e.a));
+      break;
+    default:
+      break;  // observed for export/metrics only
+  }
+}
+
+void SafetyChecker::on_green(const TraceEvent& e) {
+  NodeView& v = view(e.node);
+  const std::int64_t pos = e.a;
+  std::ostringstream os;
+  if (pos != v.green_count + 1) {
+    os << "t=" << e.time << " node " << e.node << " marked " << to_string(e.action)
+       << " green at position " << pos << " but its green count is " << v.green_count
+       << " (greens must be sequential)";
+    violation(os.str());
+    return;
+  }
+  v.green_count = pos;
+  v.recent.push_back(e.action);
+  if (v.recent.size() > 2 * options_.diff_context) v.recent.erase(v.recent.begin());
+
+  const std::int64_t canon_len = static_cast<std::int64_t>(canon_.size());
+  if (pos <= canon_len) {
+    const ActionId& expect = canon_[static_cast<std::size_t>(pos - 1)];
+    if (!(expect == e.action)) {
+      os << "t=" << e.time << " GREEN ORDER DIVERGENCE: node " << e.node << " marked "
+         << to_string(e.action) << " green at position " << pos << " but the canonical action is "
+         << to_string(expect) << green_diff(e.node, pos, e.action);
+      violation(os.str());
+    }
+    return;
+  }
+  if (pos > canon_len + 1) {
+    os << "t=" << e.time << " node " << e.node << " marked position " << pos
+       << " green but only " << canon_len << " positions are known anywhere";
+    violation(os.str());
+    return;
+  }
+  // This node extends the canonical history.
+  auto [it, inserted] = position_of_.emplace(e.action, pos);
+  if (!inserted && it->second != pos) {
+    os << "t=" << e.time << " action " << to_string(e.action) << " became green at position "
+       << pos << " (node " << e.node << ") but was already green at position " << it->second;
+    violation(os.str());
+    return;
+  }
+  auto [fit, finserted] = last_green_index_.emplace(e.action.server_id, 0);
+  (void)finserted;
+  if (e.action.index != fit->second + 1) {
+    os << "t=" << e.time << " GREEN FIFO violation: creator " << e.action.server_id
+       << " appears at index " << e.action.index << " after index " << fit->second
+       << " (position " << pos << ", node " << e.node << ")";
+    violation(os.str());
+    return;
+  }
+  fit->second = e.action.index;
+  canon_.push_back(e.action);
+}
+
+void SafetyChecker::on_adopt(NodeId node, std::int64_t green_count, const char* how) {
+  NodeView& v = view(node);
+  if (green_count > static_cast<std::int64_t>(canon_.size())) {
+    std::ostringstream os;
+    os << "node " << node << " adopted a green prefix of " << green_count << " via " << how
+       << " but only " << canon_.size() << " positions are known anywhere";
+    violation(os.str());
+  }
+  v.green_count = green_count;
+  v.recent.clear();
+}
+
+void SafetyChecker::on_primary_install(const TraceEvent& e) {
+  pending_prim_index_ = e.a;
+  pending_prim_node_ = e.node;
+  auto [it, inserted] = primaries_.emplace(e.a, PrimInfo{});
+  PrimInfo& info = it->second;
+  if (inserted) {
+    info.attempt = e.b;
+    info.member_count = e.c;
+    info.member_hash = static_cast<std::uint64_t>(e.d);
+    info.installer = e.node;
+    return;
+  }
+  pending_prim_node_ = kNoNode;  // members already collected from the first installer
+  if (info.attempt != e.b || info.member_count != e.c ||
+      info.member_hash != static_cast<std::uint64_t>(e.d)) {
+    std::ostringstream os;
+    os << "t=" << e.time << " TWO PRIMARY COMPONENTS with generation " << e.a << ": node "
+       << info.installer << " installed attempt " << info.attempt << " ("
+       << info.member_count << " members";
+    for (NodeId m : info.members) os << " " << m;
+    os << ") but node " << e.node << " installed attempt " << e.b << " (" << e.c
+       << " members, membership hash " << static_cast<std::uint64_t>(e.d) << " vs "
+       << info.member_hash << ")";
+    violation(os.str());
+  }
+}
+
+void SafetyChecker::on_white_trim(const TraceEvent& e) {
+  NodeView& v = view(e.node);
+  const std::int64_t line = e.a;
+  std::ostringstream os;
+  if (line > v.green_count) {
+    os << "t=" << e.time << " node " << e.node << " white-trimmed to " << line
+       << " beyond its own green count " << v.green_count;
+    violation(os.str());
+    return;
+  }
+  for (NodeId m : v.members) {
+    auto it = nodes_.find(m);
+    if (it == nodes_.end() || !it->second.seen) continue;  // engine not started yet
+    if (line > it->second.green_count) {
+      os << "t=" << e.time << " WHITE TRIM PASSES UNSTABLE ACTION: node " << e.node
+         << " trimmed to line " << line << " but member " << m << " has only "
+         << it->second.green_count << " greens (position " << it->second.green_count + 1
+         << ".." << line << " not yet stable)";
+      violation(os.str());
+      return;
+    }
+  }
+}
+
+void SafetyChecker::on_safe_deliver(const TraceEvent& e) {
+  const SafeKey key{e.a, static_cast<NodeId>(e.b), e.c};
+  auto [it, inserted] = safe_payload_.emplace(key, static_cast<std::uint64_t>(e.d));
+  if (!inserted && it->second != static_cast<std::uint64_t>(e.d)) {
+    std::ostringstream os;
+    os << "t=" << e.time << " SAFE DELIVERY DIVERGENCE: config (" << e.a << "," << e.b
+       << ") seq " << e.c << " delivered with payload hash " << static_cast<std::uint64_t>(e.d)
+       << " at node " << e.node << " but hash " << it->second << " elsewhere";
+    violation(os.str());
+  }
+}
+
+}  // namespace tordb::obs

@@ -1,0 +1,119 @@
+// Online safety checker — continuously verifies the paper's global
+// invariants from the trace stream, across every simulated node at once
+// (DESIGN.md §7).
+//
+// Subscribes to a TraceBus and checks, on every event:
+//
+//   1. Green-order prefix consistency (Theorem 1): the checker maintains
+//      the canonical green sequence (first writer per position wins); any
+//      node marking position p green with a different action id diverges.
+//   2. Uniqueness of green positions: no action id may become green at two
+//      different positions, at any node.
+//   3. Sequential greens: a node marks greens at exactly count+1; prefix
+//      adoptions (state transfer, recovery) may only move a node to a
+//      count the canonical history already covers.
+//   4. Green FIFO (Theorem 2): within the canonical sequence each
+//      creator's actions appear in creation-index order without gaps.
+//   5. At most one primary component per generation: two installs of the
+//      same prim_index must agree on attempt and membership.
+//   6. White-trim stability: a node may only trim up to a line that every
+//      member of its current server-set view has already marked green.
+//   7. Safe-delivery agreement (EVS): all nodes delivering (config, seq)
+//      as safe saw the same payload.
+//
+// Violations fail fast: the checker prints a report — including a diff of
+// the divergent histories around the offending position — and aborts the
+// process (tests die loudly at the first bad event, not at the end-state
+// assertion). Set `fail_fast = false` to collect violations instead (used
+// by the checker's own negative tests and by the scenario runner, which
+// prints a verdict).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace tordb::obs {
+
+struct CheckerOptions {
+  bool fail_fast = true;          ///< print + abort on the first violation
+  std::size_t max_violations = 64;  ///< retained when not failing fast
+  std::size_t diff_context = 4;   ///< green positions shown around a divergence
+};
+
+class SafetyChecker {
+ public:
+  /// Subscribes to `bus`; the bus must outlive the checker's use (the
+  /// harness owns both, checker after bus).
+  SafetyChecker(TraceBus& bus, CheckerOptions options = {});
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  std::uint64_t events_checked() const { return events_checked_; }
+  std::int64_t canonical_green_count() const {
+    return static_cast<std::int64_t>(canon_.size());
+  }
+
+  /// "checker: ok (N events)" or "checker: K violation(s): first..."
+  std::string verdict() const;
+  /// Full multi-line report of every recorded violation.
+  std::string report() const;
+
+  /// Feed one event directly (the bus subscription calls this; negative
+  /// tests inject forged events through the bus instead).
+  void on_event(const TraceEvent& e);
+
+ private:
+  struct NodeView {
+    bool seen = false;
+    std::int64_t green_count = 0;
+    std::set<NodeId> members;
+    std::vector<ActionId> recent;  ///< trailing green ids, for diffs
+  };
+  struct PrimInfo {
+    std::int64_t attempt = 0;
+    std::uint64_t member_hash = 0;
+    std::int64_t member_count = 0;
+    std::vector<NodeId> members;
+    NodeId installer = kNoNode;
+  };
+
+  void violation(const std::string& what);
+  std::string green_diff(NodeId node, std::int64_t position, const ActionId& claimed) const;
+  NodeView& view(NodeId n);
+
+  void on_green(const TraceEvent& e);
+  void on_adopt(NodeId node, std::int64_t green_count, const char* how);
+  void on_primary_install(const TraceEvent& e);
+  void on_white_trim(const TraceEvent& e);
+  void on_safe_deliver(const TraceEvent& e);
+
+  CheckerOptions options_;
+  std::uint64_t events_checked_ = 0;
+  std::vector<std::string> violations_;
+
+  // Canonical green history (position -> action, 0-based internally).
+  std::vector<ActionId> canon_;
+  std::unordered_map<ActionId, std::int64_t> position_of_;
+  std::map<NodeId, std::int64_t> last_green_index_;  ///< FIFO per creator
+
+  std::map<NodeId, NodeView> nodes_;
+  std::map<std::int64_t, PrimInfo> primaries_;
+  std::int64_t pending_prim_index_ = -1;  ///< collecting kPrimaryMember events
+  NodeId pending_prim_node_ = kNoNode;
+
+  struct SafeKey {
+    std::int64_t counter;
+    NodeId coordinator;
+    std::int64_t seq;
+    auto operator<=>(const SafeKey&) const = default;
+  };
+  std::map<SafeKey, std::uint64_t> safe_payload_;
+};
+
+}  // namespace tordb::obs

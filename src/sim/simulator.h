@@ -31,10 +31,11 @@ class Cancelable {
 
 class Simulator {
  public:
-  explicit Simulator(std::uint64_t seed = 1) : rng_(seed) {}
+  explicit Simulator(std::uint64_t seed = 1) : seed_(seed), rng_(seed) {}
 
   SimTime now() const { return now_; }
   Rng& rng() { return rng_; }
+  std::uint64_t seed() const { return seed_; }
 
   /// Schedule `fn` at absolute time `t` (clamped to now).
   void at(SimTime t, std::function<void()> fn);
@@ -73,6 +74,7 @@ class Simulator {
 
   void pop_and_run();
 
+  std::uint64_t seed_ = 1;
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;

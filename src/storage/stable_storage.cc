@@ -55,6 +55,10 @@ void StableStorage::force_completed(std::uint64_t epoch) {
   if (epoch != epoch_) return;  // crashed while forcing
   force_in_flight_ = false;
   durable_ = std::max(durable_, inflight_covered_);
+  if (params_.tracer) {
+    params_.tracer.emit(obs::EventKind::kForcedSync, static_cast<std::int64_t>(durable_),
+                        static_cast<std::int64_t>(stats_.forces));
+  }
   // Fire every sync whose records are now durable (group commit).
   std::vector<PendingSync> still_waiting;
   std::vector<SyncCallback> ready;

@@ -20,6 +20,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "sim/simulator.h"
 #include "util/serde.h"
 #include "util/types.h"
@@ -38,6 +39,9 @@ struct StorageParams {
   /// delayed briefly so concurrent requests share it. When the disk is
   /// already forcing, waiting requests batch onto the next force anyway.
   SimDuration commit_window = millis(1);
+  /// Observability handle (disconnected by default — zero cost). Emits one
+  /// kForcedSync event per completed physical force.
+  obs::Tracer tracer;
 };
 
 struct StorageStats {

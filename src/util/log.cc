@@ -19,6 +19,14 @@ const char* level_name(LogLevel lvl) {
 
 void Log::write(LogLevel lvl, const std::string& tag, const std::string& msg) {
   if (!enabled(lvl)) return;
+  if (sink()) {
+    sink()(lvl, tag, msg);
+    return;
+  }
+  write_default(lvl, tag, msg);
+}
+
+void Log::write_default(LogLevel lvl, const std::string& tag, const std::string& msg) {
   if (time_source()) {
     std::fprintf(stderr, "[%10.4fms] %s %-14s %s\n", to_millis(time_source()()),
                  level_name(lvl), tag.c_str(), msg.c_str());

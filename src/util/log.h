@@ -28,9 +28,22 @@ class Log {
     return src;
   }
 
-  static bool enabled(LogLevel lvl) { return lvl >= level() && level() != LogLevel::kOff; }
+  /// Optional sink replacing the default stderr writer (the obs trace bus
+  /// installs one to capture log lines as trace events). The sink decides
+  /// whether to also forward to `write_default`.
+  using Sink = std::function<void(LogLevel, const std::string& tag, const std::string& msg)>;
+  static Sink& sink() {
+    static Sink s;
+    return s;
+  }
+
+  /// `kOff` is the maximum level, so the single threshold comparison
+  /// suffices (callers only pass real levels kTrace..kError).
+  static bool enabled(LogLevel lvl) { return lvl >= level(); }
 
   static void write(LogLevel lvl, const std::string& tag, const std::string& msg);
+  /// The stderr formatter, bypassing any installed sink.
+  static void write_default(LogLevel lvl, const std::string& tag, const std::string& msg);
 };
 
 #define TORDB_LOG(lvl, tag)                                   \

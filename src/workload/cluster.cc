@@ -7,11 +7,70 @@ namespace tordb::workload {
 
 EngineCluster::EngineCluster(ClusterOptions options)
     : options_(std::move(options)), sim_(options_.seed), net_(sim_, options_.net) {
+  const bool check = options_.obs.check || obs::check_forced();
+  if (options_.obs.trace || check) {
+    obs::TraceBusOptions bus_opts;
+    bus_opts.ring_capacity = options_.obs.ring_capacity;
+    trace_bus_ = std::make_shared<obs::TraceBus>(sim_, bus_opts);
+    trace_bus_->capture_logs();  // logger lines become kLogLine trace events
+    options_.node.engine.trace_bus = trace_bus_;
+    if (check) {
+      obs::CheckerOptions copts;
+      copts.fail_fast = options_.obs.checker_fail_fast;
+      checker_ = std::make_unique<obs::SafetyChecker>(*trace_bus_, copts);
+    }
+  }
+  if (options_.obs.metrics_window > 0) {
+    metrics_ = std::make_shared<obs::MetricsRegistry>();
+    options_.node.engine.metrics = metrics_;
+  }
   std::vector<NodeId> all;
   for (NodeId i = 0; i < options_.replicas; ++i) all.push_back(i);
   for (NodeId i = 0; i < options_.replicas; ++i) {
     nodes_.push_back(std::make_unique<core::ReplicaNode>(net_, i, all, options_.node));
   }
+  if (metrics_) schedule_metrics_roll();
+}
+
+void EngineCluster::schedule_metrics_roll() {
+  sim_.after(options_.obs.metrics_window, [this] {
+    sample_metrics();
+    metrics_->roll(sim_.now());
+    schedule_metrics_roll();
+  });
+}
+
+void EngineCluster::sample_metrics() {
+  if (!metrics_) return;
+  std::uint64_t green = 0, red = 0, installs = 0, exchanges = 0;
+  std::uint64_t forces = 0, appends = 0;
+  std::uint64_t safe_deliveries = 0, configs = 0;
+  for (const auto& n : nodes_) {
+    const auto& st = n->storage().stats();
+    forces += st.forces;
+    appends += st.appends;
+    if (!n->running()) continue;
+    const auto& es = n->engine().stats();
+    green += es.actions_green;
+    red += es.actions_red;
+    installs += es.primaries_installed;
+    exchanges += es.exchanges;
+    const auto& gs = n->engine().group_comm().stats();
+    safe_deliveries += gs.safe_deliveries;
+    configs += gs.regular_configs;
+  }
+  // Cumulative sources: set_total() so roll() turns them into per-window
+  // deltas alongside the engines' directly-incremented counters.
+  metrics_->counter("cluster.actions_green").set_total(green);
+  metrics_->counter("cluster.actions_red").set_total(red);
+  metrics_->counter("cluster.primaries_installed").set_total(installs);
+  metrics_->counter("cluster.exchanges").set_total(exchanges);
+  metrics_->counter("storage.forces").set_total(forces);
+  metrics_->counter("storage.appends").set_total(appends);
+  metrics_->counter("gc.safe_deliveries").set_total(safe_deliveries);
+  metrics_->counter("gc.regular_configs").set_total(configs);
+  metrics_->counter("net.messages").set_total(net_.stats().messages_sent);
+  metrics_->counter("net.bytes").set_total(net_.stats().bytes_sent);
 }
 
 std::vector<NodeId> EngineCluster::all_ids() const {
@@ -129,6 +188,7 @@ std::optional<std::string> EngineCluster::check_single_primary() const {
 }
 
 std::optional<std::string> EngineCluster::check_all() const {
+  if (checker_ && !checker_->ok()) return checker_->report();
   if (auto v = check_green_prefix_consistency()) return v;
   if (auto v = check_green_fifo()) return v;
   if (auto v = check_single_primary()) return v;

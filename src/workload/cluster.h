@@ -9,16 +9,33 @@
 #include <vector>
 
 #include "core/replica_node.h"
+#include "obs/metrics.h"
+#include "obs/safety_checker.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
 namespace tordb::workload {
+
+/// Deployment-wide observability switches. Everything defaults to off: no
+/// bus is allocated and every Tracer handle stays disconnected, so the hot
+/// paths pay one null test per would-be event. `TORDB_OBS_CHECK=1` (or
+/// obs::force_check_for_tests()) force-enables the checker regardless.
+struct ObsOptions {
+  bool trace = false;             ///< allocate a TraceBus and wire every node
+  bool check = false;             ///< subscribe the online SafetyChecker
+  bool checker_fail_fast = true;  ///< abort the process on first violation
+  std::size_t ring_capacity = 1 << 16;
+  /// >0: allocate a MetricsRegistry and roll a window every interval.
+  SimDuration metrics_window = 0;
+};
 
 struct ClusterOptions {
   int replicas = 5;
   std::uint64_t seed = 1;
   NetworkParams net;
   core::ReplicaOptions node;
+  ObsOptions obs;
 };
 
 class EngineCluster {
@@ -69,10 +86,26 @@ class EngineCluster {
 
   std::optional<std::string> check_all() const;
 
+  // --- observability --------------------------------------------------------
+  /// Null unless ObsOptions enabled them (or the checker was forced).
+  const std::shared_ptr<obs::TraceBus>& trace_bus() const { return trace_bus_; }
+  obs::SafetyChecker* checker() const { return checker_.get(); }
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const { return metrics_; }
+  /// Sample cluster-cumulative stats into the registry (also runs before
+  /// every periodic window roll).
+  void sample_metrics();
+
  private:
+  void schedule_metrics_roll();
+
   ClusterOptions options_;
   Simulator sim_;
   Network net_;
+  // Declared before nodes_: the bus must outlive every Tracer handle the
+  // nodes hold (destruction runs in reverse order).
+  std::shared_ptr<obs::TraceBus> trace_bus_;
+  std::unique_ptr<obs::SafetyChecker> checker_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<core::ReplicaNode>> nodes_;
 };
 

@@ -69,11 +69,12 @@ struct DeployTopology {
 
 struct EngineDeployment {
   explicit EngineDeployment(int replicas, std::uint64_t seed, bool delayed,
-                            DeployTopology topo = {}) {
+                            DeployTopology topo = {}, ObsOptions obs = {}) {
     ClusterOptions o;
     o.replicas = replicas;
     o.seed = seed;
     o.net = topo.net;
+    o.obs = obs;
     if (delayed) o.node.storage.mode = SyncMode::kDelayed;
     cluster = std::make_unique<EngineCluster>(o);
     for (NodeId i = 0; i < replicas; ++i) {
@@ -167,8 +168,9 @@ LatencyResult run_latency(Deployment& dep, Simulator& sim, Algorithm algorithm, 
   r.replicas = replicas;
   r.count = stats.count();
   r.mean_ms = stats.mean_ms();
-  r.p50_ms = stats.percentile_ms(0.5);
-  r.p99_ms = stats.percentile_ms(0.99);
+  r.p50_ms = stats.p50_ms();
+  r.p99_ms = stats.p99_ms();
+  r.p999_ms = stats.p999_ms();
   return r;
 }
 
@@ -204,6 +206,32 @@ ThroughputPoint measure_throughput(Algorithm algorithm, int replicas, int client
     }
   }
   return {};
+}
+
+namespace {
+/// The counter columns benches print for engine time series.
+const std::vector<std::string> kWindowColumns = {
+    "cluster.actions_green", "cluster.primaries_installed", "storage.forces",
+    "gc.safe_deliveries",    "net.messages",
+};
+}  // namespace
+
+ThroughputPoint measure_engine_throughput_windowed(bool delayed, int replicas, int clients,
+                                                   SimDuration warmup, SimDuration measure,
+                                                   SimDuration window, std::uint64_t seed,
+                                                   std::string* window_table) {
+  ObsOptions obs;
+  obs.metrics_window = window;
+  EngineDeployment dep(replicas, seed, delayed, {}, obs);
+  ThroughputPoint p =
+      run_throughput(dep, dep.cluster->sim(), delayed ? Algorithm::kEngineDelayed : Algorithm::kEngine,
+                     replicas, clients, warmup, measure);
+  if (window_table != nullptr && dep.cluster->metrics()) {
+    dep.cluster->sample_metrics();
+    dep.cluster->metrics()->roll(dep.cluster->sim().now());  // close the partial tail window
+    *window_table += dep.cluster->metrics()->window_table(kWindowColumns);
+  }
+  return p;
 }
 
 LatencyResult measure_latency(Algorithm algorithm, int replicas, int actions,
@@ -255,8 +283,12 @@ ThroughputPoint measure_throughput_wan(Algorithm algorithm, int replicas, int cl
 
 ViewChangePoint measure_engine_under_view_changes(int replicas, int clients,
                                                   SimDuration change_period,
-                                                  SimDuration measure, std::uint64_t seed) {
-  EngineDeployment dep(replicas, seed, /*delayed=*/false);
+                                                  SimDuration measure, std::uint64_t seed,
+                                                  SimDuration metrics_window,
+                                                  std::string* window_table) {
+  ObsOptions obs;
+  obs.metrics_window = metrics_window;
+  EngineDeployment dep(replicas, seed, /*delayed=*/false, {}, obs);
   EngineCluster& c = *dep.cluster;
   Simulator& sim = c.sim();
 
@@ -299,6 +331,13 @@ ViewChangePoint measure_engine_under_view_changes(int replicas, int clients,
   for (NodeId i = 0; i < replicas; ++i) {
     p.persist_batches += c.engine(i).stats().persist_batches;
     p.persist_batch_actions += c.engine(i).stats().persist_batch_actions;
+  }
+  if (window_table != nullptr && c.metrics()) {
+    c.sample_metrics();
+    c.metrics()->roll(sim.now());  // close the partial tail window
+    std::vector<std::string> cols = kWindowColumns;
+    cols.push_back("cluster.exchanges");
+    *window_table += c.metrics()->window_table(cols);
   }
   return p;
 }

@@ -45,6 +45,14 @@ ThroughputPoint measure_throughput(Algorithm algorithm, int replicas, int client
                                    SimDuration warmup, SimDuration measure,
                                    std::uint64_t seed = 1);
 
+/// Engine-only variant of measure_throughput that attaches an
+/// obs::MetricsRegistry rolling a window every `window`, and appends the
+/// rendered time-series table to `*window_table` (when non-null).
+ThroughputPoint measure_engine_throughput_windowed(bool delayed, int replicas, int clients,
+                                                   SimDuration warmup, SimDuration measure,
+                                                   SimDuration window, std::uint64_t seed,
+                                                   std::string* window_table);
+
 struct LatencyResult {
   Algorithm algorithm;
   int replicas = 0;
@@ -52,6 +60,7 @@ struct LatencyResult {
   double mean_ms = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  double p999_ms = 0;
 };
 
 /// Sequential-latency experiment (§7): one client submits `actions` actions
@@ -70,10 +79,14 @@ struct ViewChangePoint {
 
 /// Ablation A1: engine throughput under periodic partition/heal cycles —
 /// the cost of the engine's one end-to-end exchange per membership change.
+/// When `metrics_window` > 0 a registry rolls windows every interval and
+/// the rendered series is appended to `*window_table` (when non-null).
 ViewChangePoint measure_engine_under_view_changes(int replicas, int clients,
                                                   SimDuration change_period,
                                                   SimDuration measure,
-                                                  std::uint64_t seed = 1);
+                                                  std::uint64_t seed = 1,
+                                                  SimDuration metrics_window = 0,
+                                                  std::string* window_table = nullptr);
 
 struct SemanticsResult {
   double weak_query_ms = 0;          ///< answered in the minority partition

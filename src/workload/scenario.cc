@@ -1,5 +1,6 @@
 #include "workload/scenario.h"
 
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
@@ -158,6 +159,13 @@ ScenarioResult Scenario::run(std::function<void(const std::string&)> echo) {
       ClusterOptions o;
       o.replicas = std::stoi(t[1]);
       if (t.size() == 4) o.seed = std::stoull(t[3]);
+      // Scenario runs always trace and check: they are interactive/forensic
+      // tools, not benchmarks, so observability is worth its cost. The
+      // checker stays non-fatal here — violations surface in `status` and
+      // expect-consistent rather than aborting the run.
+      o.obs.trace = true;
+      o.obs.check = true;
+      o.obs.checker_fail_fast = false;
       cluster = std::make_unique<EngineCluster>(o);
       continue;
     }
@@ -216,6 +224,12 @@ ScenarioResult Scenario::run(std::function<void(const std::string&)> echo) {
     } else if (cmd == "leave") {
       c.engine(static_cast<NodeId>(std::stoi(t[1]))).request_leave();
     } else if (cmd == "status") {
+      {
+        std::ostringstream os;
+        os << "  t=" << to_millis(c.sim().now()) << "ms seed=" << c.sim().seed();
+        if (c.checker() != nullptr) os << " " << c.checker()->verdict();
+        note(os.str());
+      }
       for (NodeId i = 0; i < c.replicas(); ++i) {
         std::ostringstream os;
         os << "  node " << i << ": ";
@@ -260,6 +274,21 @@ ScenarioResult Scenario::run(std::function<void(const std::string&)> echo) {
       }
     } else if (cmd == "expect-consistent") {
       if (auto v = c.check_all()) fail(st.line, "invariant violated: " + *v);
+    }
+  }
+  if (cluster && cluster->checker() != nullptr && !cluster->checker()->ok()) {
+    result.ok = false;
+    result.failures.push_back(cluster->checker()->report());
+  }
+  if (cluster && cluster->trace_bus()) {
+    // Export hooks for CI artifacts and chrome://tracing forensics.
+    if (const char* path = std::getenv("TORDB_OBS_TRACE_JSONL")) {
+      if (*path != '\0') cluster->trace_bus()->write_file(path, cluster->trace_bus()->to_jsonl());
+    }
+    if (const char* path = std::getenv("TORDB_OBS_TRACE_CHROME")) {
+      if (*path != '\0') {
+        cluster->trace_bus()->write_file(path, cluster->trace_bus()->to_chrome_trace());
+      }
     }
   }
   return result;

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "db/database.h"
 #include "workload/cluster.h"
 

@@ -9,6 +9,7 @@
 
 #include <set>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "db/database.h"
 #include "util/rng.h"
 #include "workload/cluster.h"

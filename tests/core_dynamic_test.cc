@@ -3,6 +3,7 @@
 // removal, and the dynamic safety theorems.
 #include <gtest/gtest.h>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "db/database.h"
 #include "workload/cluster.h"
 

@@ -2,6 +2,7 @@
 // the stable-storage interplay (paper §5).
 #include <gtest/gtest.h>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "db/database.h"
 #include "workload/cluster.h"
 

@@ -3,6 +3,7 @@
 // duplicates, compaction snapshots, and the ongoing-queue replay rule.
 #include <gtest/gtest.h>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "core/replication_engine.h"
 #include "db/database.h"
 

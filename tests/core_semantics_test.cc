@@ -2,6 +2,7 @@
 // commutative updates, active and interactive actions.
 #include <gtest/gtest.h>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "db/database.h"
 #include "workload/cluster.h"
 

@@ -1,6 +1,7 @@
 // Client sessions: exactly-once update semantics with replica fail-over.
 #include <gtest/gtest.h>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "core/client_session.h"
 #include "db/database.h"
 #include "workload/cluster.h"

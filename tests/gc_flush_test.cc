@@ -3,6 +3,7 @@
 // content, and configuration-id monotonicity across adversarial timings.
 #include <gtest/gtest.h>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "gc_harness.h"
 
 namespace tordb::gc {

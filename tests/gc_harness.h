@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "gc/group_communication.h"
+#include "obs/safety_checker.h"
+#include "obs/trace.h"
 #include "sim/network.h"
 #include "sim/simulator.h"
 
@@ -51,6 +53,13 @@ class GcCluster {
  public:
   explicit GcCluster(int n, std::uint64_t seed = 7, NetworkParams net_params = NetworkParams{})
       : sim_(seed), net_(sim_, net_params) {
+    if (obs::check_forced()) {
+      // TORDB_OBS_CHECK=1: route safe deliveries and configs through the
+      // trace bus so the online checker verifies safe-delivery agreement
+      // live across the whole gc suite.
+      trace_bus_ = std::make_shared<obs::TraceBus>(sim_);
+      checker_ = std::make_unique<obs::SafetyChecker>(*trace_bus_);
+    }
     for (NodeId i = 0; i < n; ++i) {
       net_.add_node(i);
       records_[i];  // create record
@@ -249,12 +258,16 @@ class GcCluster {
       rec.deliveries.push_back(d);
       rec.events.push_back({RecordedEvent::Kind::kDelivery, {}, d});
     };
+    GcParams params;
+    if (trace_bus_) params.tracer = obs::Tracer(trace_bus_, id);
     gcs_[id] = std::make_unique<GroupCommunication>(net_, id, std::move(listener),
-                                                    initial_counter);
+                                                    initial_counter, params);
   }
 
   Simulator sim_;
   Network net_;
+  std::shared_ptr<obs::TraceBus> trace_bus_;       ///< set when checker forced
+  std::unique_ptr<obs::SafetyChecker> checker_;    ///< fail-fast on violation
   std::map<NodeId, std::unique_ptr<GroupCommunication>> gcs_;
   std::map<NodeId, NodeRecord> records_;
   std::map<NodeId, std::int64_t> counters_;

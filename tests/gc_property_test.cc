@@ -4,6 +4,7 @@
 // trichotomy, virtual synchrony) and eventual convergence.
 #include <gtest/gtest.h>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "gc_harness.h"
 #include "util/rng.h"
 

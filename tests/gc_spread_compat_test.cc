@@ -4,6 +4,7 @@
 
 #include <memory>
 
+#include "obs_enable.h"  // run every cluster under the online safety checker
 #include "gc/spread_compat.h"
 #include "sim/simulator.h"
 

@@ -1,0 +1,236 @@
+// The safety checker must actually catch corrupted histories — each
+// negative test forges a trace stream violating one invariant and asserts
+// the checker flags it with the right diagnosis. A positive run on a live
+// cluster plus export/metrics smoke tests round out the coverage.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "db/database.h"
+#include "obs/metrics.h"
+#include "obs/safety_checker.h"
+#include "obs/trace.h"
+#include "sim/simulator.h"
+#include "util/log.h"
+#include "workload/cluster.h"
+
+namespace tordb::obs {
+namespace {
+
+using core::Reply;
+using core::Semantics;
+using db::Command;
+
+/// A bus + non-fatal checker, with per-node tracers for forging events.
+struct Forge {
+  Simulator sim{1};
+  std::shared_ptr<TraceBus> bus = std::make_shared<TraceBus>(sim);
+  SafetyChecker checker{*bus, CheckerOptions{.fail_fast = false}};
+
+  Tracer node(NodeId id) { return Tracer(bus, id); }
+  void green(NodeId node_id, ActionId action, std::int64_t pos) {
+    Tracer(bus, node_id).emit_action(EventKind::kActionGreen, action, pos);
+  }
+};
+
+TEST(ObsChecker, ConsistentForgedHistoryIsOk) {
+  Forge f;
+  // Two nodes mark the same actions green in the same order: no violation.
+  f.green(0, {0, 1}, 1);
+  f.green(0, {1, 1}, 2);
+  f.green(1, {0, 1}, 1);
+  f.green(1, {1, 1}, 2);
+  EXPECT_TRUE(f.checker.ok()) << f.checker.report();
+  EXPECT_EQ(f.checker.canonical_green_count(), 2);
+  EXPECT_EQ(f.checker.events_checked(), 4u);
+  EXPECT_NE(f.checker.verdict().find("ok"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesGreenOrderDivergence) {
+  Forge f;
+  f.green(0, {0, 1}, 1);
+  f.green(1, {1, 1}, 1);  // node 1 puts a different action at position 1
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("GREEN ORDER DIVERGENCE"), std::string::npos);
+  EXPECT_NE(f.checker.verdict().find("violation"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesNonSequentialGreen) {
+  Forge f;
+  f.green(0, {0, 1}, 2);  // first green at position 2: a gap
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("sequential"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesActionGreenAtTwoPositions) {
+  Forge f;
+  f.green(0, {0, 1}, 1);
+  f.green(0, {0, 1}, 2);  // same action id extends the history again
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("already green at position"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesGreenFifoGap) {
+  Forge f;
+  f.green(0, {0, 1}, 1);
+  f.green(0, {0, 3}, 2);  // creator 0 skips index 2
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("GREEN FIFO"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesDoublePrimary) {
+  Forge f;
+  // Two nodes install the same primary generation with different memberships.
+  f.node(0).emit(EventKind::kPrimaryInstall, /*prim=*/3, /*attempt=*/1, /*count=*/2, 111);
+  f.node(1).emit(EventKind::kPrimaryInstall, /*prim=*/3, /*attempt=*/1, /*count=*/2, 222);
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("TWO PRIMARY COMPONENTS"), std::string::npos);
+}
+
+TEST(ObsChecker, AgreeingPrimaryInstallsAreOk) {
+  Forge f;
+  f.node(0).emit(EventKind::kPrimaryInstall, 3, 1, 2, 111);
+  f.node(1).emit(EventKind::kPrimaryInstall, 3, 1, 2, 111);
+  EXPECT_TRUE(f.checker.ok()) << f.checker.report();
+}
+
+TEST(ObsChecker, CatchesWhiteTrimPastUnstableAction) {
+  Forge f;
+  // Node 0 believes its server set is {0, 1}; node 1 has zero greens.
+  f.node(0).emit(EventKind::kEngineStart, 0, 0);
+  f.node(0).emit(EventKind::kMemberAdd, 0);
+  f.node(0).emit(EventKind::kMemberAdd, 1);
+  f.node(1).emit(EventKind::kEngineStart, 0, 0);
+  f.green(0, {0, 1}, 1);
+  f.node(0).emit(EventKind::kWhiteTrim, /*line=*/1, /*trimmed=*/1);
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("WHITE TRIM PASSES UNSTABLE ACTION"),
+            std::string::npos);
+}
+
+TEST(ObsChecker, CatchesTrimBeyondOwnGreens) {
+  Forge f;
+  f.green(0, {0, 1}, 1);
+  f.node(0).emit(EventKind::kWhiteTrim, /*line=*/5, /*trimmed=*/1);
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("beyond its own green count"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesSafeDeliveryDivergence) {
+  Forge f;
+  f.node(0).emit(EventKind::kSafeDeliver, /*counter=*/1, /*coord=*/0, /*seq=*/7, 0xAA);
+  f.node(1).emit(EventKind::kSafeDeliver, 1, 0, 7, 0xBB);
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("SAFE DELIVERY DIVERGENCE"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesAdoptionBeyondKnownHistory) {
+  Forge f;
+  f.green(0, {0, 1}, 1);
+  f.node(1).emit(EventKind::kStateTransferApply, /*green=*/5);
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("adopted a green prefix"), std::string::npos);
+}
+
+TEST(ObsChecker, AdoptionWithinHistoryResetsNodeCount) {
+  Forge f;
+  f.green(0, {0, 1}, 1);
+  f.green(0, {0, 2}, 2);
+  f.node(1).emit(EventKind::kStateTransferApply, /*green=*/2);
+  // Node 1 now continues from position 3 without re-marking 1 and 2.
+  f.green(1, {0, 3}, 3);
+  EXPECT_TRUE(f.checker.ok()) << f.checker.report();
+  EXPECT_EQ(f.checker.canonical_green_count(), 3);
+}
+
+TEST(ObsChecker, CollectsMultipleViolationsWhenNotFailFast) {
+  Forge f;
+  f.green(0, {0, 1}, 1);
+  f.green(1, {1, 1}, 1);
+  f.node(0).emit(EventKind::kSafeDeliver, 1, 0, 7, 0xAA);
+  f.node(1).emit(EventKind::kSafeDeliver, 1, 0, 7, 0xBB);
+  EXPECT_EQ(f.checker.violations().size(), 2u);
+  EXPECT_NE(f.checker.report().find("GREEN ORDER DIVERGENCE"), std::string::npos);
+  EXPECT_NE(f.checker.report().find("SAFE DELIVERY DIVERGENCE"), std::string::npos);
+}
+
+// --- live-cluster positive run ----------------------------------------------
+
+TEST(ObsChecker, LiveClusterPassesAllInvariants) {
+  workload::ClusterOptions o;
+  o.replicas = 3;
+  o.obs.trace = true;
+  o.obs.check = true;
+  o.obs.metrics_window = millis(200);
+  workload::EngineCluster c(o);
+  c.run_for(seconds(1));
+  bool replied = false;
+  c.engine(0).submit({}, Command::put("k", "v"), 1, Semantics::kStrict,
+                     [&](const Reply& r) {
+                       replied = true;
+                       EXPECT_FALSE(r.aborted);
+                     });
+  c.run_for(millis(300));
+  EXPECT_TRUE(replied);
+
+  ASSERT_NE(c.checker(), nullptr);
+  EXPECT_TRUE(c.checker()->ok()) << c.checker()->report();
+  EXPECT_GT(c.checker()->events_checked(), 0u);
+  EXPECT_GE(c.checker()->canonical_green_count(), 1);
+
+  // Export formats: JSONL has one object per retained event; the Chrome
+  // trace is a JSON array with instant events and view-change slices.
+  ASSERT_NE(c.trace_bus(), nullptr);
+  const std::string jsonl = c.trace_bus()->to_jsonl();
+  EXPECT_NE(jsonl.find("\"kind\":\"action_green\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"primary_install\""), std::string::npos);
+  const std::string chrome = c.trace_bus()->to_chrome_trace();
+  EXPECT_EQ(chrome.front(), '[');
+  EXPECT_EQ(chrome[chrome.find_last_not_of('\n')], ']');
+  EXPECT_NE(chrome.find("\"ph\""), std::string::npos);
+
+  // Metrics windows rolled during the run and saw the green action.
+  ASSERT_NE(c.metrics(), nullptr);
+  c.sample_metrics();
+  c.metrics()->roll(c.sim().now());
+  EXPECT_GE(c.metrics()->windows().size(), 2u);
+  EXPECT_GE(c.metrics()->counter("cluster.actions_green").value(), 1u);
+  EXPECT_NE(c.metrics()->totals().find("cluster.actions_green"), std::string::npos);
+}
+
+TEST(ObsChecker, CapturesLogLinesAsTraceEvents) {
+  Simulator sim{1};
+  auto bus = std::make_shared<TraceBus>(sim);
+  bus->capture_logs();
+  const LogLevel prev = Log::level();
+  Log::level() = LogLevel::kInfo;
+  LOG_INFO("obs_test") << "hello trace";
+  Log::level() = prev;
+  bool found = false;
+  for (const TraceEvent& e : bus->ring_snapshot()) {
+    if (e.kind != EventKind::kLogLine) continue;
+    const std::string* line = bus->log_line(e.a);
+    ASSERT_NE(line, nullptr);
+    EXPECT_NE(line->find("hello trace"), std::string::npos);
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsChecker, MetricsWindowTableHasHeaderAndRows) {
+  MetricsRegistry reg;
+  reg.counter("x").inc(3);
+  reg.roll(millis(100));
+  reg.counter("x").inc(2);
+  reg.roll(millis(200));
+  const std::string table = reg.window_table({"x"});
+  EXPECT_NE(table.find("window"), std::string::npos);
+  EXPECT_NE(table.find("x"), std::string::npos);
+  EXPECT_EQ(reg.windows().size(), 2u);
+  EXPECT_EQ(reg.windows()[0].counter_deltas.at("x"), 3);
+  EXPECT_EQ(reg.windows()[1].counter_deltas.at("x"), 2);
+}
+
+}  // namespace
+}  // namespace tordb::obs

@@ -1,0 +1,17 @@
+// Force-enable the online safety checker (src/obs) for every cluster the
+// including test binary builds — equivalent to running under
+// TORDB_OBS_CHECK=1. Included by all core_* and gc_* suites so each run
+// also verifies the paper's global invariants live, event by event, not
+// just at the end-state assertions.
+#pragma once
+
+#include "obs/trace.h"
+
+namespace tordb::obs::testing {
+
+inline const bool kCheckerForced = [] {
+  force_check_for_tests();
+  return true;
+}();
+
+}  // namespace tordb::obs::testing

@@ -148,8 +148,11 @@ run 1s
 status
 )");
   auto result = sc.run();
-  EXPECT_EQ(result.narration.size(), 3u);
-  EXPECT_NE(result.narration[0].find("RegPrim"), std::string::npos);
+  // One header line (seed + checker verdict) plus one line per node.
+  ASSERT_EQ(result.narration.size(), 4u);
+  EXPECT_NE(result.narration[0].find("seed="), std::string::npos);
+  EXPECT_NE(result.narration[0].find("checker:"), std::string::npos);
+  EXPECT_NE(result.narration[1].find("RegPrim"), std::string::npos);
 }
 
 }  // namespace
