@@ -1,0 +1,69 @@
+// Ablation A6 (DESIGN.md §8): sharded deployment.
+//
+// The paper replicates the whole database in one group, so one total order
+// caps aggregate update throughput no matter how many replicas serve it.
+// This ablation splits the key space into independent engine groups behind
+// shard::Router and sweeps shard count x cross-shard ratio at a FIXED total
+// replica count: at 0% cross-shard the aggregate green throughput should
+// scale with the shard count (each group runs its own sequencer and pays
+// group-local multicast costs), while raising the cross-shard ratio buys
+// back coordination — every cross action occupies a session at each
+// involved shard until the slowest one reports green (the commit barrier),
+// so throughput falls and the barrier wait shows up as extra latency.
+//
+// Pass --quick (or set TORDB_BENCH_FAST=1) for the reduced CI smoke sweep.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "workload/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace tordb;
+  using namespace tordb::workload;
+
+  bool quick = bench::fast_mode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  bench::header("Ablation A6: sharding (12 replicas total, closed-loop router clients)",
+                "beyond the paper: partial replication over the unmodified engine; "
+                "aggregate green throughput should scale with shard count at 0%% "
+                "cross-shard and pay a commit-barrier tax as the ratio rises");
+
+  const int total_replicas = 12;
+  const int clients = 240;
+  const SimDuration warmup = millis(500);
+  const SimDuration measure = quick ? seconds(2) : seconds(6);
+
+  std::vector<int> shard_counts = {1, 2, 4};
+  std::vector<double> ratios = {0.0, 0.05, 0.2};
+  if (quick) {
+    shard_counts = {1, 4};
+    ratios = {0.0, 0.2};
+  }
+
+  std::printf("%7s | %6s | %12s | %12s | %10s | %11s | %9s\n", "shards", "cross%",
+              "committed/s", "green/s", "latency", "barrier", "crossed");
+  bench::row_sep(86);
+  double green_1shard = 0, green_4shard = 0;
+  for (const int shards : shard_counts) {
+    for (const double ratio : ratios) {
+      const auto p = measure_sharding(shards, total_replicas / shards, clients, ratio,
+                                      warmup, measure);
+      if (ratio == 0.0 && shards == 1) green_1shard = p.green_per_second;
+      if (ratio == 0.0 && shards == 4) green_4shard = p.green_per_second;
+      std::printf("%7d | %5.0f%% | %12.0f | %12.0f | %8.2fms | %9.2fms | %9llu\n", shards,
+                  ratio * 100, p.actions_per_second, p.green_per_second, p.mean_latency_ms,
+                  p.mean_barrier_ms, static_cast<unsigned long long>(p.cross_committed));
+    }
+  }
+  std::printf("\n(green/s: aggregate engine green actions incl. session guards; barrier: mean "
+              "first-green -> last-green wait of committed cross-shard actions)\n");
+  if (green_1shard > 0 && green_4shard > 0) {
+    std::printf("scaling at 0%% cross-shard: 4 shards / 1 shard = %.2fx\n",
+                green_4shard / green_1shard);
+  }
+  return 0;
+}

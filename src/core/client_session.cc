@@ -58,6 +58,17 @@ void ClientSession::issue() {
 
   ReplicaNode* node = current_replica();
   if (node == nullptr || current_.attempts > options_.max_attempts_per_request) {
+    if (node == nullptr && options_.retry_when_unavailable &&
+        current_.attempts <= options_.max_attempts_per_request) {
+      // Every replica is down right now; wait for one to recover.
+      ++stats_.retries;
+      sim_.after(options_.retry_timeout, [this, alive = alive_, seq, epoch] {
+        if (!*alive) return;
+        if (!in_flight_ || current_.seq != seq || epoch != attempt_epoch_) return;
+        issue();
+      });
+      return;
+    }
     // No reachable replica (or we gave up): report a deterministic abort.
     finish(false);
     return;

@@ -39,6 +39,12 @@ namespace tordb::core {
 struct SessionOptions {
   SimDuration retry_timeout = millis(800);  ///< fail over to the next replica
   int max_attempts_per_request = 20;
+  /// When no replica is currently running (all crashed or left), wait one
+  /// retry_timeout and try again instead of aborting the request. Each wait
+  /// consumes an attempt. The shard tier uses this so a cross-shard action
+  /// whose target group is temporarily wholly down still lands exactly once
+  /// (all-or-nothing across groups) instead of half-applying.
+  bool retry_when_unavailable = false;
 };
 
 struct SessionReply {

@@ -10,10 +10,30 @@ SafetyChecker::SafetyChecker(TraceBus& bus, CheckerOptions options) : options_(o
   bus.subscribe([this](const TraceEvent& e) { on_event(e); });
 }
 
+void SafetyChecker::set_node_group(NodeId node, std::int64_t group) {
+  node_group_[node] = group;
+}
+
 SafetyChecker::NodeView& SafetyChecker::view(NodeId n) {
   NodeView& v = nodes_[n];
   v.seen = true;
   return v;
+}
+
+SafetyChecker::GroupState& SafetyChecker::group_of(NodeId n) {
+  auto it = node_group_.find(n);
+  return groups_[it == node_group_.end() ? 0 : it->second];
+}
+
+std::int64_t SafetyChecker::canonical_green_count(std::int64_t group) const {
+  auto it = groups_.find(group);
+  return it == groups_.end() ? 0 : static_cast<std::int64_t>(it->second.canon.size());
+}
+
+std::int64_t SafetyChecker::total_green_count() const {
+  std::int64_t total = 0;
+  for (const auto& [id, g] : groups_) total += static_cast<std::int64_t>(g.canon.size());
+  return total;
 }
 
 void SafetyChecker::violation(const std::string& what) {
@@ -27,7 +47,7 @@ void SafetyChecker::violation(const std::string& what) {
 std::string SafetyChecker::verdict() const {
   if (ok()) {
     return "checker: ok (" + std::to_string(events_checked_) + " events, green=" +
-           std::to_string(canon_.size()) + ")";
+           std::to_string(total_green_count()) + ")";
   }
   return "checker: " + std::to_string(violations_.size()) +
          " violation(s): " + violations_.front();
@@ -39,7 +59,7 @@ std::string SafetyChecker::report() const {
   return out;
 }
 
-std::string SafetyChecker::green_diff(NodeId node, std::int64_t position,
+std::string SafetyChecker::green_diff(const GroupState& g, NodeId node, std::int64_t position,
                                       const ActionId& claimed) const {
   // The paper's histories diverge at one position; show the canonical
   // neighbourhood against the claim plus the node's own recent tail.
@@ -47,10 +67,10 @@ std::string SafetyChecker::green_diff(NodeId node, std::int64_t position,
   const std::int64_t ctx = static_cast<std::int64_t>(options_.diff_context);
   const std::int64_t lo = std::max<std::int64_t>(1, position - ctx);
   const std::int64_t hi =
-      std::min<std::int64_t>(static_cast<std::int64_t>(canon_.size()), position + ctx);
+      std::min<std::int64_t>(static_cast<std::int64_t>(g.canon.size()), position + ctx);
   os << "\n  canonical history around position " << position << ":";
   for (std::int64_t p = lo; p <= hi; ++p) {
-    os << "\n    [" << p << "] " << to_string(canon_[static_cast<std::size_t>(p - 1)]);
+    os << "\n    [" << p << "] " << to_string(g.canon[static_cast<std::size_t>(p - 1)]);
     if (p == position) os << "   <-- node " << node << " claims " << to_string(claimed);
   }
   auto it = nodes_.find(node);
@@ -76,11 +96,13 @@ void SafetyChecker::on_event(const TraceEvent& e) {
     case EventKind::kPrimaryInstall:
       on_primary_install(e);
       break;
-    case EventKind::kPrimaryMember:
-      if (e.a == pending_prim_index_ && e.node == pending_prim_node_) {
-        primaries_[e.a].members.push_back(static_cast<NodeId>(e.b));
+    case EventKind::kPrimaryMember: {
+      GroupState& g = group_of(e.node);
+      if (e.a == g.pending_prim_index && e.node == g.pending_prim_node) {
+        g.primaries[e.a].members.push_back(static_cast<NodeId>(e.b));
       }
       break;
+    }
     case EventKind::kWhiteTrim:
       on_white_trim(e);
       break;
@@ -102,6 +124,7 @@ void SafetyChecker::on_event(const TraceEvent& e) {
 }
 
 void SafetyChecker::on_green(const TraceEvent& e) {
+  GroupState& g = group_of(e.node);
   NodeView& v = view(e.node);
   const std::int64_t pos = e.a;
   std::ostringstream os;
@@ -116,13 +139,13 @@ void SafetyChecker::on_green(const TraceEvent& e) {
   v.recent.push_back(e.action);
   if (v.recent.size() > 2 * options_.diff_context) v.recent.erase(v.recent.begin());
 
-  const std::int64_t canon_len = static_cast<std::int64_t>(canon_.size());
+  const std::int64_t canon_len = static_cast<std::int64_t>(g.canon.size());
   if (pos <= canon_len) {
-    const ActionId& expect = canon_[static_cast<std::size_t>(pos - 1)];
+    const ActionId& expect = g.canon[static_cast<std::size_t>(pos - 1)];
     if (!(expect == e.action)) {
       os << "t=" << e.time << " GREEN ORDER DIVERGENCE: node " << e.node << " marked "
          << to_string(e.action) << " green at position " << pos << " but the canonical action is "
-         << to_string(expect) << green_diff(e.node, pos, e.action);
+         << to_string(expect) << green_diff(g, e.node, pos, e.action);
       violation(os.str());
     }
     return;
@@ -134,14 +157,14 @@ void SafetyChecker::on_green(const TraceEvent& e) {
     return;
   }
   // This node extends the canonical history.
-  auto [it, inserted] = position_of_.emplace(e.action, pos);
+  auto [it, inserted] = g.position_of.emplace(e.action, pos);
   if (!inserted && it->second != pos) {
     os << "t=" << e.time << " action " << to_string(e.action) << " became green at position "
        << pos << " (node " << e.node << ") but was already green at position " << it->second;
     violation(os.str());
     return;
   }
-  auto [fit, finserted] = last_green_index_.emplace(e.action.server_id, 0);
+  auto [fit, finserted] = g.last_green_index.emplace(e.action.server_id, 0);
   (void)finserted;
   if (e.action.index != fit->second + 1) {
     os << "t=" << e.time << " GREEN FIFO violation: creator " << e.action.server_id
@@ -151,15 +174,16 @@ void SafetyChecker::on_green(const TraceEvent& e) {
     return;
   }
   fit->second = e.action.index;
-  canon_.push_back(e.action);
+  g.canon.push_back(e.action);
 }
 
 void SafetyChecker::on_adopt(NodeId node, std::int64_t green_count, const char* how) {
+  GroupState& g = group_of(node);
   NodeView& v = view(node);
-  if (green_count > static_cast<std::int64_t>(canon_.size())) {
+  if (green_count > static_cast<std::int64_t>(g.canon.size())) {
     std::ostringstream os;
     os << "node " << node << " adopted a green prefix of " << green_count << " via " << how
-       << " but only " << canon_.size() << " positions are known anywhere";
+       << " but only " << g.canon.size() << " positions are known anywhere";
     violation(os.str());
   }
   v.green_count = green_count;
@@ -167,9 +191,10 @@ void SafetyChecker::on_adopt(NodeId node, std::int64_t green_count, const char* 
 }
 
 void SafetyChecker::on_primary_install(const TraceEvent& e) {
-  pending_prim_index_ = e.a;
-  pending_prim_node_ = e.node;
-  auto [it, inserted] = primaries_.emplace(e.a, PrimInfo{});
+  GroupState& g = group_of(e.node);
+  g.pending_prim_index = e.a;
+  g.pending_prim_node = e.node;
+  auto [it, inserted] = g.primaries.emplace(e.a, PrimInfo{});
   PrimInfo& info = it->second;
   if (inserted) {
     info.attempt = e.b;
@@ -178,7 +203,7 @@ void SafetyChecker::on_primary_install(const TraceEvent& e) {
     info.installer = e.node;
     return;
   }
-  pending_prim_node_ = kNoNode;  // members already collected from the first installer
+  g.pending_prim_node = kNoNode;  // members already collected from the first installer
   if (info.attempt != e.b || info.member_count != e.c ||
       info.member_hash != static_cast<std::uint64_t>(e.d)) {
     std::ostringstream os;
@@ -218,8 +243,9 @@ void SafetyChecker::on_white_trim(const TraceEvent& e) {
 }
 
 void SafetyChecker::on_safe_deliver(const TraceEvent& e) {
+  GroupState& g = group_of(e.node);
   const SafeKey key{e.a, static_cast<NodeId>(e.b), e.c};
-  auto [it, inserted] = safe_payload_.emplace(key, static_cast<std::uint64_t>(e.d));
+  auto [it, inserted] = g.safe_payload.emplace(key, static_cast<std::uint64_t>(e.d));
   if (!inserted && it->second != static_cast<std::uint64_t>(e.d)) {
     std::ostringstream os;
     os << "t=" << e.time << " SAFE DELIVERY DIVERGENCE: config (" << e.a << "," << e.b

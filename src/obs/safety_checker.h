@@ -27,6 +27,13 @@
 // assertion). Set `fail_fast = false` to collect violations instead (used
 // by the checker's own negative tests and by the scenario runner, which
 // prints a verdict).
+//
+// Multi-group deployments (src/shard): the paper's invariants hold *per
+// replication group* — each shard runs its own total order, so there is one
+// canonical green history, one primary lineage, and one safe-delivery space
+// per group, not per deployment. Call set_node_group() before a node emits
+// its first event to scope it; unassigned nodes land in group 0, which
+// keeps single-group behaviour identical.
 #pragma once
 
 #include <cstdint>
@@ -52,12 +59,18 @@ class SafetyChecker {
   /// harness owns both, checker after bus).
   SafetyChecker(TraceBus& bus, CheckerOptions options = {});
 
+  /// Scope `node` to a replication group (shard). Must be called before
+  /// the node's first event; events from unassigned nodes check against
+  /// group 0.
+  void set_node_group(NodeId node, std::int64_t group);
+
   bool ok() const { return violations_.empty(); }
   const std::vector<std::string>& violations() const { return violations_; }
   std::uint64_t events_checked() const { return events_checked_; }
-  std::int64_t canonical_green_count() const {
-    return static_cast<std::int64_t>(canon_.size());
-  }
+  /// Canonical green length of one group (default: group 0).
+  std::int64_t canonical_green_count(std::int64_t group = 0) const;
+  /// Canonical green length summed over every group.
+  std::int64_t total_green_count() const;
 
   /// "checker: ok (N events)" or "checker: K violation(s): first..."
   std::string verdict() const;
@@ -83,9 +96,31 @@ class SafetyChecker {
     NodeId installer = kNoNode;
   };
 
+  struct SafeKey {
+    std::int64_t counter;
+    NodeId coordinator;
+    std::int64_t seq;
+    auto operator<=>(const SafeKey&) const = default;
+  };
+
+  /// Per-group invariant state: one canonical history, primary lineage and
+  /// safe-delivery space per replication group.
+  struct GroupState {
+    // Canonical green history (position -> action, 0-based internally).
+    std::vector<ActionId> canon;
+    std::unordered_map<ActionId, std::int64_t> position_of;
+    std::map<NodeId, std::int64_t> last_green_index;  ///< FIFO per creator
+    std::map<std::int64_t, PrimInfo> primaries;
+    std::int64_t pending_prim_index = -1;  ///< collecting kPrimaryMember events
+    NodeId pending_prim_node = kNoNode;
+    std::map<SafeKey, std::uint64_t> safe_payload;
+  };
+
   void violation(const std::string& what);
-  std::string green_diff(NodeId node, std::int64_t position, const ActionId& claimed) const;
+  std::string green_diff(const GroupState& g, NodeId node, std::int64_t position,
+                         const ActionId& claimed) const;
   NodeView& view(NodeId n);
+  GroupState& group_of(NodeId n);
 
   void on_green(const TraceEvent& e);
   void on_adopt(NodeId node, std::int64_t green_count, const char* how);
@@ -97,23 +132,10 @@ class SafetyChecker {
   std::uint64_t events_checked_ = 0;
   std::vector<std::string> violations_;
 
-  // Canonical green history (position -> action, 0-based internally).
-  std::vector<ActionId> canon_;
-  std::unordered_map<ActionId, std::int64_t> position_of_;
-  std::map<NodeId, std::int64_t> last_green_index_;  ///< FIFO per creator
+  std::map<std::int64_t, GroupState> groups_;
+  std::map<NodeId, std::int64_t> node_group_;  ///< absent = group 0
 
   std::map<NodeId, NodeView> nodes_;
-  std::map<std::int64_t, PrimInfo> primaries_;
-  std::int64_t pending_prim_index_ = -1;  ///< collecting kPrimaryMember events
-  NodeId pending_prim_node_ = kNoNode;
-
-  struct SafeKey {
-    std::int64_t counter;
-    NodeId coordinator;
-    std::int64_t seq;
-    auto operator<=>(const SafeKey&) const = default;
-  };
-  std::map<SafeKey, std::uint64_t> safe_payload_;
 };
 
 }  // namespace tordb::obs

@@ -31,6 +31,10 @@ const char* to_string(EventKind k) {
     case EventKind::kStateTransferSend: return "state_transfer_send";
     case EventKind::kStateTransferApply: return "state_transfer_apply";
     case EventKind::kLogLine: return "log_line";
+    case EventKind::kShardRoute: return "shard_route";
+    case EventKind::kShardFailover: return "shard_failover";
+    case EventKind::kShardCrossSubmit: return "shard_cross_submit";
+    case EventKind::kShardCrossCommit: return "shard_cross_commit";
   }
   return "?";
 }

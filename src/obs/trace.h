@@ -53,6 +53,11 @@ enum class EventKind : std::uint8_t {
   kStateTransferSend,    ///< a=green count shipped, b=destination node
   kStateTransferApply,   ///< a=green count adopted
   kLogLine,              ///< a=index into the bus string ring, b=log level
+  // Shard tier (emitted by shard::Router; node = kNoNode).
+  kShardRoute,           ///< a=shard, b=client, c=cross-shard id (0 = single-shard)
+  kShardFailover,        ///< a=shard, b=client, c=attempts the request took
+  kShardCrossSubmit,     ///< a=cross-shard id, b=client, c=involved shard count
+  kShardCrossCommit,     ///< a=cross-shard id, b=committed (1/0), c=barrier wait ns
 };
 
 const char* to_string(EventKind k);

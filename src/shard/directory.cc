@@ -1,0 +1,57 @@
+#include "shard/directory.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace tordb::shard {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Directory Directory::hashed(int shards) {
+  if (shards < 1) throw std::invalid_argument("shard count must be >= 1");
+  Directory d;
+  d.shards_ = shards;
+  return d;
+}
+
+Directory Directory::ranged(std::vector<std::string> split_points) {
+  if (!std::is_sorted(split_points.begin(), split_points.end())) {
+    throw std::invalid_argument("range split points must be ascending");
+  }
+  Directory d;
+  d.shards_ = static_cast<int>(split_points.size()) + 1;
+  d.splits_ = std::move(split_points);
+  return d;
+}
+
+int Directory::shard_of(std::string_view key) const {
+  if (!splits_.empty()) {
+    // shard i holds keys in [splits_[i-1], splits_[i]).
+    const auto it = std::upper_bound(splits_.begin(), splits_.end(), key);
+    return static_cast<int>(it - splits_.begin());
+  }
+  return static_cast<int>(fnv1a(key) % static_cast<std::uint64_t>(shards_));
+}
+
+std::vector<int> Directory::shards_of(const db::Command& cmd) const {
+  std::vector<int> out;
+  for (const db::Op& op : cmd.ops) {
+    const int s = shard_of(op.key);
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace tordb::shard

@@ -1,0 +1,54 @@
+// Shard directory: the authoritative map from the key space to replication
+// groups (partial replication, Sutra & Shapiro / PAPERS.md).
+//
+// The paper replicates the whole database in one group, so aggregate update
+// throughput is capped by one total order. The shard tier splits the key
+// space into disjoint shards, each replicated by its own engine group with
+// its own green order; the directory is the pure, deterministic mapping both
+// the router and every test agree on.
+//
+// Two mappings are supported:
+//   hashed(n)  — FNV-1a over the key, mod n. Uniform, stateless, what the
+//                benches use.
+//   ranged(s)  — lexicographic split points, yugabyte-tablet style:
+//                shard i holds [s[i-1], s[i]), the first shard everything
+//                below s[0], the last everything at or above s.back().
+//
+// Keys never move while the deployment runs (range rebalancing / shard
+// moves are a ROADMAP item).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "db/database.h"
+
+namespace tordb::shard {
+
+class Directory {
+ public:
+  /// Hash sharding over `shards` groups (shards >= 1).
+  static Directory hashed(int shards);
+
+  /// Range sharding with ascending `split_points` (shards = splits + 1).
+  static Directory ranged(std::vector<std::string> split_points);
+
+  int shards() const { return shards_; }
+  bool is_ranged() const { return !splits_.empty(); }
+
+  /// The shard owning `key`. Deterministic and total.
+  int shard_of(std::string_view key) const;
+
+  /// Sorted, de-duplicated shards touched by the command's ops. Empty for
+  /// a command with no ops (the router pins those to shard 0).
+  std::vector<int> shards_of(const db::Command& cmd) const;
+
+ private:
+  Directory() = default;
+
+  int shards_ = 1;
+  std::vector<std::string> splits_;  ///< empty = hash mode
+};
+
+}  // namespace tordb::shard

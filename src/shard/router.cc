@@ -1,0 +1,166 @@
+#include "shard/router.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace tordb::shard {
+
+Router::Router(Simulator& sim, const Directory& directory,
+               std::vector<std::vector<core::ReplicaNode*>> replicas, RouterOptions options)
+    : sim_(sim), directory_(directory), replicas_(std::move(replicas)), options_(std::move(options)) {
+  if (static_cast<int>(replicas_.size()) != directory_.shards()) {
+    throw std::invalid_argument("replica groups must match the directory's shard count");
+  }
+  if (options_.metrics) {
+    barrier_hist_ = &options_.metrics->histogram("shard.cross.barrier_wait_us");
+  }
+}
+
+std::string Router::cross_marker_key(std::int64_t client, std::int64_t cross_seq) {
+  return "__xs/" + std::to_string(client) + "/" + std::to_string(cross_seq);
+}
+
+core::ClientSession& Router::session(std::int64_t client, int shard) {
+  auto& slot = sessions_[{client, shard}];
+  if (!slot) {
+    // One engine-level session per (client, shard): the guard key is scoped
+    // to the session's group, and sequence numbers stay dense per shard.
+    const std::int64_t session_id = client * directory_.shards() + shard;
+    slot = std::make_unique<core::ClientSession>(sim_, replicas_[shard], session_id,
+                                                 options_.session);
+  }
+  return *slot;
+}
+
+bool Router::idle() const {
+  for (const auto& [key, s] : sessions_) {
+    if (!s->idle()) return false;
+  }
+  return cross_inflight_.empty();
+}
+
+std::int64_t Router::green_watermark(int shard) const {
+  std::int64_t best = 0;
+  for (const core::ReplicaNode* node : replicas_.at(shard)) {
+    if (node->running() && node->engine().green_count() > best) {
+      best = node->engine().green_count();
+    }
+  }
+  return best;
+}
+
+void Router::submit(std::int64_t client, db::Command update, RouteReplyFn reply) {
+  std::vector<int> shards = directory_.shards_of(update);
+  if (shards.empty()) shards.push_back(0);  // pure no-op commands pin to shard 0
+
+  if (shards.size() == 1) {
+    const int shard = shards[0];
+    ++stats_.routed_single;
+    options_.tracer.emit(obs::EventKind::kShardRoute, shard, client, /*xid=*/0);
+    session(client, shard).submit(
+        std::move(update),
+        [this, shard, client, reply = std::move(reply)](const core::SessionReply& r) {
+          if (r.attempts > 1) {
+            ++stats_.failovers;
+            options_.tracer.emit(obs::EventKind::kShardFailover, shard, client, r.attempts);
+          }
+          r.committed ? ++stats_.committed : ++stats_.aborted;
+          if (reply) {
+            RouteReply out;
+            out.committed = r.committed;
+            out.shards_involved = 1;
+            out.attempts = r.attempts;
+            reply(out);
+          }
+        });
+    return;
+  }
+
+  // Cross-shard path. A per-shard kCheck cannot be evaluated atomically
+  // across groups (shard A's check may pass while B's fails), so commands
+  // carrying user checks are rejected up front — applied at no shard.
+  for (const db::Op& op : update.ops) {
+    if (op.type == db::OpType::kCheck) {
+      ++stats_.rejected_cross_checks;
+      ++stats_.aborted;
+      if (reply) {
+        RouteReply out;
+        out.committed = false;
+        out.shards_involved = static_cast<int>(shards.size());
+        reply(out);
+      }
+      return;
+    }
+  }
+
+  ++stats_.routed_cross;
+  const std::int64_t cross_seq = ++next_cross_seq_[client];
+  // Deterministic id: unique per (client, cross_seq), stable across runs.
+  const std::int64_t xid = client * 1'000'000 + cross_seq;
+  const std::int64_t token = ++next_cross_token_;
+  CrossState& cs = cross_inflight_[token];
+  cs.xid = xid;
+  cs.involved = static_cast<int>(shards.size());
+  cs.outstanding = cs.involved;
+  cs.reply = std::move(reply);
+  options_.tracer.emit(obs::EventKind::kShardCrossSubmit, xid, client,
+                       static_cast<std::int64_t>(shards.size()));
+
+  // Split the ops by owning shard, preserving program order within each
+  // slice, and ride the marker write inside every sub-command so the
+  // action's presence at a shard is observable state, not just a reply.
+  const std::string marker = cross_marker_key(client, cross_seq);
+  for (const int shard : shards) {
+    db::Command sub;
+    for (const db::Op& op : update.ops) {
+      if (directory_.shard_of(op.key) == shard) sub.ops.push_back(op);
+    }
+    sub.ops.push_back(db::Op{db::OpType::kPut, marker, std::to_string(xid), 0});
+    options_.tracer.emit(obs::EventKind::kShardRoute, shard, client, xid);
+    session(client, shard).submit(
+        std::move(sub), [this, token, shard, client](const core::SessionReply& r) {
+          if (r.attempts > 1) {
+            ++stats_.failovers;
+            options_.tracer.emit(obs::EventKind::kShardFailover, shard, client, r.attempts);
+          }
+          CrossState& cs = cross_inflight_.at(token);
+          cs.attempts += r.attempts;
+          if (r.committed) {
+            cs.any_committed = true;
+            const SimTime now = sim_.now();
+            if (cs.first_green < 0) cs.first_green = now;
+            cs.last_green = now;
+          } else {
+            cs.all_committed = false;
+          }
+          if (--cs.outstanding == 0) finish_cross(token);
+        });
+  }
+}
+
+void Router::finish_cross(std::int64_t token) {
+  // The commit barrier: every involved group has reported its sub-action
+  // green (or aborted). With unconditional sub-commands and sessions that
+  // wait out whole-group outages, a mixed outcome means a sub-session
+  // exhausted its attempt budget — surfaced as a distinct stat because it
+  // breaks all-or-nothing and the property test must never observe it.
+  auto node = cross_inflight_.extract(token);
+  CrossState& cs = node.mapped();
+  const bool committed = cs.all_committed;
+  if (cs.any_committed && !cs.all_committed) ++stats_.cross_partial_aborts;
+  committed ? ++stats_.committed : ++stats_.aborted;
+
+  RouteReply out;
+  out.committed = committed;
+  out.shards_involved = cs.involved;
+  out.attempts = cs.attempts;
+  if (committed) out.barrier_wait = cs.last_green - cs.first_green;
+  options_.tracer.emit(obs::EventKind::kShardCrossCommit, cs.xid, committed ? 1 : 0,
+                       out.barrier_wait);
+  if (committed && barrier_hist_ != nullptr) {
+    barrier_hist_->record(out.barrier_wait / 1000);  // ns -> us
+  }
+  if (cs.reply) cs.reply(out);
+}
+
+}  // namespace tordb::shard

@@ -1,0 +1,129 @@
+// Shard router: the client tier of partial replication.
+//
+// Clients submit ordinary db::Commands; the router consults the Directory
+// and picks the path:
+//
+//  - single-shard fast path: every key maps to one shard — the command goes
+//    through that shard's exactly-once client session (core/client_session)
+//    to a live member of the group, failing over on timeout or crash. Zero
+//    extra rounds: the paper's "no per-action acks" property is untouched,
+//    and shards multiply aggregate green throughput.
+//
+//  - cross-shard path: the command's keys span >= 2 shards. The router (as
+//    coordinator) stamps a deterministic cross-shard id, splits the ops by
+//    owning shard, rides a marker write (`__xs/<client>/<n>`) inside each
+//    sub-command, and submits every sub-command concurrently through the
+//    involved groups' sessions. Each group orders and applies its slice in
+//    its own green order (one end-to-end round total — the green reply);
+//    the *commit barrier* is at the coordinator: the action commits, and
+//    the client hears back, only once it is green in ALL involved groups.
+//    The gap between the first and last green is the barrier wait — the
+//    cross-shard tax the sharding bench quantifies.
+//
+// Atomicity model: sub-commands are unconditional (the router rejects
+// cross-shard commands carrying user kCheck ops — a per-shard check cannot
+// be evaluated atomically across groups), and each session retries through
+// crashes, partitions and whole-group outages (retry_when_unavailable), so
+// a cross-shard action is eventually applied at every involved shard
+// exactly once, or — when rejected up front — at none. Within one shard
+// the effects are atomic and 1SR as in the paper; a reader consulting two
+// shards between the first and last green may observe the action partially
+// applied, the same relaxation genuine partial replication accepts in
+// exchange for independent per-shard total orders.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/client_session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "shard/directory.h"
+
+namespace tordb::shard {
+
+struct RouterOptions {
+  core::SessionOptions session;  ///< per-(client, shard) session knobs
+  /// Observability (disconnected/null by default — zero cost). The tracer
+  /// emits kShardRoute / kShardFailover / kShardCross* events with
+  /// node = kNoNode (the router is client-side, not a replica). The
+  /// registry gets the cross-shard barrier-wait histogram.
+  obs::Tracer tracer;
+  std::shared_ptr<obs::MetricsRegistry> metrics;
+};
+
+struct RouteReply {
+  bool committed = false;
+  int shards_involved = 1;
+  int attempts = 0;              ///< summed over sub-requests
+  SimDuration barrier_wait = 0;  ///< first green -> last green (cross-shard)
+};
+using RouteReplyFn = std::function<void(const RouteReply&)>;
+
+struct RouterStats {
+  std::uint64_t routed_single = 0;
+  std::uint64_t routed_cross = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t rejected_cross_checks = 0;  ///< kCheck in a cross-shard command
+  std::uint64_t failovers = 0;              ///< sub-requests needing > 1 attempt
+  std::uint64_t cross_partial_aborts = 0;   ///< some shard aborted, others committed
+};
+
+class Router {
+ public:
+  /// `replicas[s]` are the members of shard `s`, tried in fail-over order.
+  /// The directory's shard count must match replicas.size().
+  Router(Simulator& sim, const Directory& directory,
+         std::vector<std::vector<core::ReplicaNode*>> replicas, RouterOptions options = {});
+
+  /// Route an update command (see the path description above). Requests
+  /// from one client execute in FIFO order per shard, each exactly once.
+  void submit(std::int64_t client, db::Command update, RouteReplyFn reply = nullptr);
+
+  /// The marker key a cross-shard action writes at every involved shard
+  /// (the property tests read it back to assert all-or-nothing).
+  static std::string cross_marker_key(std::int64_t client, std::int64_t cross_seq);
+
+  const Directory& directory() const { return directory_; }
+  const RouterStats& stats() const { return stats_; }
+  /// True when every session created so far has drained.
+  bool idle() const;
+
+  /// Highest green count over the shard's currently running replicas — the
+  /// per-shard green watermark the commit barrier is tracked against.
+  std::int64_t green_watermark(int shard) const;
+
+ private:
+  struct CrossState {
+    std::int64_t xid = 0;
+    int involved = 0;
+    int outstanding = 0;
+    bool all_committed = true;
+    bool any_committed = false;
+    int attempts = 0;
+    SimTime first_green = -1;
+    SimTime last_green = -1;
+    RouteReplyFn reply;
+  };
+
+  core::ClientSession& session(std::int64_t client, int shard);
+  void finish_cross(std::int64_t token);
+
+  Simulator& sim_;
+  Directory directory_;
+  std::vector<std::vector<core::ReplicaNode*>> replicas_;
+  RouterOptions options_;
+
+  std::map<std::pair<std::int64_t, int>, std::unique_ptr<core::ClientSession>> sessions_;
+  std::map<std::int64_t, std::int64_t> next_cross_seq_;  ///< per client
+  std::int64_t next_cross_token_ = 0;
+  std::map<std::int64_t, CrossState> cross_inflight_;    ///< token -> state
+  obs::Histogram* barrier_hist_ = nullptr;
+  RouterStats stats_;
+};
+
+}  // namespace tordb::shard

@@ -54,6 +54,15 @@ SimDuration Network::wan_serialize(NodeId from, std::size_t bytes) {
 
 int Network::site(NodeId id) const { return nodes_.at(id).site; }
 
+void Network::set_group(NodeId id, int group) {
+  NodeState& s = nodes_.at(id);
+  if (s.group == group) return;
+  s.group = group;
+  topology_changed();
+}
+
+int Network::group(NodeId id) const { return nodes_.at(id).group; }
+
 bool Network::alive(NodeId id) const { return nodes_.at(id).up; }
 
 bool Network::connected(NodeId a, NodeId b) const {
@@ -67,7 +76,9 @@ std::vector<NodeId> Network::reachable_set(NodeId id) const {
   const NodeState& s = nodes_.at(id);
   if (!s.up) return out;
   for (const auto& [nid, ns] : nodes_) {
-    if (ns.up && ns.group_active && ns.component == s.component) out.push_back(nid);
+    if (ns.up && ns.group_active && ns.component == s.component && ns.group == s.group) {
+      out.push_back(nid);
+    }
   }
   return out;  // std::map iteration is already sorted
 }

@@ -99,6 +99,16 @@ class Network {
   void set_site(NodeId id, int site);
   int site(NodeId id) const;
 
+  /// Assign `id` to a replication group. Groups scope the reachability
+  /// service only: reachable_set(id) never reports nodes of a different
+  /// group, so independent EVS groups (one per shard) can share one
+  /// network without triggering each other's membership protocols.
+  /// Point-to-point and multicast traffic is unaffected — any two
+  /// connected nodes can exchange messages regardless of group. All nodes
+  /// start in group 0.
+  void set_group(NodeId id, int group);
+  int group(NodeId id) const;
+
   /// Send `payload` from `from` to `to`. Silently dropped when the sender is
   /// crashed or the two nodes are (or become) disconnected.
   void send(NodeId from, NodeId to, Bytes payload, Channel channel = Channel::kGc);
@@ -143,6 +153,7 @@ class Network {
     bool group_active = true;
     int component = 0;
     int site = 0;
+    int group = 0;  ///< replication group; scopes reachability only
     std::uint64_t epoch = 0;  ///< bumped on crash; stale deliveries dropped
     SimTime busy_until = 0;
     bool notify_pending = false;

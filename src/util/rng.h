@@ -9,18 +9,23 @@
 
 namespace tordb {
 
+/// One step of the splitmix64 stream: advances `state` and returns the next
+/// output. Used to spread seeds (xoshiro init, per-shard seed derivation)
+/// so related seeds produce uncorrelated streams.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) {
     // splitmix64 to spread the seed across the xoshiro state.
     std::uint64_t x = seed;
-    for (auto& word : state_) {
-      x += 0x9e3779b97f4a7c15ULL;
-      std::uint64_t z = x;
-      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-      word = z ^ (z >> 31);
-    }
+    for (auto& word : state_) word = splitmix64(x);
   }
 
   /// Uniform 64-bit value.

@@ -132,6 +132,30 @@ struct AvailabilityPoint {
   std::uint64_t primaries_installed = 0;
 };
 
+struct ShardingPoint {
+  int shards = 0;
+  int replicas_per_shard = 0;
+  int clients = 0;
+  double cross_ratio = 0;         ///< fraction of actions touching 2 shards
+  double actions_per_second = 0;  ///< router-committed actions/s in the window
+  double green_per_second = 0;    ///< aggregate engine green actions/s
+  double mean_latency_ms = 0;
+  double mean_barrier_ms = 0;     ///< cross-shard first-green -> last-green
+  std::uint64_t completed = 0;
+  std::uint64_t cross_committed = 0;
+};
+
+/// Ablation A6 (DESIGN.md §8): sharded deployment throughput. `shards`
+/// independent engine groups of `replicas_per_shard` replicas each share
+/// one simulated network; closed-loop clients route through shard::Router,
+/// and a `cross_ratio` fraction of actions write one key in each of two
+/// distinct shards (cross-shard commit barrier). At cross_ratio 0 the
+/// aggregate green throughput should scale with the shard count against a
+/// single group of the same total replica count.
+ShardingPoint measure_sharding(int shards, int replicas_per_shard, int clients,
+                               double cross_ratio, SimDuration warmup, SimDuration measure,
+                               std::uint64_t seed = 1);
+
 /// Ablation A5: availability of the two quorum systems under a cascading
 /// partition schedule (the network repeatedly shrinks the surviving
 /// component, then heals). Dynamic linear voting (the paper's choice, [15])

@@ -1,0 +1,247 @@
+#include "workload/sharded_cluster.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace tordb::workload {
+
+ShardedCluster::ShardedCluster(ShardedClusterOptions options)
+    : options_(std::move(options)), sim_(options_.seed), net_(sim_, options_.net) {
+  if (options_.shards < 1 || options_.replicas_per_shard < 1) {
+    throw std::invalid_argument("shards and replicas_per_shard must be >= 1");
+  }
+  if (!options_.range_splits.empty() &&
+      static_cast<int>(options_.range_splits.size()) != options_.shards - 1) {
+    throw std::invalid_argument("range_splits must have shards - 1 entries");
+  }
+  options_.session.retry_when_unavailable = true;  // cross-shard all-or-nothing
+
+  const bool check = options_.obs.check || obs::check_forced();
+  if (options_.obs.trace || check) {
+    obs::TraceBusOptions bus_opts;
+    bus_opts.ring_capacity = options_.obs.ring_capacity;
+    trace_bus_ = std::make_shared<obs::TraceBus>(sim_, bus_opts);
+    trace_bus_->capture_logs();
+    options_.node.engine.trace_bus = trace_bus_;
+    if (check) {
+      obs::CheckerOptions copts;
+      copts.fail_fast = options_.obs.checker_fail_fast;
+      checker_ = std::make_unique<obs::SafetyChecker>(*trace_bus_, copts);
+    }
+  }
+  if (options_.obs.metrics_window > 0) {
+    metrics_ = std::make_shared<obs::MetricsRegistry>();
+    options_.node.engine.metrics = metrics_;
+  }
+
+  // Scope every node to its group BEFORE construction where possible: the
+  // checker needs the node->group map before the engine's first event
+  // (kEngineStart fires inside the ReplicaNode constructor); the network
+  // group is set right after registration, before any simulated time
+  // elapses, so the first (detect-delay-deferred) reachability notification
+  // already sees the final assignment.
+  for (int s = 0; s < options_.shards; ++s) {
+    const std::vector<NodeId> members = shard_ids(s);
+    for (int i = 0; i < options_.replicas_per_shard; ++i) {
+      const NodeId id = node_id(s, i);
+      if (checker_) checker_->set_node_group(id, s);
+      nodes_.push_back(std::make_unique<core::ReplicaNode>(net_, id, members, options_.node));
+      net_.set_group(id, s);
+    }
+    shard_components_.push_back({});  // one implicit component: all members
+  }
+
+  shard::RouterOptions ropts;
+  ropts.session = options_.session;
+  ropts.metrics = metrics_;
+  if (trace_bus_) ropts.tracer = obs::Tracer(trace_bus_, kNoNode);
+  shard::Directory dir = options_.range_splits.empty()
+                             ? shard::Directory::hashed(options_.shards)
+                             : shard::Directory::ranged(options_.range_splits);
+  std::vector<std::vector<core::ReplicaNode*>> groups;
+  for (int s = 0; s < options_.shards; ++s) {
+    std::vector<core::ReplicaNode*> g;
+    for (int i = 0; i < options_.replicas_per_shard; ++i) {
+      g.push_back(nodes_[static_cast<std::size_t>(node_id(s, i))].get());
+    }
+    groups.push_back(std::move(g));
+  }
+  router_ = std::make_unique<shard::Router>(sim_, dir, std::move(groups), std::move(ropts));
+
+  if (metrics_) schedule_metrics_roll();
+}
+
+std::vector<NodeId> ShardedCluster::shard_ids(int shard) const {
+  std::vector<NodeId> ids;
+  for (int i = 0; i < options_.replicas_per_shard; ++i) ids.push_back(node_id(shard, i));
+  return ids;
+}
+
+std::uint64_t ShardedCluster::shard_seed(int shard) const {
+  // Two splitmix steps over (seed, shard): related base seeds and adjacent
+  // shard ids both land in uncorrelated streams.
+  std::uint64_t x = options_.seed;
+  (void)splitmix64(x);
+  x ^= static_cast<std::uint64_t>(shard) * 0x9e3779b97f4a7c15ULL;
+  return splitmix64(x);
+}
+
+void ShardedCluster::partition_shard(int shard, const std::vector<std::vector<int>>& components) {
+  std::vector<bool> seen(static_cast<std::size_t>(options_.replicas_per_shard), false);
+  for (const auto& comp : components) {
+    for (int idx : comp) {
+      if (idx < 0 || idx >= options_.replicas_per_shard || seen[static_cast<std::size_t>(idx)]) {
+        throw std::invalid_argument("each shard member must appear in exactly one component");
+      }
+      seen[static_cast<std::size_t>(idx)] = true;
+    }
+  }
+  if (std::find(seen.begin(), seen.end(), false) != seen.end()) {
+    throw std::invalid_argument("each shard member must appear in exactly one component");
+  }
+  shard_components_.at(static_cast<std::size_t>(shard)) = components;
+  apply_components();
+}
+
+void ShardedCluster::heal_shard(int shard) {
+  shard_components_.at(static_cast<std::size_t>(shard)).clear();
+  apply_components();
+}
+
+void ShardedCluster::heal() {
+  for (auto& c : shard_components_) c.clear();
+  apply_components();
+}
+
+void ShardedCluster::apply_components() {
+  // Network components are global and must cover every node exactly once:
+  // emit one global component per (shard, local component). Nodes of
+  // different shards always end up in different components here, which is
+  // invisible to the protocol — shards exchange no network traffic and the
+  // reachability service is group-scoped anyway.
+  std::vector<std::vector<NodeId>> global;
+  for (int s = 0; s < options_.shards; ++s) {
+    const auto& comps = shard_components_[static_cast<std::size_t>(s)];
+    if (comps.empty()) {
+      global.push_back(shard_ids(s));
+      continue;
+    }
+    for (const auto& comp : comps) {
+      std::vector<NodeId> g;
+      for (int idx : comp) g.push_back(node_id(s, idx));
+      global.push_back(std::move(g));
+    }
+  }
+  net_.set_components(global);
+}
+
+bool ShardedCluster::converged(int shard) const {
+  std::int64_t green = -1;
+  std::uint64_t digest = 0;
+  for (int i = 0; i < options_.replicas_per_shard; ++i) {
+    const auto& n = node(shard, i);
+    if (!n.running()) continue;
+    const auto& e = n.engine();
+    if (e.state() != core::EngineState::kRegPrim) return false;
+    if (green == -1) {
+      green = e.green_count();
+      digest = e.db_digest();
+    } else if (e.green_count() != green || e.db_digest() != digest) {
+      return false;
+    }
+  }
+  return green >= 0;
+}
+
+std::optional<std::string> ShardedCluster::check_green_prefix_consistency() const {
+  for (int s = 0; s < options_.shards; ++s) {
+    for (int i = 0; i < options_.replicas_per_shard; ++i) {
+      const auto& a = node(s, i);
+      if (!a.running()) continue;
+      for (int j = i + 1; j < options_.replicas_per_shard; ++j) {
+        const auto& b = node(s, j);
+        if (!b.running()) continue;
+        const auto& ea = a.engine();
+        const auto& eb = b.engine();
+        const std::int64_t overlap = std::min(ea.green_count(), eb.green_count());
+        for (std::int64_t pos = 1; pos <= overlap; ++pos) {
+          const ActionId ia = ea.green_action_at(pos);
+          const ActionId ib = eb.green_action_at(pos);
+          if (ia.server_id == kNoNode || ib.server_id == kNoNode) continue;  // white-trimmed
+          if (!(ia == ib)) {
+            std::ostringstream os;
+            os << "shard " << s << " green divergence at position " << pos << ": node "
+               << ea.id() << " has " << to_string(ia) << ", node " << eb.id() << " has "
+               << to_string(ib);
+            return os.str();
+          }
+        }
+        if (ea.green_count() == eb.green_count() && ea.db_digest() != eb.db_digest()) {
+          std::ostringstream os;
+          os << "shard " << s << ": equal green count " << ea.green_count()
+             << " but different digests at nodes " << ea.id() << " and " << eb.id();
+          return os.str();
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> ShardedCluster::check_all() const {
+  if (checker_ && !checker_->ok()) return checker_->report();
+  if (auto v = check_green_prefix_consistency()) return v;
+  if (router_->stats().cross_partial_aborts > 0) {
+    std::ostringstream os;
+    os << router_->stats().cross_partial_aborts
+       << " cross-shard action(s) committed at some shards and aborted at others";
+    return os.str();
+  }
+  return std::nullopt;
+}
+
+void ShardedCluster::schedule_metrics_roll() {
+  sim_.after(options_.obs.metrics_window, [this] {
+    sample_metrics();
+    metrics_->roll(sim_.now());
+    schedule_metrics_roll();
+  });
+}
+
+void ShardedCluster::sample_metrics() {
+  if (!metrics_) return;
+  std::uint64_t total_green = 0, total_red = 0, total_installs = 0;
+  for (int s = 0; s < options_.shards; ++s) {
+    std::uint64_t green = 0, red = 0, installs = 0, forces = 0;
+    for (int i = 0; i < options_.replicas_per_shard; ++i) {
+      auto& n = node(s, i);
+      forces += n.storage().stats().forces;
+      if (!n.running()) continue;
+      const auto& es = n.engine().stats();
+      green += es.actions_green;
+      red += es.actions_red;
+      installs += es.primaries_installed;
+    }
+    const std::string prefix = "shard." + std::to_string(s) + ".";
+    metrics_->counter(prefix + "actions_green").set_total(green);
+    metrics_->counter(prefix + "actions_red").set_total(red);
+    metrics_->counter(prefix + "primaries_installed").set_total(installs);
+    metrics_->counter(prefix + "storage_forces").set_total(forces);
+    total_green += green;
+    total_red += red;
+    total_installs += installs;
+  }
+  metrics_->counter("cluster.actions_green").set_total(total_green);
+  metrics_->counter("cluster.actions_red").set_total(total_red);
+  metrics_->counter("cluster.primaries_installed").set_total(total_installs);
+  metrics_->counter("net.messages").set_total(net_.stats().messages_sent);
+  metrics_->counter("net.bytes").set_total(net_.stats().bytes_sent);
+  metrics_->counter("router.committed").set_total(router_->stats().committed);
+  metrics_->counter("router.cross").set_total(router_->stats().routed_cross);
+  metrics_->counter("router.failovers").set_total(router_->stats().failovers);
+}
+
+}  // namespace tordb::workload

@@ -1,0 +1,126 @@
+// Sharded deployment harness: N independent replication groups (one per
+// shard of the key space) over ONE simulated network and ONE virtual clock,
+// fronted by a shard::Router (DESIGN.md §8).
+//
+// Each shard is a full engine group exactly as EngineCluster builds one —
+// its own EVS membership, quorum state and stable storage — and the engine
+// itself is untouched: isolation comes from Network::set_group scoping the
+// reachability service per shard, so the groups never see each other's
+// membership events while sharing the network's clock, latency model and
+// per-node CPU accounting.
+//
+// Node ids are global and contiguous: shard s owns ids
+// [s * replicas_per_shard, (s+1) * replicas_per_shard). Topology controls
+// take (shard, local index) so tests speak per-group; partitions compose
+// across shards (each shard's component layout is tracked separately and
+// the global component set is rebuilt from the product).
+//
+// Determinism: the Simulator is seeded with the base seed — a 1-shard
+// ShardedCluster schedules events bit-identically to an EngineCluster of
+// the same seed and size. Per-shard workload seeds come from shard_seed(),
+// a splitmix64 derivation of (base seed, shard id), so shards drive
+// uncorrelated but reproducible load.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "shard/router.h"
+#include "workload/cluster.h"
+
+namespace tordb::workload {
+
+struct ShardedClusterOptions {
+  int shards = 2;
+  int replicas_per_shard = 3;
+  std::uint64_t seed = 1;
+  /// Non-empty: range sharding with these split points (size = shards - 1).
+  /// Empty: hash sharding.
+  std::vector<std::string> range_splits;
+  NetworkParams net;
+  core::ReplicaOptions node;
+  /// Per-(client, shard) session knobs. retry_when_unavailable is forced on
+  /// so cross-shard actions wait out whole-group outages instead of
+  /// half-applying.
+  core::SessionOptions session;
+  ObsOptions obs;
+};
+
+class ShardedCluster {
+ public:
+  explicit ShardedCluster(ShardedClusterOptions options);
+
+  Simulator& sim() { return sim_; }
+  Network& net() { return net_; }
+  shard::Router& router() { return *router_; }
+  const shard::Directory& directory() const { return router_->directory(); }
+  int shards() const { return options_.shards; }
+  int replicas_per_shard() const { return options_.replicas_per_shard; }
+
+  NodeId node_id(int shard, int idx) const {
+    return static_cast<NodeId>(shard * options_.replicas_per_shard + idx);
+  }
+  core::ReplicaNode& node(int shard, int idx) {
+    return *nodes_.at(static_cast<std::size_t>(node_id(shard, idx)));
+  }
+  const core::ReplicaNode& node(int shard, int idx) const {
+    return *nodes_.at(static_cast<std::size_t>(node_id(shard, idx)));
+  }
+  std::vector<NodeId> shard_ids(int shard) const;
+
+  void run_for(SimDuration d) { sim_.run_for(d); }
+
+  /// Deterministic per-shard workload seed: splitmix64 over the base seed
+  /// and the shard id. Distinct per shard, stable across runs.
+  std::uint64_t shard_seed(int shard) const;
+
+  // --- topology, addressed per shard ----------------------------------------
+  void crash(int shard, int idx) { node(shard, idx).crash(); }
+  void recover(int shard, int idx) { node(shard, idx).recover(); }
+  /// Partition ONE shard's members into the given components (local
+  /// indices, each member exactly once). Other shards keep their current
+  /// layout — the global component set is the union over shards.
+  void partition_shard(int shard, const std::vector<std::vector<int>>& components);
+  void heal_shard(int shard);
+  void heal();
+
+  // --- convergence & invariants ----------------------------------------------
+  /// Every running member of `shard` is in RegPrim with identical green
+  /// count and database digest.
+  bool converged(int shard) const;
+  /// Highest green count among the shard's running members.
+  std::int64_t green_count(int shard) const { return router_->green_watermark(shard); }
+
+  /// Theorem 1 per replication group: green sequences of a shard's members
+  /// agree on shared positions; equal counts imply equal digests.
+  std::optional<std::string> check_green_prefix_consistency() const;
+  std::optional<std::string> check_all() const;
+
+  // --- observability ---------------------------------------------------------
+  const std::shared_ptr<obs::TraceBus>& trace_bus() const { return trace_bus_; }
+  obs::SafetyChecker* checker() const { return checker_.get(); }
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const { return metrics_; }
+  /// Sample per-shard cumulative stats under `shard.<id>.*` plus the
+  /// deployment-wide aggregates EngineCluster publishes.
+  void sample_metrics();
+
+ private:
+  void schedule_metrics_roll();
+  void apply_components();
+
+  ShardedClusterOptions options_;
+  Simulator sim_;
+  Network net_;
+  std::shared_ptr<obs::TraceBus> trace_bus_;
+  std::unique_ptr<obs::SafetyChecker> checker_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  std::vector<std::unique_ptr<core::ReplicaNode>> nodes_;  ///< indexed by global id
+  std::unique_ptr<shard::Router> router_;
+  /// Per-shard component layout (local indices); global layout is rebuilt
+  /// from these on every change.
+  std::vector<std::vector<std::vector<int>>> shard_components_;
+};
+
+}  // namespace tordb::workload
