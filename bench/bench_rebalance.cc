@@ -1,0 +1,62 @@
+// Ablation A7 (DESIGN.md §9): online shard rebalancing.
+//
+// A range-sharded deployment serves a fixed closed-loop write load while K
+// fenced key-range moves run back to back. The question rebalancing has to
+// answer is "what does a move cost the clients?": client-visible p50/p99
+// during the move windows versus steady state, the fence-bounce count (each
+// bounce is one client command that hit the frozen range and re-routed to
+// the new owner), and the bytes shipped per move.
+//
+// Pass --quick (or set TORDB_BENCH_FAST=1) for the reduced CI smoke sweep.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_util.h"
+#include "workload/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace tordb;
+  using namespace tordb::workload;
+
+  bool quick = bench::fast_mode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  bench::header("Ablation A7: online rebalancing (range-sharded, closed-loop writers)",
+                "client-visible latency while fenced key-range moves run: commands "
+                "hitting a frozen range bounce once and commit at the new owner, so "
+                "the move window pays a p99 tax but loses no writes");
+
+  const int clients = 48;
+  const SimDuration warmup = millis(500);
+  const SimDuration measure = quick ? seconds(4) : seconds(12);
+
+  struct Config {
+    int shards;
+    int replicas_per_shard;
+    int moves;
+  };
+  std::vector<Config> configs = {{2, 3, 2}, {2, 3, 6}, {4, 3, 8}};
+  if (quick) configs = {{2, 3, 2}};
+
+  std::printf("%6s | %5s | %10s | %10s | %10s | %10s | %7s | %8s | %7s\n", "shards",
+              "moves", "steady p50", "steady p99", "move p50", "move p99", "bounces",
+              "bytes/mv", "move ms");
+  bench::row_sep(95);
+  for (const Config& c : configs) {
+    const auto p =
+        measure_rebalance(c.shards, c.replicas_per_shard, clients, c.moves, warmup, measure);
+    std::printf("%6d | %2llu/%-2d | %8.2fms | %8.2fms | %8.2fms | %8.2fms | %7llu | %8lld | %7.0f\n",
+                p.shards, static_cast<unsigned long long>(p.moves_completed), p.moves_requested,
+                p.steady_p50_ms, p.steady_p99_ms, p.move_window_p50_ms, p.move_window_p99_ms,
+                static_cast<unsigned long long>(p.fenced_bounces),
+                p.moves_completed ? p.bytes_moved / static_cast<std::int64_t>(p.moves_completed)
+                                  : 0,
+                p.mean_move_ms);
+  }
+  std::printf("\n(move p50/p99: latency of client actions completing while a move was in "
+              "flight; bounces: commands that hit a fence and re-routed; move ms: fence "
+              "submit -> directory cutover, simulated)\n");
+  return 0;
+}

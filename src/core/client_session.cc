@@ -87,7 +87,7 @@ void ClientSession::issue() {
   node->engine().submit({}, std::move(fenced), client_id_, Semantics::kStrict,
                         [this, alive = alive_, seq, epoch](const Reply& r) {
                           if (!*alive) return;
-                          on_reply(seq, epoch, r.aborted);
+                          on_reply(seq, epoch, r.aborted, r.fenced);
                         });
   sim_.after(options_.retry_timeout, [this, alive = alive_, seq, epoch] {
     if (!*alive) return;
@@ -95,11 +95,20 @@ void ClientSession::issue() {
   });
 }
 
-void ClientSession::on_reply(std::int64_t seq, std::uint64_t attempt_epoch, bool aborted) {
+void ClientSession::on_reply(std::int64_t seq, std::uint64_t attempt_epoch, bool aborted,
+                             bool fenced) {
   if (!in_flight_ || current_.seq != seq || attempt_epoch != attempt_epoch_) return;
   if (!aborted) {
     last_committed_guard_ = std::to_string(seq);
     finish(true);
+    return;
+  }
+  if (fenced) {
+    // A fenced abort means the guard check passed this attempt (checks are
+    // evaluated before fences), so no earlier attempt committed — the abort
+    // is unambiguous even after retries. The router bounces it to the
+    // range's new owner (DESIGN.md §9).
+    finish(false, /*fenced=*/true);
     return;
   }
   if (current_.attempts == 1) {
@@ -142,7 +151,7 @@ void ClientSession::on_timeout(std::int64_t seq, std::uint64_t attempt_epoch) {
   issue();
 }
 
-void ClientSession::finish(bool committed) {
+void ClientSession::finish(bool committed, bool fenced) {
   in_flight_ = false;
   if (committed) {
     ++stats_.committed;
@@ -151,6 +160,7 @@ void ClientSession::finish(bool committed) {
   }
   SessionReply rep;
   rep.committed = committed;
+  rep.fenced = fenced;
   rep.attempts = current_.attempts;
   auto fn = std::move(current_.reply);
   current_ = Request{};

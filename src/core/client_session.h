@@ -49,6 +49,7 @@ struct SessionOptions {
 
 struct SessionReply {
   bool committed = false;  ///< false = the command's own check aborted
+  bool fenced = false;     ///< abort cause: an update hit a fenced key range
   int attempts = 1;
 };
 using SessionReplyFn = std::function<void(const SessionReply&)>;
@@ -94,10 +95,10 @@ class ClientSession {
 
   void pump();
   void issue();
-  void on_reply(std::int64_t seq, std::uint64_t attempt_epoch, bool aborted);
+  void on_reply(std::int64_t seq, std::uint64_t attempt_epoch, bool aborted, bool fenced);
   void on_timeout(std::int64_t seq, std::uint64_t attempt_epoch);
   void resolve_ambiguous_abort(std::int64_t seq, std::uint64_t attempt_epoch);
-  void finish(bool committed);
+  void finish(bool committed, bool fenced = false);
   ReplicaNode* current_replica();
   void advance_replica();
 

@@ -1090,6 +1090,27 @@ void ReplicationEngine::apply_green(const Action& a) {
       combined.ops = a.query.ops;
       combined.ops.insert(combined.ops.end(), a.update.ops.begin(), a.update.ops.end());
       const db::ApplyResult res = db_.apply(combined);
+      if (tracer_ && !res.range_events.empty()) {
+        // Stamp each range event with the green position so the checker can
+        // order fence/install/write across independent groups (DESIGN.md §9).
+        const std::int64_t pos = log_.green_count();
+        for (const db::RangeEvent& ev : res.range_events) {
+          switch (ev.kind) {
+            case db::RangeEvent::Kind::kFence:
+              tracer_.emit_action(obs::EventKind::kRangeFence, a.id,
+                                  static_cast<std::int64_t>(ev.range), pos);
+              break;
+            case db::RangeEvent::Kind::kInstall:
+              tracer_.emit(obs::EventKind::kRangeInstall, static_cast<std::int64_t>(ev.range),
+                           pos, ev.rows);
+              break;
+            case db::RangeEvent::Kind::kWrite:
+              tracer_.emit(obs::EventKind::kRangeWrite, static_cast<std::int64_t>(ev.range),
+                           pos);
+              break;
+          }
+        }
+      }
       if (a.semantics == Semantics::kStrict) reply_green(a, res);
       break;
     }
@@ -1124,6 +1145,7 @@ void ReplicationEngine::reply_green(const Action& a, const db::ApplyResult& resu
   Reply rep;
   rep.action = a.id;
   rep.aborted = result.aborted;
+  rep.fenced = result.fenced;
   rep.reads = result.reads;
   ++stats_.replies;
   auto fn = std::move(it->second.fn);

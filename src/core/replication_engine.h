@@ -82,6 +82,7 @@ enum class QueryMode : std::uint8_t {
 struct Reply {
   ActionId action;  ///< invalid (kNoNode) for pure queries
   bool aborted = false;
+  bool fenced = false;  ///< aborted because an update hit a fenced key range (§9)
   std::vector<std::string> reads;
 };
 using ReplyFn = std::function<void(const Reply&)>;
@@ -200,6 +201,19 @@ class ReplicationEngine {
   gc::GroupCommunication& group_comm() { return *gc_; }
   /// Green sequence entry at `position` (1-based); kNoNode id if trimmed.
   ActionId green_action_at(std::int64_t position) const;
+
+  // --- shard rebalancing hooks (DESIGN.md §9) --------------------------------
+
+  /// Extract [lo, hi) from the green state. Once the range's fence action is
+  /// green here, the extraction is exactly the range's content at the fence
+  /// position — no later green can touch a fenced range.
+  db::RangeSnapshot extract_range(const std::string& lo, const std::string& hi) const {
+    return db_.extract_range(lo, hi);
+  }
+  /// True once a green kFenceRange for exactly [lo, hi) has applied here.
+  bool range_fenced(const std::string& lo, const std::string& hi) const {
+    return db_.range_fenced(lo, hi);
+  }
 
  private:
   // --- group communication events ------------------------------------------

@@ -10,7 +10,66 @@ std::int64_t to_num(const std::string& s) {
   std::from_chars(s.data(), s.data() + s.size(), v);
   return v;
 }
+
+bool mutates(OpType t) {
+  switch (t) {
+    case OpType::kPut:
+    case OpType::kAdd:
+    case OpType::kAppend:
+    case OpType::kTimestampPut:
+    case OpType::kDelete:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Reserved infrastructure keys (session guards `__session/`, cross-shard
+/// markers `__xs/`) are pinned to their group: never fenced, never moved.
+bool reserved_key(std::string_view key) { return key.size() >= 2 && key[0] == '_' && key[1] == '_'; }
 }  // namespace
+
+std::uint64_t range_fingerprint(std::string_view lo, std::string_view hi) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;
+    h *= 1099511628211ull;
+  };
+  mix(lo);
+  mix(hi);
+  return h;
+}
+
+Bytes RangeSnapshot::encode() const {
+  BufWriter w;
+  w.str(lo);
+  w.str(hi);
+  w.vec(rows, [](BufWriter& w2, const RangeRow& r) {
+    w2.str(r.key);
+    w2.str(r.value);
+    w2.i64(r.ts);
+  });
+  return w.take();
+}
+
+RangeSnapshot RangeSnapshot::decode(const Bytes& b) {
+  BufReader r(b);
+  RangeSnapshot s;
+  s.lo = r.str();
+  s.hi = r.str();
+  s.rows = r.vec<RangeRow>([](BufReader& r2) {
+    RangeRow row;
+    row.key = r2.str();
+    row.value = r2.str();
+    row.ts = r2.i64();
+    return row;
+  });
+  return s;
+}
 
 void Command::encode(BufWriter& w) const {
   w.vec(ops, [](BufWriter& w2, const Op& op) {
@@ -60,16 +119,46 @@ Command Command::del(std::string key) {
   return Command{{Op{OpType::kDelete, std::move(key), "", 0}}};
 }
 
+Command Command::fence_range(std::string lo, std::string hi) {
+  return Command{{Op{OpType::kFenceRange, std::move(lo), std::move(hi), 0}}};
+}
+
+Command Command::install_range(const RangeSnapshot& snap) {
+  const Bytes blob = snap.encode();
+  return Command{{Op{OpType::kInstallRange, snap.lo,
+                     std::string(blob.begin(), blob.end()), 0}}};
+}
+
+const Database::TrackedRange* Database::range_of(std::string_view key) const {
+  for (const TrackedRange& r : ranges_) {
+    if (key_in_range(key, r.lo, r.hi)) return &r;
+  }
+  return nullptr;
+}
+
 ApplyResult Database::apply(const Command& cmd) {
   ApplyResult res;
   // Evaluate every precondition against the current state first, so that a
   // failed check aborts the whole command with no partial effects — every
   // replica applies the same deterministic rule to the same state and thus
-  // "aborts" identically (paper §6, interactive actions).
+  // "aborts" identically (paper §6, interactive actions). Checks are
+  // evaluated before fences so a duplicate session retry reads as a plain
+  // guard abort, which is what exactly-once resolution relies on.
   for (const Op& op : cmd.ops) {
     if (op.type == OpType::kCheck && get(op.key) != op.value) {
       res.aborted = true;
       return res;
+    }
+  }
+  if (!ranges_.empty()) {
+    for (const Op& op : cmd.ops) {
+      if (!mutates(op.type) || reserved_key(op.key)) continue;
+      const TrackedRange* r = range_of(op.key);
+      if (r != nullptr && r->fenced) {
+        res.aborted = true;
+        res.fenced = true;
+        return res;
+      }
     }
   }
 
@@ -100,6 +189,52 @@ ApplyResult Database::apply(const Command& cmd) {
       case OpType::kDelete:
         data_.erase(op.key);
         break;
+      case OpType::kFenceRange: {
+        bool found = false;
+        for (TrackedRange& r : ranges_) {
+          if (r.lo == op.key && r.hi == op.value) {
+            r.fenced = true;
+            found = true;
+          }
+        }
+        if (!found) ranges_.push_back(TrackedRange{op.key, op.value, true});
+        res.range_events.push_back(
+            RangeEvent{RangeEvent::Kind::kFence, range_fingerprint(op.key, op.value), 0});
+        break;
+      }
+      case OpType::kInstallRange: {
+        const RangeSnapshot snap =
+            RangeSnapshot::decode(Bytes(op.value.begin(), op.value.end()));
+        bool found = false;
+        for (TrackedRange& r : ranges_) {
+          if (r.lo == snap.lo && r.hi == snap.hi) {
+            r.fenced = false;
+            found = true;
+          }
+        }
+        if (!found) ranges_.push_back(TrackedRange{snap.lo, snap.hi, false});
+        for (const RangeRow& row : snap.rows) {
+          Cell& cell = data_[row.key];
+          cell.value = row.value;
+          cell.ts = row.ts;
+        }
+        res.range_events.push_back(RangeEvent{RangeEvent::Kind::kInstall,
+                                              range_fingerprint(snap.lo, snap.hi),
+                                              static_cast<std::int64_t>(snap.rows.size())});
+        break;
+      }
+    }
+    // Surface green-applied user writes into tracked ranges so the checker
+    // can assert single-shard ownership; deduped per command.
+    if (!ranges_.empty() && mutates(op.type) && !reserved_key(op.key)) {
+      if (const TrackedRange* r = range_of(op.key)) {
+        const std::uint64_t h = range_fingerprint(r->lo, r->hi);
+        bool seen = false;
+        for (const RangeEvent& e : res.range_events) {
+          seen = seen || (e.kind == RangeEvent::Kind::kWrite && e.range == h);
+        }
+        if (!seen) res.range_events.push_back(RangeEvent{RangeEvent::Kind::kWrite, h, 0});
+      }
     }
   }
   ++version_;
@@ -125,6 +260,25 @@ std::string Database::get(const std::string& key) const {
   return it == data_.end() ? "" : it->second.value;
 }
 
+bool Database::range_fenced(const std::string& lo, const std::string& hi) const {
+  for (const TrackedRange& r : ranges_) {
+    if (r.lo == lo && r.hi == hi) return r.fenced;
+  }
+  return false;
+}
+
+RangeSnapshot Database::extract_range(const std::string& lo, const std::string& hi) const {
+  RangeSnapshot snap;
+  snap.lo = lo;
+  snap.hi = hi;
+  for (auto it = data_.lower_bound(lo); it != data_.end(); ++it) {
+    if (!hi.empty() && it->first >= hi) break;
+    if (reserved_key(it->first)) continue;
+    snap.rows.push_back(RangeRow{it->first, it->second.value, it->second.ts});
+  }
+  return snap;
+}
+
 Bytes Database::snapshot() const {
   BufWriter w;
   w.i64(version_);
@@ -134,12 +288,21 @@ Bytes Database::snapshot() const {
     w.str(cell.value);
     w.i64(cell.ts);
   }
+  // Tracked ranges travel with the state: a joiner adopting this snapshot
+  // must enforce the same fences the group's green order established.
+  w.u32(static_cast<std::uint32_t>(ranges_.size()));
+  for (const TrackedRange& r : ranges_) {
+    w.str(r.lo);
+    w.str(r.hi);
+    w.boolean(r.fenced);
+  }
   return w.take();
 }
 
 void Database::restore(const Bytes& snap) {
   BufReader r(snap);
   data_.clear();
+  ranges_.clear();
   version_ = r.i64();
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -148,6 +311,14 @@ void Database::restore(const Bytes& snap) {
     cell.value = r.str();
     cell.ts = r.i64();
     data_[std::move(k)] = std::move(cell);
+  }
+  const std::uint32_t nr = r.u32();
+  for (std::uint32_t i = 0; i < nr; ++i) {
+    TrackedRange tr;
+    tr.lo = r.str();
+    tr.hi = r.str();
+    tr.fenced = r.boolean();
+    ranges_.push_back(std::move(tr));
   }
 }
 
@@ -165,6 +336,14 @@ std::uint64_t Database::digest() const {
     mix(k);
     mix(cell.value);
     h ^= static_cast<std::uint64_t>(cell.ts) * 0x9e3779b97f4a7c15ULL;
+  }
+  // Fence state is replica state: fold tracked ranges in (no-op while the
+  // deployment never rebalances, keeping pre-rebalance digests unchanged).
+  for (const TrackedRange& r : ranges_) {
+    mix(r.lo);
+    mix(r.hi);
+    h ^= r.fenced ? 0x9e3779b97f4a7c15ULL : 0x517cc1b727220a95ULL;
+    h *= 0x100000001b3ULL;
   }
   return h;
 }

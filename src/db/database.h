@@ -16,6 +16,7 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/serde.h"
@@ -30,6 +31,11 @@ enum class OpType : std::uint8_t {
   kCheck = 4,        ///< abort the whole command unless key == value
   kTimestampPut = 5, ///< key := value only if ts > stored ts (last-writer-wins)
   kDelete = 6,       ///< erase key (absent key reads as "")
+  // Shard rebalancing (src/shard rebalancer; DESIGN.md §9). Both ride the
+  // green order like any other op, so every replica of a group fences and
+  // installs at exactly the same position in its history.
+  kFenceRange = 7,   ///< fence [key, value): subsequent updates there abort
+  kInstallRange = 8, ///< install a RangeSnapshot (value = encoded blob); clears the fence
 };
 
 struct Op {
@@ -40,6 +46,8 @@ struct Op {
 
   friend bool operator==(const Op&, const Op&) = default;
 };
+
+struct RangeSnapshot;  // defined below
 
 /// One action's update and/or query program. Empty `ops` is a pure no-op.
 struct Command {
@@ -55,11 +63,56 @@ struct Command {
   static Command checked_put(std::string key, std::string expected, std::string value);
   static Command timestamp_put(std::string key, std::string value, std::int64_t ts);
   static Command del(std::string key);
+  static Command fence_range(std::string lo, std::string hi);
+  static Command install_range(const RangeSnapshot& snap);
+};
+
+/// Half-open key range [lo, hi); hi == "" means +infinity (lo == "" already
+/// means -infinity since "" compares below every key). Keys starting with
+/// the reserved "__" prefix (session guards, cross-shard markers) are
+/// infrastructure pinned to their group and are never fenced or moved.
+inline bool key_in_range(std::string_view key, std::string_view lo, std::string_view hi) {
+  return key >= lo && (hi.empty() || key < hi);
+}
+
+/// Stable fingerprint of a key range, shared by the database (trace events),
+/// the rebalancer, and the safety checker's cross-shard ownership tracking.
+std::uint64_t range_fingerprint(std::string_view lo, std::string_view hi);
+
+/// One row of a range extraction: the full cell, timestamp included, so an
+/// install reproduces the source's state bit-for-bit.
+struct RangeRow {
+  std::string key;
+  std::string value;
+  std::int64_t ts = -1;
+};
+
+/// The unit of shard rebalancing state transfer: every row of [lo, hi) at
+/// the source's fence point, serialized into a kInstallRange op.
+struct RangeSnapshot {
+  std::string lo;
+  std::string hi;
+  std::vector<RangeRow> rows;
+
+  Bytes encode() const;
+  static RangeSnapshot decode(const Bytes& b);
+};
+
+/// Range bookkeeping change observed while applying a command — the engine
+/// turns these into kRangeFence / kRangeInstall / kRangeWrite trace events
+/// stamped with the green position. Empty unless rebalancing is in play.
+struct RangeEvent {
+  enum class Kind : std::uint8_t { kFence, kInstall, kWrite };
+  Kind kind = Kind::kWrite;
+  std::uint64_t range = 0;  ///< range_fingerprint(lo, hi)
+  std::int64_t rows = 0;    ///< rows installed (kInstall only)
 };
 
 struct ApplyResult {
-  bool aborted = false;            ///< a kCheck precondition failed
+  bool aborted = false;            ///< a kCheck precondition failed, or fenced
+  bool fenced = false;             ///< aborted because an update hit a fenced range
   std::vector<std::string> reads;  ///< one entry per kGet, in program order
+  std::vector<RangeEvent> range_events;  ///< only populated once ranges are tracked
 };
 
 class Database {
@@ -84,16 +137,42 @@ class Database {
   void restore(const Bytes& snap);
 
   /// Order-independent content hash; equal digests <=> equal contents.
+  /// Tracked ranges (fences/installs) are folded in, so replicas of a group
+  /// agree on fence state exactly as they agree on rows.
   std::uint64_t digest() const;
 
   Database clone() const { return *this; }
+
+  // --- shard rebalancing (DESIGN.md §9) --------------------------------------
+
+  /// True when [lo, hi) is currently fenced (a green kFenceRange with no
+  /// later kInstallRange for the same bounds).
+  bool range_fenced(const std::string& lo, const std::string& hi) const;
+
+  /// Extract every row of [lo, hi) — the range snapshot a move transfers.
+  /// Reserved "__" keys are infrastructure and are skipped.
+  RangeSnapshot extract_range(const std::string& lo, const std::string& hi) const;
+
+  /// Number of ranges this database tracks (fenced or installed).
+  std::size_t tracked_ranges() const { return ranges_.size(); }
 
  private:
   struct Cell {
     std::string value;
     std::int64_t ts = -1;  ///< for kTimestampPut cells
   };
+  /// A range this replica has seen a fence or install for, keyed by bounds.
+  /// Kept tiny (one entry per rebalanced range), scanned only on updates
+  /// while non-empty — the common no-rebalance case pays one empty() test.
+  struct TrackedRange {
+    std::string lo;
+    std::string hi;
+    bool fenced = false;
+  };
+  const TrackedRange* range_of(std::string_view key) const;
+
   std::map<std::string, Cell> data_;
+  std::vector<TrackedRange> ranges_;
   std::int64_t version_ = 0;
 };
 

@@ -21,8 +21,12 @@ SafetyChecker::NodeView& SafetyChecker::view(NodeId n) {
 }
 
 SafetyChecker::GroupState& SafetyChecker::group_of(NodeId n) {
+  return groups_[group_id(n)];
+}
+
+std::int64_t SafetyChecker::group_id(NodeId n) const {
   auto it = node_group_.find(n);
-  return groups_[it == node_group_.end() ? 0 : it->second];
+  return it == node_group_.end() ? 0 : it->second;
 }
 
 std::int64_t SafetyChecker::canonical_green_count(std::int64_t group) const {
@@ -117,6 +121,11 @@ void SafetyChecker::on_event(const TraceEvent& e) {
       break;
     case EventKind::kMemberRemove:
       view(e.node).members.erase(static_cast<NodeId>(e.a));
+      break;
+    case EventKind::kRangeFence:
+    case EventKind::kRangeInstall:
+    case EventKind::kRangeWrite:
+      on_range_event(e);
       break;
     default:
       break;  // observed for export/metrics only
@@ -239,6 +248,68 @@ void SafetyChecker::on_white_trim(const TraceEvent& e) {
       violation(os.str());
       return;
     }
+  }
+}
+
+void SafetyChecker::on_range_event(const TraceEvent& e) {
+  // Invariant 8. Events carry (a = range fingerprint, b = green position in
+  // the emitting group's history). Every replica of a group applies the same
+  // green order, so replays from lagging replicas land at positions <= the
+  // recorded maximum and are skipped.
+  const std::int64_t grp = group_id(e.node);
+  RangeState& r = ranges_[e.a];
+  const std::int64_t pos = e.b;
+  const auto at = [](const std::map<std::int64_t, std::int64_t>& m, std::int64_t k) {
+    auto it = m.find(k);
+    return it == m.end() ? 0 : it->second;
+  };
+  std::ostringstream os;
+  switch (e.kind) {
+    case EventKind::kRangeFence: {
+      auto [it, inserted] = r.fence_pos.emplace(grp, pos);
+      if (!inserted && pos > it->second) it->second = pos;
+      break;
+    }
+    case EventKind::kRangeInstall: {
+      if (pos <= at(r.install_pos, grp)) break;  // replica replay
+      bool fenced_somewhere = false;
+      for (const auto& [g2, fp] : r.fence_pos) fenced_somewhere = fenced_somewhere || fp > 0;
+      if (!fenced_somewhere) {
+        os << "t=" << e.time << " RANGE INSTALL WITHOUT FENCE: group " << grp
+           << " (node " << e.node << ") installed range " << static_cast<std::uint64_t>(e.a)
+           << " at green position " << pos << " but no group ever fenced it";
+        violation(os.str());
+        break;
+      }
+      for (const auto& [g2, ip] : r.install_pos) {
+        if (g2 == grp) continue;
+        if (ip > at(r.fence_pos, g2)) {
+          os << "t=" << e.time << " RANGE DOUBLE OWNERSHIP: group " << grp << " (node "
+             << e.node << ") installed range " << static_cast<std::uint64_t>(e.a)
+             << " at green position " << pos << " while group " << g2
+             << " still owns it (install at " << ip << " with no later fence)";
+          violation(os.str());
+          break;
+        }
+      }
+      r.install_pos[grp] = pos;
+      break;
+    }
+    case EventKind::kRangeWrite: {
+      if (pos <= at(r.write_pos, grp)) break;  // replica replay
+      r.write_pos[grp] = pos;
+      const std::int64_t fp = at(r.fence_pos, grp);
+      if (fp > at(r.install_pos, grp) && pos > fp) {
+        os << "t=" << e.time << " WRITE TO FENCED RANGE: group " << grp << " (node " << e.node
+           << ") green-applied a user write to range " << static_cast<std::uint64_t>(e.a)
+           << " at position " << pos << " past its fence at position " << fp
+           << " (the range's keys belong to another shard now)";
+        violation(os.str());
+      }
+      break;
+    }
+    default:
+      break;
   }
 }
 

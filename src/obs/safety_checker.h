@@ -20,6 +20,11 @@
 //      member of its current server-set view has already marked green.
 //   7. Safe-delivery agreement (EVS): all nodes delivering (config, seq)
 //      as safe saw the same payload.
+//   8. Range ownership (shard rebalancing, DESIGN.md §9): per key range,
+//      no group green-applies a user write past its own fence position, a
+//      range is never installed while another group still owns it, and an
+//      install is always preceded by a fence somewhere — i.e. no key is
+//      green-applied by two shards for overlapping post-fence indices.
 //
 // Violations fail fast: the checker prints a report — including a diff of
 // the divergent histories around the offending position — and aborts the
@@ -96,6 +101,17 @@ class SafetyChecker {
     NodeId installer = kNoNode;
   };
 
+  /// Invariant 8 state, per range fingerprint. Positions are green
+  /// positions within each group's own history; comparisons only ever
+  /// happen within one group, so the two independent total orders are
+  /// never confused. Highest-position-wins makes lagging replica replays
+  /// (which re-apply the same green order at the same positions) no-ops.
+  struct RangeState {
+    std::map<std::int64_t, std::int64_t> fence_pos;    ///< group -> fence green pos
+    std::map<std::int64_t, std::int64_t> install_pos;  ///< group -> install green pos
+    std::map<std::int64_t, std::int64_t> write_pos;    ///< group -> last write green pos
+  };
+
   struct SafeKey {
     std::int64_t counter;
     NodeId coordinator;
@@ -121,12 +137,14 @@ class SafetyChecker {
                          const ActionId& claimed) const;
   NodeView& view(NodeId n);
   GroupState& group_of(NodeId n);
+  std::int64_t group_id(NodeId n) const;
 
   void on_green(const TraceEvent& e);
   void on_adopt(NodeId node, std::int64_t green_count, const char* how);
   void on_primary_install(const TraceEvent& e);
   void on_white_trim(const TraceEvent& e);
   void on_safe_deliver(const TraceEvent& e);
+  void on_range_event(const TraceEvent& e);
 
   CheckerOptions options_;
   std::uint64_t events_checked_ = 0;
@@ -134,6 +152,7 @@ class SafetyChecker {
 
   std::map<std::int64_t, GroupState> groups_;
   std::map<NodeId, std::int64_t> node_group_;  ///< absent = group 0
+  std::map<std::int64_t, RangeState> ranges_;  ///< range fingerprint -> state
 
   std::map<NodeId, NodeView> nodes_;
 };

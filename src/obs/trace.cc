@@ -35,6 +35,10 @@ const char* to_string(EventKind k) {
     case EventKind::kShardFailover: return "shard_failover";
     case EventKind::kShardCrossSubmit: return "shard_cross_submit";
     case EventKind::kShardCrossCommit: return "shard_cross_commit";
+    case EventKind::kRangeFence: return "range_fence";
+    case EventKind::kRangeInstall: return "range_install";
+    case EventKind::kRangeWrite: return "range_write";
+    case EventKind::kDirectoryEpoch: return "directory_epoch";
   }
   return "?";
 }

@@ -58,6 +58,12 @@ enum class EventKind : std::uint8_t {
   kShardFailover,        ///< a=shard, b=client, c=attempts the request took
   kShardCrossSubmit,     ///< a=cross-shard id, b=client, c=involved shard count
   kShardCrossCommit,     ///< a=cross-shard id, b=committed (1/0), c=barrier wait ns
+  // Rebalancing (DESIGN.md §9). Range kinds are emitted by each replica as
+  // the action goes green there; kDirectoryEpoch by the rebalancer (kNoNode).
+  kRangeFence,           ///< a=range fingerprint, b=green position of the fence
+  kRangeInstall,         ///< a=range fingerprint, b=green position, c=rows installed
+  kRangeWrite,           ///< a=range fingerprint, b=green position of the write
+  kDirectoryEpoch,       ///< a=new epoch, b=new owner shard, c=range fingerprint
 };
 
 const char* to_string(EventKind k);

@@ -1,0 +1,204 @@
+#include "shard/rebalancer.h"
+
+#include <utility>
+
+namespace tordb::shard {
+
+Rebalancer::Rebalancer(Simulator& sim, std::shared_ptr<Directory> directory,
+                       std::vector<std::vector<core::ReplicaNode*>> replicas,
+                       RebalancerOptions options)
+    : sim_(sim),
+      directory_(std::move(directory)),
+      replicas_(std::move(replicas)),
+      options_(std::move(options)),
+      alive_(std::make_shared<bool>(true)) {
+  if (options_.metrics) {
+    metric_moves_ = &options_.metrics->counter("shard.rebalance.moves");
+    metric_rows_ = &options_.metrics->counter("shard.rebalance.rows_moved");
+    metric_bytes_ = &options_.metrics->counter("shard.rebalance.bytes_moved");
+    move_ms_hist_ = &options_.metrics->histogram("shard.rebalance.move_ms");
+  }
+}
+
+Rebalancer::~Rebalancer() { *alive_ = false; }
+
+core::ClientSession& Rebalancer::session(int shard) {
+  auto& slot = sessions_[shard];
+  if (!slot) {
+    core::SessionOptions opts = options_.session;
+    // A move must survive whole-group outages of either side: wait, don't
+    // abort, when every replica of the target group is briefly down.
+    opts.retry_when_unavailable = true;
+    slot = std::make_unique<core::ClientSession>(
+        sim_, replicas_.at(static_cast<std::size_t>(shard)),
+        options_.client_id_base + shard, opts);
+  }
+  return *slot;
+}
+
+void Rebalancer::bump_epoch_trace(std::int64_t owner, std::uint64_t range) {
+  options_.tracer.emit(obs::EventKind::kDirectoryEpoch, directory_->epoch(), owner,
+                       static_cast<std::int64_t>(range));
+}
+
+bool Rebalancer::split_at(const std::string& key) {
+  // Splitting a range that is mid-move would orphan the move's cutover
+  // (set_range_owner matches exact bounds), so reject while busy.
+  for (const auto& [lo, hi] : busy_) {
+    if (db::key_in_range(key, lo, hi)) {
+      ++stats_.moves_rejected;
+      return false;
+    }
+  }
+  if (!directory_->split_at(key)) {
+    ++stats_.moves_rejected;
+    return false;
+  }
+  ++stats_.splits;
+  bump_epoch_trace(directory_->shard_of(key), db::range_fingerprint(key, key));
+  return true;
+}
+
+bool Rebalancer::merge_at(const std::string& key) {
+  for (const auto& [lo, hi] : busy_) {
+    if (lo == key || hi == key) {
+      ++stats_.moves_rejected;
+      return false;
+    }
+  }
+  if (!directory_->merge_at(key)) {
+    ++stats_.moves_rejected;
+    return false;
+  }
+  ++stats_.merges;
+  bump_epoch_trace(directory_->shard_of(key), db::range_fingerprint(key, key));
+  return true;
+}
+
+bool Rebalancer::move_range(const std::string& lo, const std::string& hi, int to,
+                            MoveDoneFn done) {
+  const int idx = directory_->range_index(lo, hi);
+  const bool busy = busy_.count({lo, hi}) > 0;
+  if (idx < 0 || busy || to < 0 || to >= directory_->shards() ||
+      directory_->range_owner(idx) == to) {
+    ++stats_.moves_rejected;
+    if (done) {
+      MoveReport rep;
+      rep.lo = lo;
+      rep.hi = hi;
+      rep.to = to;
+      rep.from = idx >= 0 ? directory_->range_owner(idx) : -1;
+      done(rep);
+    }
+    return false;
+  }
+
+  auto mv = std::make_shared<Move>();
+  mv->lo = lo;
+  mv->hi = hi;
+  mv->from = directory_->range_owner(idx);
+  mv->to = to;
+  mv->started = sim_.now();
+  mv->done = std::move(done);
+  busy_.insert({lo, hi});
+  ++stats_.moves_started;
+
+  // Step 1: fence the range in the source group's green order.
+  session(mv->from).submit(
+      db::Command::fence_range(lo, hi),
+      [this, alive = alive_, mv](const core::SessionReply& r) {
+        if (!*alive) return;
+        if (!r.committed) {
+          // The fence is unconditional; a non-commit means the session's
+          // attempt budget ran out against a dead group. Give up cleanly.
+          fail(mv);
+          return;
+        }
+        await_fenced_snapshot(mv);
+      });
+  return true;
+}
+
+void Rebalancer::await_fenced_snapshot(std::shared_ptr<Move> mv) {
+  // Step 2: extract from any running source replica that has applied the
+  // fence. The submitting session saw the fence green, so at least one
+  // replica had it; crashes since then only delay until a replica recovers
+  // (recovery replays the log, so the fence survives restarts).
+  for (core::ReplicaNode* node : replicas_.at(static_cast<std::size_t>(mv->from))) {
+    if (node->running() && !node->has_left() &&
+        node->engine().range_fenced(mv->lo, mv->hi)) {
+      db::RangeSnapshot snap = node->engine().extract_range(mv->lo, mv->hi);
+      const std::int64_t bytes = static_cast<std::int64_t>(snap.encode().size());
+      const SimDuration transfer =
+          options_.transfer_base + options_.transfer_per_byte * bytes;
+      sim_.after(transfer, [this, alive = alive_, mv, snap = std::move(snap)]() mutable {
+        if (!*alive) return;
+        install(mv, std::move(snap));
+      });
+      return;
+    }
+  }
+  sim_.after(options_.poll_interval, [this, alive = alive_, mv] {
+    if (!*alive) return;
+    await_fenced_snapshot(mv);
+  });
+}
+
+void Rebalancer::install(std::shared_ptr<Move> mv, db::RangeSnapshot snap) {
+  // Step 3: install in the destination group's green order.
+  const std::int64_t rows = static_cast<std::int64_t>(snap.rows.size());
+  const std::int64_t bytes = static_cast<std::int64_t>(snap.encode().size());
+  session(mv->to).submit(db::Command::install_range(snap),
+                         [this, alive = alive_, mv, rows, bytes](const core::SessionReply& r) {
+                           if (!*alive) return;
+                           if (!r.committed) {
+                             fail(mv);
+                             return;
+                           }
+                           cutover(mv, rows, bytes);
+                         });
+}
+
+void Rebalancer::cutover(std::shared_ptr<Move> mv, std::int64_t rows, std::int64_t bytes) {
+  directory_->set_range_owner(mv->lo, mv->hi, mv->to);
+  bump_epoch_trace(mv->to, db::range_fingerprint(mv->lo, mv->hi));
+  busy_.erase({mv->lo, mv->hi});
+  ++stats_.moves_completed;
+  stats_.rows_moved += rows;
+  stats_.bytes_moved += bytes;
+  const SimDuration took = sim_.now() - mv->started;
+  if (metric_moves_ != nullptr) metric_moves_->inc();
+  if (metric_rows_ != nullptr) metric_rows_->inc(static_cast<std::uint64_t>(rows));
+  if (metric_bytes_ != nullptr) metric_bytes_->inc(static_cast<std::uint64_t>(bytes));
+  if (move_ms_hist_ != nullptr) move_ms_hist_->record(took / 1'000'000);  // ns -> ms
+
+  if (mv->done) {
+    MoveReport rep;
+    rep.ok = true;
+    rep.lo = mv->lo;
+    rep.hi = mv->hi;
+    rep.from = mv->from;
+    rep.to = mv->to;
+    rep.rows = rows;
+    rep.bytes = bytes;
+    rep.duration = took;
+    rep.epoch = directory_->epoch();
+    mv->done(rep);
+  }
+}
+
+void Rebalancer::fail(std::shared_ptr<Move> mv) {
+  busy_.erase({mv->lo, mv->hi});
+  ++stats_.moves_rejected;
+  if (mv->done) {
+    MoveReport rep;
+    rep.lo = mv->lo;
+    rep.hi = mv->hi;
+    rep.from = mv->from;
+    rep.to = mv->to;
+    rep.duration = sim_.now() - mv->started;
+    mv->done(rep);
+  }
+}
+
+}  // namespace tordb::shard

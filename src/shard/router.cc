@@ -5,16 +5,28 @@
 
 namespace tordb::shard {
 
-Router::Router(Simulator& sim, const Directory& directory,
+Router::Router(Simulator& sim, std::shared_ptr<Directory> directory,
                std::vector<std::vector<core::ReplicaNode*>> replicas, RouterOptions options)
-    : sim_(sim), directory_(directory), replicas_(std::move(replicas)), options_(std::move(options)) {
-  if (static_cast<int>(replicas_.size()) != directory_.shards()) {
+    : sim_(sim),
+      directory_(std::move(directory)),
+      replicas_(std::move(replicas)),
+      options_(std::move(options)),
+      alive_(std::make_shared<bool>(true)) {
+  if (!directory_) throw std::invalid_argument("router needs a directory");
+  if (static_cast<int>(replicas_.size()) != directory_->shards()) {
     throw std::invalid_argument("replica groups must match the directory's shard count");
   }
   if (options_.metrics) {
     barrier_hist_ = &options_.metrics->histogram("shard.cross.barrier_wait_us");
   }
 }
+
+Router::Router(Simulator& sim, const Directory& directory,
+               std::vector<std::vector<core::ReplicaNode*>> replicas, RouterOptions options)
+    : Router(sim, std::make_shared<Directory>(directory), std::move(replicas),
+             std::move(options)) {}
+
+Router::~Router() { *alive_ = false; }
 
 std::string Router::cross_marker_key(std::int64_t client, std::int64_t cross_seq) {
   return "__xs/" + std::to_string(client) + "/" + std::to_string(cross_seq);
@@ -25,7 +37,7 @@ core::ClientSession& Router::session(std::int64_t client, int shard) {
   if (!slot) {
     // One engine-level session per (client, shard): the guard key is scoped
     // to the session's group, and sequence numbers stay dense per shard.
-    const std::int64_t session_id = client * directory_.shards() + shard;
+    const std::int64_t session_id = client * directory_->shards() + shard;
     slot = std::make_unique<core::ClientSession>(sim_, replicas_[shard], session_id,
                                                  options_.session);
   }
@@ -36,7 +48,7 @@ bool Router::idle() const {
   for (const auto& [key, s] : sessions_) {
     if (!s->idle()) return false;
   }
-  return cross_inflight_.empty();
+  return cross_inflight_.empty() && pending_bounces_ == 0;
 }
 
 std::int64_t Router::green_watermark(int shard) const {
@@ -50,24 +62,46 @@ std::int64_t Router::green_watermark(int shard) const {
 }
 
 void Router::submit(std::int64_t client, db::Command update, RouteReplyFn reply) {
-  std::vector<int> shards = directory_.shards_of(update);
+  route(client, std::move(update), std::move(reply), /*bounces=*/0);
+}
+
+void Router::route(std::int64_t client, db::Command update, RouteReplyFn reply, int bounces) {
+  std::vector<int> shards = directory_->shards_of(update);
   if (shards.empty()) shards.push_back(0);  // pure no-op commands pin to shard 0
 
   if (shards.size() == 1) {
     const int shard = shards[0];
-    ++stats_.routed_single;
+    if (bounces == 0) ++stats_.routed_single;
     options_.tracer.emit(obs::EventKind::kShardRoute, shard, client, /*xid=*/0);
+    // Keep the command for a potential fenced re-route: a fenced abort had
+    // no effects, so resubmitting it is a fresh first attempt.
+    auto retained = std::make_shared<db::Command>(update);
     session(client, shard).submit(
         std::move(update),
-        [this, shard, client, reply = std::move(reply)](const core::SessionReply& r) {
+        [this, alive = alive_, shard, client, bounces, retained,
+         reply = std::move(reply)](const core::SessionReply& r) mutable {
+          if (!*alive) return;
           if (r.attempts > 1) {
             ++stats_.failovers;
             options_.tracer.emit(obs::EventKind::kShardFailover, shard, client, r.attempts);
+          }
+          if (!r.committed && r.fenced && bounces < options_.max_fence_bounces) {
+            ++stats_.fenced_bounces;
+            ++pending_bounces_;
+            sim_.after(options_.fence_retry_delay,
+                       [this, alive, client, retained, bounces,
+                        reply = std::move(reply)]() mutable {
+                         if (!*alive) return;
+                         route(client, std::move(*retained), std::move(reply), bounces + 1);
+                         --pending_bounces_;
+                       });
+            return;
           }
           r.committed ? ++stats_.committed : ++stats_.aborted;
           if (reply) {
             RouteReply out;
             out.committed = r.committed;
+            out.fenced = !r.committed && r.fenced;
             out.shards_involved = 1;
             out.attempts = r.attempts;
             reply(out);
@@ -100,42 +134,77 @@ void Router::submit(std::int64_t client, db::Command update, RouteReplyFn reply)
   const std::int64_t token = ++next_cross_token_;
   CrossState& cs = cross_inflight_[token];
   cs.xid = xid;
+  cs.client = client;
+  cs.marker = cross_marker_key(client, cross_seq);
   cs.involved = static_cast<int>(shards.size());
   cs.outstanding = cs.involved;
+  cs.bounces = bounces;
   cs.reply = std::move(reply);
   options_.tracer.emit(obs::EventKind::kShardCrossSubmit, xid, client,
                        static_cast<std::int64_t>(shards.size()));
 
   // Split the ops by owning shard, preserving program order within each
-  // slice, and ride the marker write inside every sub-command so the
-  // action's presence at a shard is observable state, not just a reply.
-  const std::string marker = cross_marker_key(client, cross_seq);
+  // slice; each slice rides the marker write so the action's presence at a
+  // shard is observable state, not just a reply.
   for (const int shard : shards) {
-    db::Command sub;
+    db::Command slice;
     for (const db::Op& op : update.ops) {
-      if (directory_.shard_of(op.key) == shard) sub.ops.push_back(op);
+      if (directory_->shard_of(op.key) == shard) slice.ops.push_back(op);
     }
-    sub.ops.push_back(db::Op{db::OpType::kPut, marker, std::to_string(xid), 0});
-    options_.tracer.emit(obs::EventKind::kShardRoute, shard, client, xid);
-    session(client, shard).submit(
-        std::move(sub), [this, token, shard, client](const core::SessionReply& r) {
-          if (r.attempts > 1) {
-            ++stats_.failovers;
-            options_.tracer.emit(obs::EventKind::kShardFailover, shard, client, r.attempts);
-          }
-          CrossState& cs = cross_inflight_.at(token);
-          cs.attempts += r.attempts;
-          if (r.committed) {
-            cs.any_committed = true;
-            const SimTime now = sim_.now();
-            if (cs.first_green < 0) cs.first_green = now;
-            cs.last_green = now;
-          } else {
-            cs.all_committed = false;
-          }
-          if (--cs.outstanding == 0) finish_cross(token);
-        });
+    submit_cross_slice(token, shard, std::move(slice));
   }
+}
+
+void Router::submit_cross_slice(std::int64_t token, int shard, db::Command user_slice) {
+  CrossState& cs = cross_inflight_.at(token);
+  db::Command sub = user_slice;
+  sub.ops.push_back(db::Op{db::OpType::kPut, cs.marker, std::to_string(cs.xid), 0});
+  options_.tracer.emit(obs::EventKind::kShardRoute, shard, cs.client, cs.xid);
+  // Retained for a fenced re-route into the same commit barrier.
+  auto retained = std::make_shared<db::Command>(std::move(user_slice));
+  session(cs.client, shard)
+      .submit(std::move(sub), [this, alive = alive_, token, shard,
+                               retained](const core::SessionReply& r) {
+        if (!*alive) return;
+        CrossState& cs = cross_inflight_.at(token);
+        if (r.attempts > 1) {
+          ++stats_.failovers;
+          options_.tracer.emit(obs::EventKind::kShardFailover, shard, cs.client, r.attempts);
+        }
+        cs.attempts += r.attempts;
+        if (!r.committed && r.fenced && cs.bounces < options_.max_fence_bounces) {
+          ++cs.bounces;
+          ++stats_.fenced_bounces;
+          sim_.after(options_.fence_retry_delay, [this, alive, token, retained] {
+            if (!*alive) return;
+            rebounce_cross_slice(token, *retained);
+          });
+          return;  // the slice is still in flight: outstanding is unchanged
+        }
+        if (r.committed) {
+          cs.any_committed = true;
+          const SimTime now = sim_.now();
+          if (cs.first_green < 0) cs.first_green = now;
+          cs.last_green = now;
+        } else {
+          cs.all_committed = false;
+          if (r.fenced) cs.fenced_exhausted = true;
+        }
+        if (--cs.outstanding == 0) finish_cross(token);
+      });
+}
+
+void Router::rebounce_cross_slice(std::int64_t token, const db::Command& user_slice) {
+  CrossState& cs = cross_inflight_.at(token);
+  // Re-split by the *current* directory — the range may have moved, or even
+  // split, since the slice was first routed. Every part re-enters the same
+  // commit barrier.
+  std::map<int, db::Command> parts;
+  for (const db::Op& op : user_slice.ops) {
+    parts[directory_->shard_of(op.key)].ops.push_back(op);
+  }
+  cs.outstanding += static_cast<int>(parts.size()) - 1;
+  for (auto& [shard, part] : parts) submit_cross_slice(token, shard, std::move(part));
 }
 
 void Router::finish_cross(std::int64_t token) {
@@ -152,6 +221,7 @@ void Router::finish_cross(std::int64_t token) {
 
   RouteReply out;
   out.committed = committed;
+  out.fenced = cs.fenced_exhausted;
   out.shards_involved = cs.involved;
   out.attempts = cs.attempts;
   if (committed) out.barrier_wait = cs.last_green - cs.first_green;

@@ -30,6 +30,16 @@
 // shards between the first and last green may observe the action partially
 // applied, the same relaxation genuine partial replication accepts in
 // exchange for independent per-shard total orders.
+//
+// Rebalancing (DESIGN.md §9): the router holds the *shared* Directory that
+// the Rebalancer mutates. A command that lands on a shard which has fenced
+// the key's range aborts deterministically with `fenced` set; the router
+// counts a fenced bounce, waits `fence_retry_delay`, re-consults the
+// directory (the epoch bump may have happened meanwhile) and re-routes the
+// command — for a cross-shard action, only the bounced slice is re-split
+// and resubmitted into the same commit barrier. Exactly-once is preserved
+// because a fenced abort provably had no effects (the session guard is
+// only advanced by a commit), so the re-route is a fresh first attempt.
 #pragma once
 
 #include <cstdint>
@@ -53,10 +63,17 @@ struct RouterOptions {
   /// registry gets the cross-shard barrier-wait histogram.
   obs::Tracer tracer;
   std::shared_ptr<obs::MetricsRegistry> metrics;
+  /// Fenced-bounce budget per command (cross-shard: per action, summed over
+  /// slices) and the pause before re-consulting the directory. The budget
+  /// covers a move's fence->cutover window, including a source partition
+  /// that stalls the transfer.
+  int max_fence_bounces = 400;
+  SimDuration fence_retry_delay = millis(50);
 };
 
 struct RouteReply {
   bool committed = false;
+  bool fenced = false;           ///< aborted with the fence-bounce budget exhausted
   int shards_involved = 1;
   int attempts = 0;              ///< summed over sub-requests
   SimDuration barrier_wait = 0;  ///< first green -> last green (cross-shard)
@@ -71,14 +88,20 @@ struct RouterStats {
   std::uint64_t rejected_cross_checks = 0;  ///< kCheck in a cross-shard command
   std::uint64_t failovers = 0;              ///< sub-requests needing > 1 attempt
   std::uint64_t cross_partial_aborts = 0;   ///< some shard aborted, others committed
+  std::uint64_t fenced_bounces = 0;         ///< re-routes after a fenced abort
 };
 
 class Router {
  public:
   /// `replicas[s]` are the members of shard `s`, tried in fail-over order.
-  /// The directory's shard count must match replicas.size().
+  /// The directory's shard count must match replicas.size(). The shared
+  /// overload is the live form: a Rebalancer mutating the same Directory is
+  /// observed by the very next routing decision.
+  Router(Simulator& sim, std::shared_ptr<Directory> directory,
+         std::vector<std::vector<core::ReplicaNode*>> replicas, RouterOptions options = {});
   Router(Simulator& sim, const Directory& directory,
          std::vector<std::vector<core::ReplicaNode*>> replicas, RouterOptions options = {});
+  ~Router();
 
   /// Route an update command (see the path description above). Requests
   /// from one client execute in FIFO order per shard, each exactly once.
@@ -88,7 +111,8 @@ class Router {
   /// (the property tests read it back to assert all-or-nothing).
   static std::string cross_marker_key(std::int64_t client, std::int64_t cross_seq);
 
-  const Directory& directory() const { return directory_; }
+  const Directory& directory() const { return *directory_; }
+  const std::shared_ptr<Directory>& directory_ptr() const { return directory_; }
   const RouterStats& stats() const { return stats_; }
   /// True when every session created so far has drained.
   bool idle() const;
@@ -100,10 +124,14 @@ class Router {
  private:
   struct CrossState {
     std::int64_t xid = 0;
+    std::int64_t client = 0;
+    std::string marker;
     int involved = 0;
     int outstanding = 0;
+    int bounces = 0;  ///< fenced bounces consumed, summed over slices
     bool all_committed = true;
     bool any_committed = false;
+    bool fenced_exhausted = false;
     int attempts = 0;
     SimTime first_green = -1;
     SimTime last_green = -1;
@@ -111,17 +139,22 @@ class Router {
   };
 
   core::ClientSession& session(std::int64_t client, int shard);
+  void route(std::int64_t client, db::Command update, RouteReplyFn reply, int bounces);
+  void submit_cross_slice(std::int64_t token, int shard, db::Command user_slice);
+  void rebounce_cross_slice(std::int64_t token, const db::Command& user_slice);
   void finish_cross(std::int64_t token);
 
   Simulator& sim_;
-  Directory directory_;
+  std::shared_ptr<Directory> directory_;
   std::vector<std::vector<core::ReplicaNode*>> replicas_;
   RouterOptions options_;
+  std::shared_ptr<bool> alive_;
 
   std::map<std::pair<std::int64_t, int>, std::unique_ptr<core::ClientSession>> sessions_;
   std::map<std::int64_t, std::int64_t> next_cross_seq_;  ///< per client
   std::int64_t next_cross_token_ = 0;
   std::map<std::int64_t, CrossState> cross_inflight_;    ///< token -> state
+  std::int64_t pending_bounces_ = 0;  ///< single-shard re-routes waiting out the delay
   obs::Histogram* barrier_hist_ = nullptr;
   RouterStats stats_;
 };

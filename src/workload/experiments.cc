@@ -591,4 +591,116 @@ ShardingPoint measure_sharding(int shards, int replicas_per_shard, int clients,
   return p;
 }
 
+RebalancePoint measure_rebalance(int shards, int replicas_per_shard, int clients, int moves,
+                                 SimDuration warmup, SimDuration measure,
+                                 std::uint64_t seed) {
+  // Two-digit key space k00..k63 split uniformly across the shards, so each
+  // range holds a comparable row population when the writers are uniform.
+  const int kKeys = 64;
+  auto key_of = [](int i) {
+    std::string k = "k";
+    k += static_cast<char>('0' + i / 10);
+    k += static_cast<char>('0' + i % 10);
+    return k;
+  };
+  ShardedClusterOptions o;
+  o.shards = shards;
+  o.replicas_per_shard = replicas_per_shard;
+  o.seed = seed;
+  for (int s = 1; s < shards; ++s) o.range_splits.push_back(key_of(kKeys * s / shards));
+  o.session.max_attempts_per_request = 100000;
+  ShardedCluster cluster(o);
+  cluster.run_for(seconds(2));  // every shard forms its primary component
+
+  Simulator& sim = cluster.sim();
+  const SimTime window_start = sim.now() + warmup;
+  const SimTime window_end = window_start + measure;
+
+  struct State {
+    LatencyStats steady, during_move;
+    int moves_in_flight = 0;
+    int moves_started = 0;
+    double move_ms_sum = 0;
+  };
+  auto st = std::make_shared<State>();
+
+  // Closed-loop writers over the whole key space; each completion is binned
+  // by whether a move was in flight when it landed.
+  auto loop = std::make_shared<std::function<void(int)>>();
+  std::vector<std::shared_ptr<Rng>> rngs;
+  for (int c = 0; c < clients; ++c) {
+    rngs.push_back(std::make_shared<Rng>(seed * 0x9e3779b97f4a7c15ULL +
+                                         static_cast<std::uint64_t>(c) * 48271 + 17));
+  }
+  *loop = [&cluster, &sim, st, loopp = loop.get(), rngs, key_of, window_start,
+           window_end](int c) {
+    const SimTime t0 = sim.now();
+    if (t0 >= window_end) return;
+    const std::string key = key_of(static_cast<int>(rngs[static_cast<std::size_t>(c)]->next_below(64)));
+    cluster.router().submit(c, db::Command::add(key, 1),
+                            [&sim, st, loopp, c, t0, window_start, window_end](
+                                const shard::RouteReply& r) {
+                              const SimTime now = sim.now();
+                              if (r.committed && now >= window_start && now < window_end) {
+                                (st->moves_in_flight > 0 ? st->during_move : st->steady)
+                                    .record(now - t0);
+                              }
+                              (*loopp)(c);
+                            });
+  };
+  for (int c = 0; c < clients; ++c) (*loop)(c);
+
+  // Moves run back to back (with a short gap) from the window start: pick
+  // ranges round-robin, always targeting the next shard over.
+  const SimDuration gap = millis(200);
+  auto do_move = std::make_shared<std::function<void()>>();
+  *do_move = [&cluster, &sim, st, dm = do_move.get(), moves, shards, gap, window_end]() {
+    if (st->moves_started >= moves || sim.now() >= window_end) return;
+    const shard::Directory& dir = cluster.directory();
+    const int r = st->moves_started % dir.range_count();
+    const auto [lo, hi] = dir.range_bounds(r);
+    const int to = (dir.range_owner(r) + 1) % shards;
+    ++st->moves_started;
+    ++st->moves_in_flight;
+    const bool accepted = cluster.move_range(
+        lo, hi, to, [&sim, st, dm, gap](const shard::MoveReport& rep) {
+          --st->moves_in_flight;
+          if (rep.ok) st->move_ms_sum += to_seconds(rep.duration) * 1e3;
+          sim.after(gap, [dm] { (*dm)(); });
+        });
+    if (!accepted) {
+      --st->moves_in_flight;
+      sim.after(gap, [dm] { (*dm)(); });
+    }
+  };
+  sim.after(warmup, [dm = do_move.get()] { (*dm)(); });
+
+  cluster.run_for(warmup + measure + millis(200));
+  // Drain in-flight moves and bounced commands past the window edge.
+  for (int rounds = 0; !(cluster.router().idle() && cluster.rebalancer().idle()) && rounds < 120;
+       ++rounds) {
+    cluster.run_for(seconds(1));
+  }
+
+  const shard::RebalancerStats& rs = cluster.rebalancer().stats();
+  RebalancePoint p;
+  p.shards = shards;
+  p.replicas_per_shard = replicas_per_shard;
+  p.clients = clients;
+  p.moves_requested = moves;
+  p.moves_completed = rs.moves_completed;
+  p.rows_moved = rs.rows_moved;
+  p.bytes_moved = rs.bytes_moved;
+  p.mean_move_ms = rs.moves_completed ? st->move_ms_sum / static_cast<double>(rs.moves_completed) : 0;
+  p.final_epoch = cluster.directory_epoch();
+  p.fenced_bounces = cluster.router().stats().fenced_bounces;
+  p.steady_completed = st->steady.count();
+  p.steady_p50_ms = st->steady.p50_ms();
+  p.steady_p99_ms = st->steady.p99_ms();
+  p.move_window_completed = st->during_move.count();
+  p.move_window_p50_ms = st->during_move.p50_ms();
+  p.move_window_p99_ms = st->during_move.p99_ms();
+  return p;
+}
+
 }  // namespace tordb::workload

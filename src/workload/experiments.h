@@ -156,6 +156,37 @@ ShardingPoint measure_sharding(int shards, int replicas_per_shard, int clients,
                                double cross_ratio, SimDuration warmup, SimDuration measure,
                                std::uint64_t seed = 1);
 
+struct RebalancePoint {
+  int shards = 0;
+  int replicas_per_shard = 0;
+  int clients = 0;
+  int moves_requested = 0;
+  std::uint64_t moves_completed = 0;
+  std::int64_t rows_moved = 0;
+  std::int64_t bytes_moved = 0;
+  double mean_move_ms = 0;        ///< fence submit -> cutover, per move
+  std::int64_t final_epoch = 0;
+  std::uint64_t fenced_bounces = 0;  ///< router retries caused by fences
+  // Client-visible latency, segregated by whether a move was in flight when
+  // the action completed.
+  std::uint64_t steady_completed = 0;
+  double steady_p50_ms = 0;
+  double steady_p99_ms = 0;
+  std::uint64_t move_window_completed = 0;
+  double move_window_p50_ms = 0;
+  double move_window_p99_ms = 0;
+};
+
+/// Ablation A7 (DESIGN.md §9): client-visible cost of online rebalancing.
+/// A range-sharded deployment runs `clients` closed-loop writers over a
+/// fixed key space while `moves` fenced key-range moves execute back to
+/// back; actions completing during a move window are measured separately
+/// from steady state. Exactly-once routing means completed counts are exact
+/// (a bounced command commits once at the new owner or not at all).
+RebalancePoint measure_rebalance(int shards, int replicas_per_shard, int clients, int moves,
+                                 SimDuration warmup, SimDuration measure,
+                                 std::uint64_t seed = 1);
+
 /// Ablation A5: availability of the two quorum systems under a cascading
 /// partition schedule (the network repeatedly shrinks the surviving
 /// component, then heals). Dynamic linear voting (the paper's choice, [15])

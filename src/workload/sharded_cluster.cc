@@ -58,9 +58,11 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
   ropts.session = options_.session;
   ropts.metrics = metrics_;
   if (trace_bus_) ropts.tracer = obs::Tracer(trace_bus_, kNoNode);
-  shard::Directory dir = options_.range_splits.empty()
-                             ? shard::Directory::hashed(options_.shards)
-                             : shard::Directory::ranged(options_.range_splits);
+  // One shared Directory: the rebalancer mutates it, the router observes
+  // the new epoch on its very next routing decision.
+  auto dir = std::make_shared<shard::Directory>(
+      options_.range_splits.empty() ? shard::Directory::hashed(options_.shards)
+                                    : shard::Directory::ranged(options_.range_splits));
   std::vector<std::vector<core::ReplicaNode*>> groups;
   for (int s = 0; s < options_.shards; ++s) {
     std::vector<core::ReplicaNode*> g;
@@ -69,7 +71,14 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
     }
     groups.push_back(std::move(g));
   }
-  router_ = std::make_unique<shard::Router>(sim_, dir, std::move(groups), std::move(ropts));
+  router_ = std::make_unique<shard::Router>(sim_, dir, groups, std::move(ropts));
+
+  shard::RebalancerOptions bopts = options_.rebalance;
+  bopts.session = options_.session;
+  bopts.metrics = metrics_;
+  if (trace_bus_) bopts.tracer = obs::Tracer(trace_bus_, kNoNode);
+  rebalancer_ = std::make_unique<shard::Rebalancer>(sim_, dir, std::move(groups),
+                                                    std::move(bopts));
 
   if (metrics_) schedule_metrics_roll();
 }
@@ -242,6 +251,8 @@ void ShardedCluster::sample_metrics() {
   metrics_->counter("router.committed").set_total(router_->stats().committed);
   metrics_->counter("router.cross").set_total(router_->stats().routed_cross);
   metrics_->counter("router.failovers").set_total(router_->stats().failovers);
+  metrics_->counter("router.fenced_bounces").set_total(router_->stats().fenced_bounces);
+  metrics_->gauge("directory.epoch").set(router_->directory().epoch());
 }
 
 }  // namespace tordb::workload

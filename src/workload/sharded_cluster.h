@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "shard/rebalancer.h"
 #include "shard/router.h"
 #include "workload/cluster.h"
 
@@ -45,6 +46,8 @@ struct ShardedClusterOptions {
   /// so cross-shard actions wait out whole-group outages instead of
   /// half-applying.
   core::SessionOptions session;
+  /// Rebalancer knobs (its fence/install sessions always use `session`).
+  shard::RebalancerOptions rebalance;
   ObsOptions obs;
 };
 
@@ -55,7 +58,9 @@ class ShardedCluster {
   Simulator& sim() { return sim_; }
   Network& net() { return net_; }
   shard::Router& router() { return *router_; }
+  shard::Rebalancer& rebalancer() { return *rebalancer_; }
   const shard::Directory& directory() const { return router_->directory(); }
+  std::int64_t directory_epoch() const { return router_->directory().epoch(); }
   int shards() const { return options_.shards; }
   int replicas_per_shard() const { return options_.replicas_per_shard; }
 
@@ -75,6 +80,15 @@ class ShardedCluster {
   /// Deterministic per-shard workload seed: splitmix64 over the base seed
   /// and the shard id. Distinct per shard, stable across runs.
   std::uint64_t shard_seed(int shard) const;
+
+  // --- online rebalancing (ranged directories only; DESIGN.md §9) ------------
+  /// Fence -> snapshot -> install -> cutover move of [lo, hi) to `to`.
+  bool move_range(const std::string& lo, const std::string& hi, int to,
+                  shard::MoveDoneFn done = nullptr) {
+    return rebalancer_->move_range(lo, hi, to, std::move(done));
+  }
+  bool split_at(const std::string& key) { return rebalancer_->split_at(key); }
+  bool merge_at(const std::string& key) { return rebalancer_->merge_at(key); }
 
   // --- topology, addressed per shard ----------------------------------------
   void crash(int shard, int idx) { node(shard, idx).crash(); }
@@ -118,6 +132,7 @@ class ShardedCluster {
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<core::ReplicaNode>> nodes_;  ///< indexed by global id
   std::unique_ptr<shard::Router> router_;
+  std::unique_ptr<shard::Rebalancer> rebalancer_;
   /// Per-shard component layout (local indices); global layout is rebuilt
   /// from these on every change.
   std::vector<std::vector<std::vector<int>>> shard_components_;

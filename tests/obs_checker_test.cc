@@ -218,6 +218,57 @@ TEST(ObsChecker, CapturesLogLinesAsTraceEvents) {
   EXPECT_TRUE(found);
 }
 
+// --- invariant 8: range ownership (shard rebalancing, DESIGN.md §9) --------
+
+TEST(ObsChecker, RangeMoveLifecycleIsOk) {
+  Forge f;
+  f.checker.set_node_group(0, 0);
+  f.checker.set_node_group(1, 1);
+  const std::int64_t range = 42;
+  // Pre-fence writes at the source, fence, install at the destination,
+  // post-install writes there — the legal move shape.
+  f.node(0).emit(EventKind::kRangeWrite, range, 4);
+  f.node(0).emit_action(EventKind::kRangeFence, {0, 1}, range, 5);
+  f.node(1).emit(EventKind::kRangeInstall, range, 3, /*rows=*/7);
+  f.node(1).emit(EventKind::kRangeWrite, range, 4);
+  // A lagging source replica replays the same green order at the same
+  // positions: position-based dedup keeps these no-ops.
+  f.node(0).emit(EventKind::kRangeWrite, range, 4);
+  f.node(0).emit_action(EventKind::kRangeFence, {0, 1}, range, 5);
+  EXPECT_TRUE(f.checker.ok()) << f.checker.report();
+}
+
+TEST(ObsChecker, CatchesWriteToFencedRange) {
+  Forge f;
+  f.checker.set_node_group(0, 0);
+  const std::int64_t range = 42;
+  f.node(0).emit_action(EventKind::kRangeFence, {0, 1}, range, 5);
+  f.node(0).emit(EventKind::kRangeWrite, range, 6);  // past the fence
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("WRITE TO FENCED RANGE"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesInstallWithoutFence) {
+  Forge f;
+  f.checker.set_node_group(1, 1);
+  f.node(1).emit(EventKind::kRangeInstall, 42, 3, 7);  // nobody fenced range 42
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("RANGE INSTALL WITHOUT FENCE"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesRangeDoubleOwnership) {
+  Forge f;
+  f.checker.set_node_group(0, 0);
+  f.checker.set_node_group(1, 1);
+  f.checker.set_node_group(2, 2);
+  const std::int64_t range = 42;
+  f.node(0).emit_action(EventKind::kRangeFence, {0, 1}, range, 5);
+  f.node(1).emit(EventKind::kRangeInstall, range, 3, 7);  // group 1 owns it now
+  f.node(2).emit(EventKind::kRangeInstall, range, 9, 7);  // group 2 grabs it too
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("RANGE DOUBLE OWNERSHIP"), std::string::npos);
+}
+
 TEST(ObsChecker, MetricsWindowTableHasHeaderAndRows) {
   MetricsRegistry reg;
   reg.counter("x").inc(3);

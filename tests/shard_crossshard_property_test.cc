@@ -217,5 +217,161 @@ INSTANTIATE_TEST_SUITE_P(CrossShard, CrossShardSchedule, ::testing::ValuesIn(sce
                                   std::to_string(info.param.shards);
                          });
 
+// ---------------------------------------------------------------------------
+// Ranged directories with online rebalancing: the same churn (partitions,
+// crashes, recoveries, single- and cross-shard adds) interleaved with random
+// range moves, splits and merges (DESIGN.md §9). Because keys move between
+// green orders mid-run, the end-state oracle is per *key*: the counter at
+// the key's FINAL owner equals the adds submitted for it, across every epoch
+// bump — exactly-once survives rebalancing. The online checker's range-
+// ownership invariant watches every fence/install as it happens.
+// ---------------------------------------------------------------------------
+
+class RangedMoveSchedule : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(RangedMoveSchedule, ExactlyOnceUnderMovesAndChurn) {
+  const Scenario sc = GetParam();
+  Rng rng(sc.seed * 48271 + 17);
+  ShardedClusterOptions o;
+  o.shards = sc.shards;
+  o.replicas_per_shard = 3;
+  o.seed = sc.seed;
+  o.session.max_attempts_per_request = 100000;
+  // k0..k9 keys; initial split points give every shard a slice.
+  o.range_splits = sc.shards == 2 ? std::vector<std::string>{"k5"}
+                                  : std::vector<std::string>{"k3", "k7"};
+  ShardedCluster c(o);
+  c.run_for(seconds(2));
+
+  const auto key = [](int i) { return "k" + std::to_string(i); };
+  std::map<std::string, std::int64_t> expected;
+  std::vector<std::vector<bool>> down(
+      static_cast<std::size_t>(sc.shards), std::vector<bool>(3, false));
+  std::uint64_t submitted = 0, committed_replies = 0;
+  std::int64_t next_client = 0;
+  std::uint64_t moves_attempted = 0;
+
+  auto submit_add = [&](const std::vector<std::string>& keys) {
+    const std::int64_t client = next_client++ % 8;
+    Command cmd;
+    for (const std::string& k : keys) {
+      cmd.ops.push_back(db::Op{db::OpType::kAdd, k, "", 1});
+      ++expected[k];
+    }
+    ++submitted;
+    c.router().submit(client, cmd, [&committed_replies](const RouteReply& r) {
+      if (r.committed) ++committed_replies;
+    });
+  };
+
+  for (int step = 0; step < sc.steps; ++step) {
+    const int what = static_cast<int>(rng.next_below(12));
+    if (what < 4) {
+      const int burst = static_cast<int>(rng.next_range(1, 3));
+      for (int i = 0; i < burst; ++i) {
+        submit_add({key(static_cast<int>(rng.next_below(10)))});
+      }
+    } else if (what < 6) {
+      const int a = static_cast<int>(rng.next_below(10));
+      const int b = (a + 1 + static_cast<int>(rng.next_below(9))) % 10;
+      submit_add({key(a), key(b)});
+    } else if (what == 6) {
+      const int s = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(sc.shards)));
+      const int lone = static_cast<int>(rng.next_below(3));
+      std::vector<int> rest;
+      for (int i = 0; i < 3; ++i) {
+        if (i != lone) rest.push_back(i);
+      }
+      c.partition_shard(s, {{lone}, rest});
+    } else if (what == 7) {
+      c.heal();
+    } else if (what == 8) {
+      const int s = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(sc.shards)));
+      const int i = static_cast<int>(rng.next_below(3));
+      if (!down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]) {
+        down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] = true;
+        c.crash(s, i);
+      }
+    } else if (what == 9) {
+      for (int s = 0; s < sc.shards; ++s) {
+        for (int i = 0; i < 3; ++i) {
+          if (down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]) {
+            down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] = false;
+            c.recover(s, i);
+            break;
+          }
+        }
+      }
+    } else if (what == 10) {
+      // Random move: any range to a different shard. Rejections (busy
+      // range) are part of the schedule.
+      const int r = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(c.directory().range_count())));
+      const auto [lo, hi] = c.directory().range_bounds(r);
+      const int owner = c.directory().range_owner(r);
+      const int to = (owner + 1 +
+                      static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(sc.shards - 1)))) %
+                     sc.shards;
+      if (c.move_range(lo, hi, to)) ++moves_attempted;
+    } else {
+      // Refine or coarsen the map: split inside a random key's slot, or
+      // merge away a random interior bound (rejected across owners).
+      if (rng.next_below(2) == 0) {
+        c.split_at(key(static_cast<int>(rng.next_below(10))) + "~");
+      } else if (c.directory().range_count() > 1) {
+        const int r = 1 + static_cast<int>(rng.next_below(
+                              static_cast<std::uint64_t>(c.directory().range_count() - 1)));
+        c.merge_at(c.directory().range_bounds(r).first);
+      }
+    }
+    c.run_for(millis(static_cast<std::int64_t>(rng.next_range(10, 200))));
+    ASSERT_EQ(c.check_green_prefix_consistency(), std::nullopt) << "seed " << sc.seed;
+  }
+
+  // Quiesce: heal, recover everyone, drain router and rebalancer.
+  for (int s = 0; s < sc.shards; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      if (down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]) c.recover(s, i);
+    }
+  }
+  c.heal();
+  for (int rounds = 0; !(c.router().idle() && c.rebalancer().idle()) && rounds < 120;
+       ++rounds) {
+    c.run_for(seconds(1));
+  }
+  ASSERT_TRUE(c.router().idle()) << "router never drained, seed " << sc.seed;
+  ASSERT_TRUE(c.rebalancer().idle()) << "rebalancer never drained, seed " << sc.seed;
+  c.run_for(seconds(15));  // every shard converges to one primary
+
+  EXPECT_EQ(committed_replies, submitted) << "seed " << sc.seed;
+  EXPECT_EQ(c.router().stats().cross_partial_aborts, 0u) << "seed " << sc.seed;
+  for (int s = 0; s < sc.shards; ++s) {
+    ASSERT_TRUE(c.converged(s)) << "shard " << s << " not converged, seed " << sc.seed;
+  }
+  // Per-key oracle at the key's final owner: every add exactly once, no key
+  // lost or duplicated by any move.
+  for (const auto& [k, want] : expected) {
+    const int owner = c.directory().shard_of(k);
+    EXPECT_EQ(c.node(owner, 0).engine().database().get(k), std::to_string(want))
+        << "key " << k << " owner " << owner << " seed " << sc.seed
+        << " (moves attempted: " << moves_attempted << ")";
+  }
+  EXPECT_EQ(c.check_all(), std::nullopt) << "seed " << sc.seed;
+}
+
+std::vector<Scenario> move_scenarios() {
+  std::vector<Scenario> v;
+  for (std::uint64_t s = 1; s <= 16; ++s) v.push_back({s, 2, 26});
+  for (std::uint64_t s = 17; s <= 28; ++s) v.push_back({s, 3, 22});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(RangedMoves, RangedMoveSchedule, ::testing::ValuesIn(move_scenarios()),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           return "seed" + std::to_string(info.param.seed) + "_s" +
+                                  std::to_string(info.param.shards);
+                         });
+
 }  // namespace
 }  // namespace tordb::shard
