@@ -1108,6 +1108,10 @@ void ReplicationEngine::apply_green(const Action& a) {
               tracer_.emit(obs::EventKind::kRangeWrite, static_cast<std::int64_t>(ev.range),
                            pos);
               break;
+            case db::RangeEvent::Kind::kUnfence:
+              tracer_.emit(obs::EventKind::kRangeUnfence, static_cast<std::int64_t>(ev.range),
+                           pos);
+              break;
           }
         }
       }

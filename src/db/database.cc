@@ -129,11 +129,38 @@ Command Command::install_range(const RangeSnapshot& snap) {
                      std::string(blob.begin(), blob.end()), 0}}};
 }
 
+Command Command::unfence_range(std::string lo, std::string hi) {
+  return Command{{Op{OpType::kUnfenceRange, std::move(lo), std::move(hi), 0}}};
+}
+
 const Database::TrackedRange* Database::range_of(std::string_view key) const {
   for (const TrackedRange& r : ranges_) {
     if (key_in_range(key, r.lo, r.hi)) return &r;
   }
   return nullptr;
+}
+
+// Remove [lo, hi) from every tracked entry, splitting partially-overlapped
+// entries into their remainders (which keep their fenced flag). Keeps the
+// entries pairwise disjoint so range_of has exactly one answer per key —
+// without this, a stale wide entry from an earlier move shadows a narrower
+// fence/install after the directory re-draws bounds (split, move-back).
+void Database::carve_tracked(std::string_view lo, std::string_view hi) {
+  std::vector<TrackedRange> next;
+  next.reserve(ranges_.size() + 1);
+  for (TrackedRange& r : ranges_) {
+    const bool overlaps =
+        (hi.empty() || r.lo < hi) && (r.hi.empty() || lo < std::string_view(r.hi));
+    if (!overlaps) {
+      next.push_back(std::move(r));
+      continue;
+    }
+    if (std::string_view(r.lo) < lo) next.push_back(TrackedRange{r.lo, std::string(lo), r.fenced});
+    if (!hi.empty() && (r.hi.empty() || hi < std::string_view(r.hi))) {
+      next.push_back(TrackedRange{std::string(hi), r.hi, r.fenced});
+    }
+  }
+  ranges_ = std::move(next);
 }
 
 ApplyResult Database::apply(const Command& cmd) {
@@ -190,14 +217,8 @@ ApplyResult Database::apply(const Command& cmd) {
         data_.erase(op.key);
         break;
       case OpType::kFenceRange: {
-        bool found = false;
-        for (TrackedRange& r : ranges_) {
-          if (r.lo == op.key && r.hi == op.value) {
-            r.fenced = true;
-            found = true;
-          }
-        }
-        if (!found) ranges_.push_back(TrackedRange{op.key, op.value, true});
+        carve_tracked(op.key, op.value);
+        ranges_.push_back(TrackedRange{op.key, op.value, true});
         res.range_events.push_back(
             RangeEvent{RangeEvent::Kind::kFence, range_fingerprint(op.key, op.value), 0});
         break;
@@ -205,14 +226,20 @@ ApplyResult Database::apply(const Command& cmd) {
       case OpType::kInstallRange: {
         const RangeSnapshot snap =
             RangeSnapshot::decode(Bytes(op.value.begin(), op.value.end()));
-        bool found = false;
-        for (TrackedRange& r : ranges_) {
-          if (r.lo == snap.lo && r.hi == snap.hi) {
-            r.fenced = false;
-            found = true;
+        // The install must reproduce the source range exactly: clear any
+        // rows this replica still holds in [lo, hi) (a former owner's copy
+        // — keys deleted at the current owner must not resurrect), then
+        // adopt the snapshot. Reserved "__" keys are pinned infrastructure.
+        for (auto it = data_.lower_bound(snap.lo);
+             it != data_.end() && (snap.hi.empty() || it->first < snap.hi);) {
+          if (reserved_key(it->first)) {
+            ++it;
+          } else {
+            it = data_.erase(it);
           }
         }
-        if (!found) ranges_.push_back(TrackedRange{snap.lo, snap.hi, false});
+        carve_tracked(snap.lo, snap.hi);
+        ranges_.push_back(TrackedRange{snap.lo, snap.hi, false});
         for (const RangeRow& row : snap.rows) {
           Cell& cell = data_[row.key];
           cell.value = row.value;
@@ -221,6 +248,15 @@ ApplyResult Database::apply(const Command& cmd) {
         res.range_events.push_back(RangeEvent{RangeEvent::Kind::kInstall,
                                               range_fingerprint(snap.lo, snap.hi),
                                               static_cast<std::int64_t>(snap.rows.size())});
+        break;
+      }
+      case OpType::kUnfenceRange: {
+        // Rollback of an abandoned move: drop the fence (and any tracked
+        // remainder) so the source — still the directory's owner — accepts
+        // user updates to the range again.
+        carve_tracked(op.key, op.value);
+        res.range_events.push_back(RangeEvent{RangeEvent::Kind::kUnfence,
+                                              range_fingerprint(op.key, op.value), 0});
         break;
       }
     }

@@ -36,6 +36,7 @@ enum class OpType : std::uint8_t {
   // installs at exactly the same position in its history.
   kFenceRange = 7,   ///< fence [key, value): subsequent updates there abort
   kInstallRange = 8, ///< install a RangeSnapshot (value = encoded blob); clears the fence
+  kUnfenceRange = 9, ///< lift the fence on [key, value): an abandoned move's rollback
 };
 
 struct Op {
@@ -65,6 +66,7 @@ struct Command {
   static Command del(std::string key);
   static Command fence_range(std::string lo, std::string hi);
   static Command install_range(const RangeSnapshot& snap);
+  static Command unfence_range(std::string lo, std::string hi);
 };
 
 /// Half-open key range [lo, hi); hi == "" means +infinity (lo == "" already
@@ -102,7 +104,7 @@ struct RangeSnapshot {
 /// turns these into kRangeFence / kRangeInstall / kRangeWrite trace events
 /// stamped with the green position. Empty unless rebalancing is in play.
 struct RangeEvent {
-  enum class Kind : std::uint8_t { kFence, kInstall, kWrite };
+  enum class Kind : std::uint8_t { kFence, kInstall, kWrite, kUnfence };
   Kind kind = Kind::kWrite;
   std::uint64_t range = 0;  ///< range_fingerprint(lo, hi)
   std::int64_t rows = 0;    ///< rows installed (kInstall only)
@@ -164,12 +166,16 @@ class Database {
   /// A range this replica has seen a fence or install for, keyed by bounds.
   /// Kept tiny (one entry per rebalanced range), scanned only on updates
   /// while non-empty — the common no-rebalance case pays one empty() test.
+  /// Entries are pairwise disjoint: every fence/install/unfence first carves
+  /// its bounds out of any overlapping entry (carve_tracked), so range_of
+  /// is unambiguous even after splits re-draw directory bounds mid-history.
   struct TrackedRange {
     std::string lo;
     std::string hi;
     bool fenced = false;
   };
   const TrackedRange* range_of(std::string_view key) const;
+  void carve_tracked(std::string_view lo, std::string_view hi);
 
   std::map<std::string, Cell> data_;
   std::vector<TrackedRange> ranges_;

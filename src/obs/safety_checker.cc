@@ -125,6 +125,7 @@ void SafetyChecker::on_event(const TraceEvent& e) {
     case EventKind::kRangeFence:
     case EventKind::kRangeInstall:
     case EventKind::kRangeWrite:
+    case EventKind::kRangeUnfence:
       on_range_event(e);
       break;
     default:
@@ -270,10 +271,20 @@ void SafetyChecker::on_range_event(const TraceEvent& e) {
       if (!inserted && pos > it->second) it->second = pos;
       break;
     }
+    case EventKind::kRangeUnfence: {
+      // Abandoned-move rollback: the group's fence is lifted as of `pos`.
+      // A fence is "active" only while fence_pos > unfence_pos, so a later
+      // install elsewhere cannot lean on a fence this rollback cancelled.
+      auto [it, inserted] = r.unfence_pos.emplace(grp, pos);
+      if (!inserted && pos > it->second) it->second = pos;
+      break;
+    }
     case EventKind::kRangeInstall: {
       if (pos <= at(r.install_pos, grp)) break;  // replica replay
       bool fenced_somewhere = false;
-      for (const auto& [g2, fp] : r.fence_pos) fenced_somewhere = fenced_somewhere || fp > 0;
+      for (const auto& [g2, fp] : r.fence_pos) {
+        fenced_somewhere = fenced_somewhere || fp > at(r.unfence_pos, g2);
+      }
       if (!fenced_somewhere) {
         os << "t=" << e.time << " RANGE INSTALL WITHOUT FENCE: group " << grp
            << " (node " << e.node << ") installed range " << static_cast<std::uint64_t>(e.a)
@@ -299,7 +310,7 @@ void SafetyChecker::on_range_event(const TraceEvent& e) {
       if (pos <= at(r.write_pos, grp)) break;  // replica replay
       r.write_pos[grp] = pos;
       const std::int64_t fp = at(r.fence_pos, grp);
-      if (fp > at(r.install_pos, grp) && pos > fp) {
+      if (fp > at(r.install_pos, grp) && fp > at(r.unfence_pos, grp) && pos > fp) {
         os << "t=" << e.time << " WRITE TO FENCED RANGE: group " << grp << " (node " << e.node
            << ") green-applied a user write to range " << static_cast<std::uint64_t>(e.a)
            << " at position " << pos << " past its fence at position " << fp

@@ -108,6 +108,7 @@ class SafetyChecker {
   /// (which re-apply the same green order at the same positions) no-ops.
   struct RangeState {
     std::map<std::int64_t, std::int64_t> fence_pos;    ///< group -> fence green pos
+    std::map<std::int64_t, std::int64_t> unfence_pos;  ///< group -> unfence green pos
     std::map<std::int64_t, std::int64_t> install_pos;  ///< group -> install green pos
     std::map<std::int64_t, std::int64_t> write_pos;    ///< group -> last write green pos
   };

@@ -38,6 +38,7 @@ const char* to_string(EventKind k) {
     case EventKind::kRangeFence: return "range_fence";
     case EventKind::kRangeInstall: return "range_install";
     case EventKind::kRangeWrite: return "range_write";
+    case EventKind::kRangeUnfence: return "range_unfence";
     case EventKind::kDirectoryEpoch: return "directory_epoch";
   }
   return "?";

@@ -63,6 +63,7 @@ enum class EventKind : std::uint8_t {
   kRangeFence,           ///< a=range fingerprint, b=green position of the fence
   kRangeInstall,         ///< a=range fingerprint, b=green position, c=rows installed
   kRangeWrite,           ///< a=range fingerprint, b=green position of the write
+  kRangeUnfence,         ///< a=range fingerprint, b=green position (abandoned-move rollback)
   kDirectoryEpoch,       ///< a=new epoch, b=new owner shard, c=range fingerprint
 };
 

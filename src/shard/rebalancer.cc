@@ -14,6 +14,7 @@ Rebalancer::Rebalancer(Simulator& sim, std::shared_ptr<Directory> directory,
       alive_(std::make_shared<bool>(true)) {
   if (options_.metrics) {
     metric_moves_ = &options_.metrics->counter("shard.rebalance.moves");
+    metric_moves_failed_ = &options_.metrics->counter("shard.rebalance.moves_failed");
     metric_rows_ = &options_.metrics->counter("shard.rebalance.rows_moved");
     metric_bytes_ = &options_.metrics->counter("shard.rebalance.bytes_moved");
     move_ms_hist_ = &options_.metrics->histogram("shard.rebalance.move_ms");
@@ -29,9 +30,12 @@ core::ClientSession& Rebalancer::session(int shard) {
     // A move must survive whole-group outages of either side: wait, don't
     // abort, when every replica of the target group is briefly down.
     opts.retry_when_unavailable = true;
+    // Negative session ids: router sessions are client * shards + shard
+    // with non-negative client ids, so the rebalancer's guard keys can
+    // never alias a workload session's, whatever ids the workload picks.
     slot = std::make_unique<core::ClientSession>(
         sim_, replicas_.at(static_cast<std::size_t>(shard)),
-        options_.client_id_base + shard, opts);
+        -(1 + static_cast<std::int64_t>(shard)), opts);
   }
   return *slot;
 }
@@ -114,6 +118,7 @@ bool Rebalancer::move_range(const std::string& lo, const std::string& hi, int to
           fail(mv);
           return;
         }
+        mv->fence_committed = true;
         await_fenced_snapshot(mv);
       });
   return true;
@@ -160,7 +165,14 @@ void Rebalancer::install(std::shared_ptr<Move> mv, db::RangeSnapshot snap) {
 }
 
 void Rebalancer::cutover(std::shared_ptr<Move> mv, std::int64_t rows, std::int64_t bytes) {
-  directory_->set_range_owner(mv->lo, mv->hi, mv->to);
+  // The busy-set guards keep [lo, hi) a current directory range for the
+  // move's whole lifetime, but verify the flip anyway: reporting ok for a
+  // cutover that did not apply would strand the range fenced at the source
+  // while the directory keeps routing to it.
+  if (!directory_->set_range_owner(mv->lo, mv->hi, mv->to)) {
+    fail(mv);
+    return;
+  }
   bump_epoch_trace(mv->to, db::range_fingerprint(mv->lo, mv->hi));
   busy_.erase({mv->lo, mv->hi});
   ++stats_.moves_completed;
@@ -188,8 +200,26 @@ void Rebalancer::cutover(std::shared_ptr<Move> mv, std::int64_t rows, std::int64
 }
 
 void Rebalancer::fail(std::shared_ptr<Move> mv) {
+  ++stats_.moves_failed;
+  if (metric_moves_failed_ != nullptr) metric_moves_failed_->inc();
+  if (!mv->fence_committed) {
+    finish_failed(mv);
+    return;
+  }
+  // The fence committed but the move cannot finish: roll back. The
+  // directory never flipped, so the source is still the range's owner —
+  // lift its fence so routed writes commit again instead of bouncing until
+  // the router's budget exhausts. The range stays busy until the rollback
+  // lands, keeping a new move off the same bounds meanwhile.
+  session(mv->from).submit(db::Command::unfence_range(mv->lo, mv->hi),
+                           [this, alive = alive_, mv](const core::SessionReply&) {
+                             if (!*alive) return;
+                             finish_failed(mv);
+                           });
+}
+
+void Rebalancer::finish_failed(std::shared_ptr<Move> mv) {
   busy_.erase({mv->lo, mv->hi});
-  ++stats_.moves_rejected;
   if (mv->done) {
     MoveReport rep;
     rep.lo = mv->lo;

@@ -27,7 +27,11 @@
 // install are ordinary green actions, so partitions/crashes at either group
 // delay but never corrupt a move; the move is idempotent before cutover
 // (nothing references D's copy until the directory flips), and cutover is a
-// single in-memory epoch bump at the rebalancer.
+// single in-memory epoch bump at the rebalancer. A move that gives up after
+// its fence committed (session budget exhausted against a dead group) rolls
+// back with a kUnfenceRange action at S: the directory still routes the
+// range to S, so lifting the fence restores writability there. Counted in
+// stats().moves_failed, distinct from up-front rejections.
 //
 // Splits and merges are directory-only (both halves keep the owner; a merge
 // requires one owner), so they are instant epoch bumps with no data motion.
@@ -49,9 +53,6 @@
 namespace tordb::shard {
 
 struct RebalancerOptions {
-  /// Base client id for the rebalancer's own exactly-once sessions (one per
-  /// shard it talks to); far above any workload client id.
-  std::int64_t client_id_base = 900'000'000;
   core::SessionOptions session;        ///< fence/install submission knobs
   SimDuration poll_interval = millis(50);   ///< wait for a fenced replica
   SimDuration transfer_base = millis(5);    ///< per-move transfer latency floor
@@ -76,6 +77,7 @@ struct RebalancerStats {
   std::uint64_t moves_started = 0;
   std::uint64_t moves_completed = 0;
   std::uint64_t moves_rejected = 0;  ///< bad range, busy range, hashed mode...
+  std::uint64_t moves_failed = 0;    ///< gave up mid-protocol; source unfenced
   std::uint64_t splits = 0;
   std::uint64_t merges = 0;
   std::int64_t rows_moved = 0;
@@ -117,6 +119,7 @@ class Rebalancer {
     int from = -1;
     int to = -1;
     SimTime started = 0;
+    bool fence_committed = false;  ///< a failed move must unfence the source
     MoveDoneFn done;
   };
 
@@ -125,6 +128,7 @@ class Rebalancer {
   void install(std::shared_ptr<Move> mv, db::RangeSnapshot snap);
   void cutover(std::shared_ptr<Move> mv, std::int64_t rows, std::int64_t bytes);
   void fail(std::shared_ptr<Move> mv);
+  void finish_failed(std::shared_ptr<Move> mv);
   void bump_epoch_trace(std::int64_t owner, std::uint64_t range);
 
   Simulator& sim_;
@@ -137,6 +141,7 @@ class Rebalancer {
   std::set<std::pair<std::string, std::string>> busy_;  ///< ranges mid-move
   RebalancerStats stats_;
   obs::Counter* metric_moves_ = nullptr;
+  obs::Counter* metric_moves_failed_ = nullptr;
   obs::Counter* metric_rows_ = nullptr;
   obs::Counter* metric_bytes_ = nullptr;
   obs::Histogram* move_ms_hist_ = nullptr;

@@ -194,5 +194,68 @@ TEST(Database, DeleteInsideCheckedCommand) {
   EXPECT_EQ(d.get("k"), "");
 }
 
+TEST(Database, InstallRangeClearsStaleRows) {
+  // A former owner still holds rows the current owner deleted; the install
+  // on move-back must reproduce the source range exactly, not union with
+  // the stale copy. Reserved "__" keys are pinned and survive.
+  Database src, dst;
+  dst.apply(Command::put("a", "old"));
+  dst.apply(Command::put("b", "old"));
+  dst.apply(Command::put("__session/7", "9"));
+  src.apply(Command::put("b", "new"));
+  src.apply(Command::fence_range("", "m"));
+  dst.apply(Command::install_range(src.extract_range("", "m")));
+  EXPECT_EQ(dst.get("a"), "");  // deleted under the owner: not resurrected
+  EXPECT_EQ(dst.get("b"), "new");
+  EXPECT_EQ(dst.get("__session/7"), "9");
+}
+
+TEST(Database, InstallRangeCarvesOverlappingFence) {
+  // The shard fenced ["", "m") when the whole range moved away; later only
+  // the sub-range ["", "d") moves back. The install must unfence exactly
+  // its own bounds: the stale wide entry may not shadow it (writes to "a"
+  // aborting forever), and the remainder ["d", "m") must stay fenced.
+  Database d;
+  d.apply(Command::fence_range("", "m"));
+  EXPECT_TRUE(d.apply(Command::put("a", "1")).fenced);
+  RangeSnapshot snap;
+  snap.lo = "";
+  snap.hi = "d";
+  snap.rows.push_back(RangeRow{"a", "2", -1});
+  d.apply(Command::install_range(snap));
+  EXPECT_FALSE(d.apply(Command::put("a", "3")).aborted);
+  EXPECT_EQ(d.get("a"), "3");
+  const auto res = d.apply(Command::put("f", "x"));
+  EXPECT_TRUE(res.aborted);
+  EXPECT_TRUE(res.fenced);
+}
+
+TEST(Database, FenceCarvesOverlappingInstall) {
+  // The next hop fences a sub-range of a previously installed wide range:
+  // the fence wins for its own keys, the rest stays writable.
+  Database d;
+  RangeSnapshot snap;
+  snap.lo = "";
+  snap.hi = "m";
+  d.apply(Command::install_range(snap));
+  d.apply(Command::fence_range("", "d"));
+  EXPECT_TRUE(d.apply(Command::put("a", "1")).fenced);
+  EXPECT_FALSE(d.apply(Command::put("f", "1")).aborted);
+}
+
+TEST(Database, UnfenceRangeRestoresWritesAndDigest) {
+  Database d;
+  d.apply(Command::put("a", "1"));
+  Database plain = d.clone();
+  d.apply(Command::fence_range("", "m"));
+  EXPECT_TRUE(d.apply(Command::put("a", "2")).fenced);
+  d.apply(Command::unfence_range("", "m"));
+  EXPECT_FALSE(d.apply(Command::put("a", "2")).aborted);
+  EXPECT_EQ(d.get("a"), "2");
+  // The rollback leaves no tracked-range residue in the digest.
+  plain.apply(Command::put("a", "2"));
+  EXPECT_EQ(d.digest(), plain.digest());
+}
+
 }  // namespace
 }  // namespace tordb::db

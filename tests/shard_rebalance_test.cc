@@ -255,5 +255,111 @@ TEST(ShardRebalance, SplitAndMergeOnline) {
   EXPECT_EQ(c.check_all(), std::nullopt);
 }
 
+TEST(ShardRebalance, MoveBackDoesNotResurrectDeletes) {
+  ShardedCluster c(ranged_options(16));
+  c.run_for(seconds(2));
+
+  std::uint64_t committed = 0;
+  add_loop(c, "a", 2, millis(50), &committed);
+  add_loop(c, "b", 2, millis(50), &committed);
+  drain(c, 16);
+  ASSERT_EQ(committed, 4u);
+
+  // Move ["", "m") to shard 1, delete "a" under the new owner, move back.
+  ASSERT_TRUE(c.move_range("", "m", 1));
+  drain(c, 16);
+  bool deleted = false;
+  c.router().submit(7, Command::del("a"),
+                    [&deleted](const RouteReply& r) { deleted = r.committed; });
+  drain(c, 16);
+  ASSERT_TRUE(deleted);
+  ASSERT_TRUE(c.move_range("", "m", 0));
+  drain(c, 16);
+  c.run_for(seconds(15));
+
+  // The install replaced shard 0's stale copy: the key deleted under the
+  // interim owner stays deleted, the survivor keeps its value.
+  EXPECT_EQ(c.directory().shard_of("a"), 0);
+  ASSERT_TRUE(c.converged(0));
+  EXPECT_EQ(c.node(0, 0).engine().database().get("a"), "");
+  EXPECT_EQ(c.node(0, 0).engine().database().get("b"), "2");
+  add_loop(c, "a", 1, millis(50), &committed);
+  drain(c, 16);
+  c.run_for(seconds(15));
+  EXPECT_EQ(c.node(0, 0).engine().database().get("a"), "1");  // fresh counter
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(ShardRebalance, SplitAfterMoveThenMoveSubRangeBack) {
+  ShardedCluster c(ranged_options(17));
+  c.run_for(seconds(2));
+
+  std::uint64_t committed = 0;
+  add_loop(c, "a", 2, millis(50), &committed);
+  add_loop(c, "f", 2, millis(50), &committed);
+  drain(c, 17);
+
+  // Move the whole range away, split it under its new owner, then bring
+  // just ["", "d") back. Shard 0's stale fenced ["", "m") entry must not
+  // shadow the narrower install — writes to "a" would abort forever.
+  ASSERT_TRUE(c.move_range("", "m", 1));
+  drain(c, 17);
+  ASSERT_TRUE(c.split_at("d"));
+  ASSERT_TRUE(c.move_range("", "d", 0));
+  drain(c, 17);
+  c.run_for(seconds(15));
+
+  EXPECT_EQ(c.directory().shard_of("a"), 0);
+  EXPECT_EQ(c.directory().shard_of("f"), 1);
+  add_loop(c, "a", 3, millis(50), &committed);
+  add_loop(c, "f", 3, millis(50), &committed);
+  drain(c, 17);
+  c.run_for(seconds(15));
+  EXPECT_EQ(committed, 10u);
+  ASSERT_TRUE(c.converged(0));
+  ASSERT_TRUE(c.converged(1));
+  EXPECT_EQ(c.node(0, 0).engine().database().get("a"), "5");
+  EXPECT_EQ(c.node(1, 0).engine().database().get("f"), "5");
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
+TEST(ShardRebalance, AbandonedMoveUnfencesSource) {
+  ShardedClusterOptions o = ranged_options(18);
+  o.session.max_attempts_per_request = 4;  // the install gives up quickly
+  ShardedCluster c(o);
+  c.run_for(seconds(2));
+
+  std::uint64_t committed = 0;
+  add_loop(c, "a", 2, millis(50), &committed);
+  drain(c, 18);
+
+  // Kill the whole destination group: the fence commits at shard 0, the
+  // install exhausts its budget against shard 1, and the move rolls back
+  // by unfencing the source instead of parking the range unwritable.
+  for (int i = 0; i < 3; ++i) c.crash(1, i);
+  MoveReport report;
+  report.ok = true;
+  ASSERT_TRUE(c.move_range("", "m", 1, [&report](const MoveReport& r) { report = r; }));
+  drain(c, 18);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(c.rebalancer().stats().moves_failed, 1u);
+  EXPECT_EQ(c.rebalancer().stats().moves_rejected, 0u);
+
+  // The directory never flipped; after the rollback the source accepts
+  // writes to the range again.
+  EXPECT_EQ(c.directory().shard_of("a"), 0);
+  EXPECT_EQ(c.directory_epoch(), 0);
+  add_loop(c, "a", 3, millis(50), &committed);
+  drain(c, 18);
+  c.run_for(seconds(15));
+  EXPECT_EQ(committed, 5u);
+  ASSERT_TRUE(c.converged(0));
+  EXPECT_EQ(c.node(0, 0).engine().database().get("a"), "5");
+
+  for (int i = 0; i < 3; ++i) c.recover(1, i);
+  c.run_for(seconds(15));
+  EXPECT_EQ(c.check_all(), std::nullopt);
+}
+
 }  // namespace
 }  // namespace tordb::shard
