@@ -1,0 +1,103 @@
+// Simulator scale sweep: what the deterministic harness itself costs.
+//
+// Every experiment in this repo runs on the discrete-event simulator, so its
+// wall-clock cost per simulated message caps how far the paper's evaluation
+// shape can be pushed (ROADMAP "Scale sweeps"). This bench drives the same
+// closed-loop put workload the throughput figures use — over one engine
+// group at 12/48/100 replicas (the single-group EVS run) and over sharded
+// deployments up to 8 shards x 96 total replicas — and reports the host-side
+// numbers: events/sec, wall-clock per simulated second, peak event-queue
+// depth, payload bytes deep-copied, and reachability-cache hit rate.
+// Identical seeds produce identical virtual-time results across builds, so
+// deltas between binaries measure only the simulator hot path.
+//
+// --smoke (or TORDB_BENCH_FAST=1) runs a reduced sweep and enforces a
+// wall-clock budget (default 90 s, TORDB_SIM_SCALE_BUDGET_MS to override):
+// the CI guard that fails loudly if the hot path regresses by an order of
+// magnitude. The budget is deliberately loose — it tolerates sanitizers and
+// slow runners, not a return of per-target payload copies and red-black-tree
+// lookups per send.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/experiments.h"
+
+int main(int argc, char** argv) {
+  using namespace tordb;
+  using namespace tordb::workload;
+
+  bool smoke = bench::fast_mode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0 || std::strcmp(argv[i], "--quick") == 0) {
+      smoke = true;
+    }
+  }
+
+  bench::header("Simulator scale sweep: harness cost at 12-100 replicas",
+                "not a paper figure: profiles the simulation kernel itself so the "
+                "paper's relative results can be evaluated at partial-replication "
+                "scale (dozens of shards, hundreds of replicas)");
+
+  struct Config {
+    int shards;
+    int replicas_per_shard;
+  };
+  // Single-group rows exercise the pure EVS path (sequencer + group-wide
+  // multicast + acks); sharded rows exercise N groups on one network behind
+  // the router. Clients: one closed-loop writer per replica.
+  std::vector<Config> sweep = {{1, 12}, {1, 48}, {1, 100}, {4, 12}, {8, 12}};
+  SimDuration warmup = millis(500);
+  SimDuration measure = seconds(2);
+  if (smoke) {
+    sweep = {{1, 12}, {2, 6}};
+    measure = seconds(1);
+  }
+
+  std::printf("%14s | %8s | %9s | %10s | %9s | %10s | %6s | %7s | %6s\n", "config",
+              "green/s", "events", "ev/wall-s", "wall", "ms/sim-s", "peakQ", "copyMB",
+              "cache%");
+  bench::row_sep(104);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const Config& c : sweep) {
+    const int total = c.shards * c.replicas_per_shard;
+    const auto p = measure_sim_scale(c.shards, c.replicas_per_shard, total, warmup, measure);
+    const std::uint64_t lookups = p.reachable_cache_hits + p.reachable_cache_misses;
+    char label[32];
+    std::snprintf(label, sizeof(label), "%dx%d (%d)", c.shards, c.replicas_per_shard, total);
+    std::printf("%14s | %8.0f | %9llu | %10.0f | %7.0fms | %10.1f | %6zu | %7.2f | %5.0f%%\n",
+                label, p.green_per_second, static_cast<unsigned long long>(p.events),
+                p.events_per_wall_second, p.wall_ms, p.wall_ms_per_sim_second,
+                p.peak_queue_depth,
+                static_cast<double>(p.payload_bytes_copied) / (1024.0 * 1024.0),
+                lookups ? 100.0 * static_cast<double>(p.reachable_cache_hits) /
+                              static_cast<double>(lookups)
+                        : 0.0);
+  }
+  const double total_wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
+  std::printf("\n(ev/wall-s: simulator events executed per host second; ms/sim-s: host "
+              "milliseconds per simulated second; copyMB: payload bytes deep-copied on the "
+              "send path; cache%%: reachable_set cache hit rate)\n");
+  std::printf("total wall clock: %.0f ms\n", total_wall_ms);
+
+  if (smoke) {
+    double budget_ms = 90'000;
+    if (const char* b = std::getenv("TORDB_SIM_SCALE_BUDGET_MS")) {
+      budget_ms = std::atof(b);
+    }
+    if (total_wall_ms > budget_ms) {
+      std::fprintf(stderr,
+                   "FAIL: smoke sweep took %.0f ms, over the %.0f ms budget — the "
+                   "simulator hot path regressed\n",
+                   total_wall_ms, budget_ms);
+      return 1;
+    }
+    std::printf("smoke budget: %.0f ms <= %.0f ms OK\n", total_wall_ms, budget_ms);
+  }
+  return 0;
+}

@@ -4,23 +4,28 @@
 
 namespace tordb::core {
 
-std::vector<const Action*> ActionLog::mark_red(const Action& a) {
+std::vector<const Action*> ActionLog::mark_red(Action&& a) {
   std::vector<const Action*> admitted;
-  CreatorState& cs = creators_[a.id.server_id];
-  if (cs.red_cut >= a.id.index) return admitted;  // duplicate
-  if (cs.red_cut < a.id.index - 1) {
+  const ActionId aid = a.id;
+  CreatorState& cs = creators_[aid.server_id];
+  if (cs.red_cut >= aid.index) return admitted;  // duplicate
+  if (cs.red_cut < aid.index - 1) {
     // Creator-FIFO gap: exchange-phase red and green retransmissions come
     // from different members and may interleave out of creator order;
     // park the action until its predecessors arrive.
-    red_waiting_.emplace(a.id, a);
+    red_waiting_.emplace(aid, std::move(a));
     return admitted;
   }
-  Action current = a;
+  Action current = std::move(a);
   for (;;) {
-    cs.red_cut = current.id.index;
-    auto [it, _] = store_.insert_or_assign(current.id, std::move(current));
-    admitted.push_back(&it->second);
-    auto next = red_waiting_.find(ActionId{a.id.server_id, cs.red_cut + 1});
+    const ActionId cid = current.id;
+    cs.red_cut = cid.index;
+    // try_emplace + assign (not insert_or_assign) so a body re-admitted
+    // after a green-during-gap keeps the green position it already earned.
+    auto [it, _] = store_.try_emplace(cid);
+    it->second.body = std::move(current);
+    admitted.push_back(&it->second.body);
+    auto next = red_waiting_.find(ActionId{aid.server_id, cs.red_cut + 1});
     if (next == red_waiting_.end()) break;
     current = std::move(next->second);
     red_waiting_.erase(next);
@@ -28,25 +33,33 @@ std::vector<const Action*> ActionLog::mark_red(const Action& a) {
   return admitted;
 }
 
-ActionLog::GreenResult ActionLog::mark_green(const Action& a) {
+ActionLog::GreenResult ActionLog::mark_green(Action&& a) {
   GreenResult res;
-  res.newly_red = mark_red(a);
-  if (is_green(a.id)) return res;  // duplicate: position stays 0
+  const ActionId aid = a.id;
+  res.newly_red = mark_red(std::move(a));
+  if (is_green(aid)) return res;  // duplicate: position stays 0
   ++green_count_;
-  green_seq_.push_back(a.id);
-  green_pos_[a.id] = green_count_;
-  CreatorState& cs = creators_[a.id.server_id];
-  cs.green_red_cut = std::max(cs.green_red_cut, a.id.index);
+  green_seq_.push_back(aid);
+  CreatorState& cs = creators_[aid.server_id];
+  cs.green_red_cut = std::max(cs.green_red_cut, aid.index);
   // The action may have been parked (gap) rather than admitted red; the
-  // green order still needs its body.
-  store_.try_emplace(a.id, a);
+  // green order still needs its body in the store, so mirror the parked
+  // copy there (mark_red consumed the argument).
+  auto it = store_.find(aid);
+  if (it == store_.end()) {
+    auto parked = red_waiting_.find(aid);
+    if (parked != red_waiting_.end()) {
+      it = store_.try_emplace(aid, StoredAction{parked->second, 0}).first;
+    }
+  }
+  if (it != store_.end()) it->second.green_pos = green_count_;
   res.position = green_count_;
   return res;
 }
 
 const Action* ActionLog::body_of(const ActionId& id) const {
   auto it = store_.find(id);
-  return it == store_.end() ? nullptr : &it->second;
+  return it == store_.end() ? nullptr : &it->second.body;
 }
 
 const Action* ActionLog::green_body_at(std::int64_t position) const {
@@ -64,8 +77,8 @@ ActionId ActionLog::green_action_at(std::int64_t position) const {
 }
 
 std::int64_t ActionLog::position_of(const ActionId& id) const {
-  auto it = green_pos_.find(id);
-  return it == green_pos_.end() ? 0 : it->second;
+  auto it = store_.find(id);
+  return it == store_.end() ? 0 : it->second.green_pos;
 }
 
 std::size_t ActionLog::red_count() const {
@@ -136,7 +149,6 @@ std::size_t ActionLog::trim_white_to(std::int64_t white_line) {
     const ActionId aid = green_seq_[green_head_++];
     ++white_count_;
     store_.erase(aid);
-    green_pos_.erase(aid);
     ++trimmed;
   }
   compact_green_seq();
@@ -158,7 +170,6 @@ void ActionLog::reset(std::int64_t green_count,
   green_count_ = white_count_ = green_count;
   green_seq_.clear();
   green_head_ = 0;
-  green_pos_.clear();
   store_.clear();
   red_waiting_.clear();
   creators_.clear();
@@ -172,7 +183,6 @@ void ActionLog::adopt_green_prefix(
   white_count_ = green_count;
   green_seq_.clear();
   green_head_ = 0;
-  green_pos_.clear();
   for (const auto& [c, v] : green_red_cut) {
     CreatorState& cs = creators_[c];
     cs.green_red_cut = std::max(cs.green_red_cut, v);
@@ -194,11 +204,12 @@ bool ActionLog::replay_green(std::int64_t position, const Action& a) {
   if (position != green_count_ + 1) return false;  // duplicate / out of order
   ++green_count_;
   green_seq_.push_back(a.id);
-  green_pos_[a.id] = green_count_;
   CreatorState& cs = creators_[a.id.server_id];
   cs.green_red_cut = std::max(cs.green_red_cut, a.id.index);
   cs.red_cut = std::max(cs.red_cut, a.id.index);
-  store_.insert_or_assign(a.id, a);
+  auto [it, _] = store_.try_emplace(a.id);
+  it->second.body = a;
+  it->second.green_pos = green_count_;
   return true;
 }
 

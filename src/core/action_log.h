@@ -49,6 +49,14 @@ namespace tordb::core {
 
 class ActionLog {
  public:
+  ActionLog() {
+    // Pre-size the hot hash table: it grows to thousands of entries
+    // between white trims, and the rehash ladder from empty showed up in
+    // scale-sweep profiles. (Bucket count never affects behavior — the
+    // table is only probed by key or erase-filtered.)
+    store_.reserve(1024);
+  }
+
   struct GreenResult {
     /// Actions newly admitted to the local red order by this call (the
     /// argument and any unparked successors), in admission order.
@@ -63,12 +71,16 @@ class ActionLog {
   /// actions arriving ahead of their creator-FIFO predecessors in the
   /// retransmission buffer; admitting a gap-filler drains the parked
   /// chain. Returns every action newly ordered red, in order; pointers
-  /// are stable until the action is trimmed.
-  std::vector<const Action*> mark_red(const Action& a);
+  /// are stable until the action is trimmed. The rvalue overload moves the
+  /// body into storage (one deep copy per delivery saved on the hot path);
+  /// the lvalue overload copies.
+  std::vector<const Action*> mark_red(Action&& a);
+  std::vector<const Action*> mark_red(const Action& a) { return mark_red(Action(a)); }
 
   /// Append `a` to the green sequence (A.14 mark-green), admitting it red
   /// first if needed. Duplicates (already green) return position 0.
-  GreenResult mark_green(const Action& a);
+  GreenResult mark_green(Action&& a);
+  GreenResult mark_green(const Action& a) { return mark_green(Action(a)); }
 
   // --- queries -------------------------------------------------------------
 
@@ -140,6 +152,12 @@ class ActionLog {
     std::int64_t red_cut = 0;        ///< A: redCut — contiguous local prefix
     std::int64_t green_red_cut = 0;  ///< prefix covered by the green order
   };
+  /// Body plus its green position (0 while only red), one hash entry per
+  /// stored action instead of parallel body/position tables.
+  struct StoredAction {
+    Action body;
+    std::int64_t green_pos = 0;
+  };
 
   std::vector<NodeId> sorted_creators() const;
   void compact_green_seq();
@@ -149,10 +167,9 @@ class ActionLog {
   /// Positions white+1..green live at indexes [green_head_, size).
   std::vector<ActionId> green_seq_;
   std::size_t green_head_ = 0;
-  std::unordered_map<ActionId, std::int64_t> green_pos_;
   std::unordered_map<NodeId, CreatorState> creators_;
   std::unordered_map<ActionId, Action> red_waiting_;
-  std::unordered_map<ActionId, Action> store_;  ///< bodies (red + untrimmed green)
+  std::unordered_map<ActionId, StoredAction> store_;  ///< bodies (red + untrimmed green)
 };
 
 }  // namespace tordb::core

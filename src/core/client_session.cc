@@ -7,6 +7,7 @@ ClientSession::ClientSession(Simulator& sim, std::vector<ReplicaNode*> replicas,
     : sim_(sim),
       replicas_(std::move(replicas)),
       client_id_(client_id),
+      guard_key_(guard_key(client_id)),
       options_(options),
       alive_(std::make_shared<bool>(true)) {}
 
@@ -78,10 +79,8 @@ void ClientSession::issue() {
   // time at every replica identically, so a duplicate of an already
   // committed attempt aborts everywhere.
   db::Command fenced;
-  fenced.ops.push_back(db::Op{db::OpType::kCheck, guard_key(client_id_),
-                              last_committed_guard_, 0});
-  fenced.ops.push_back(
-      db::Op{db::OpType::kPut, guard_key(client_id_), std::to_string(seq), 0});
+  fenced.ops.push_back(db::Op{db::OpType::kCheck, guard_key_, last_committed_guard_, 0});
+  fenced.ops.push_back(db::Op{db::OpType::kPut, guard_key_, std::to_string(seq), 0});
   fenced.ops.insert(fenced.ops.end(), current_.update.ops.begin(), current_.update.ops.end());
 
   node->engine().submit({}, std::move(fenced), client_id_, Semantics::kStrict,
@@ -129,7 +128,7 @@ void ClientSession::resolve_ambiguous_abort(std::int64_t seq, std::uint64_t atte
     return;
   }
   node->engine().submit_query(
-      db::Command::get(guard_key(client_id_)), QueryMode::kStrict,
+      db::Command::get(guard_key_), QueryMode::kStrict,
       [this, alive = alive_, seq, attempt_epoch](const Reply& r) {
         if (!*alive) return;
         if (!in_flight_ || current_.seq != seq || attempt_epoch != attempt_epoch_) return;

@@ -106,6 +106,8 @@ class ClientSession {
   std::vector<ReplicaNode*> replicas_;
   std::size_t replica_idx_ = 0;
   std::int64_t client_id_;
+  /// guard_key(client_id_), built once — every attempt fences with it twice.
+  std::string guard_key_;
   SessionOptions options_;
   std::shared_ptr<bool> alive_;
 

@@ -113,7 +113,8 @@ StateMessage StateMessage::decode(BufReader& r) {
 }
 
 namespace {
-Bytes with_type(std::uint8_t type, const std::function<void(BufWriter&)>& body) {
+template <typename Body>
+Bytes with_type(std::uint8_t type, Body&& body) {
   BufWriter w;
   w.u8(type);
   body(w);
@@ -246,6 +247,29 @@ Bytes encode_log_green(std::int64_t position, const Action& a) {
     w.i64(position);
     a.encode(w);
   });
+}
+
+Bytes encode_action_body(const Action& a) {
+  BufWriter w;
+  a.encode(w);
+  return w.take();
+}
+
+Bytes encode_log_red(const Bytes& body) {
+  Bytes r;
+  r.reserve(1 + body.size());
+  r.push_back(static_cast<std::uint8_t>(LogRecordType::kRed));
+  r.insert(r.end(), body.begin(), body.end());
+  return r;
+}
+
+Bytes encode_log_green(std::int64_t position, const Bytes& body) {
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(LogRecordType::kGreen));
+  w.i64(position);
+  Bytes r = w.take();
+  r.insert(r.end(), body.begin(), body.end());
+  return r;
 }
 
 Bytes encode_log_meta(const MetaRecord& m) {

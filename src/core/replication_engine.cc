@@ -208,10 +208,7 @@ void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_ser
         Action a = Action::decode(r);
         if (!log_.replay_green(pos, a)) break;  // duplicate / out of order
         if (a.type == ActionType::kUpdate) {
-          db::Command combined;
-          combined.ops = a.query.ops;
-          combined.ops.insert(combined.ops.end(), a.update.ops.begin(), a.update.ops.end());
-          db_.apply(combined);
+          db_.apply(a.query, a.update);
         } else if (a.type == ActionType::kPersistentJoin) {
           if (!contains(server_set_, a.subject)) {
             insert_sorted(server_set_, a.subject);
@@ -534,13 +531,20 @@ void ReplicationEngine::on_deliver(const gc::Delivery& d) {
   BufReader r(d.payload);
   const auto type = static_cast<EngineMsgType>(r.u8());
   switch (type) {
-    case EngineMsgType::kAction:
-      handle_action(Action::decode(r));
+    case EngineMsgType::kAction: {
+      Action a = Action::decode(r);
+      // The wire payload is [type][body] where [body] is the canonical
+      // Action encoding; seed the body-encode cache with those bytes so the
+      // red/green log appends this action triggers skip re-encoding it.
+      enc_body_.assign(d.payload.begin() + 1, d.payload.end());
+      enc_body_id_ = a.id;
+      handle_action(std::move(a));
       break;
+    }
     case EngineMsgType::kActionBatch: {
       // A batch shares one delivery (and therefore one color decision);
       // members process its actions in batch order.
-      for (const Action& a : decode_action_batch(r)) handle_action(a);
+      for (Action& a : decode_action_batch(r)) handle_action(std::move(a));
       break;
     }
     case EngineMsgType::kState:
@@ -567,14 +571,15 @@ void ReplicationEngine::on_deliver(const gc::Delivery& d) {
   }
 }
 
-void ReplicationEngine::handle_action(const Action& a) {
+void ReplicationEngine::handle_action(Action&& a) {
   switch (state_) {
     case EngineState::kRegPrim: {
       // A.2 (OR-1.1): safe delivery in the primary's regular configuration
       // determines the global order immediately.
-      mark_green(a);
-      green_lines_[a.id.server_id] =
-          std::max(green_lines_[a.id.server_id], a.green_line);
+      const NodeId creator = a.id.server_id;
+      const std::int64_t line = a.green_line;
+      mark_green(std::move(a));
+      green_lines_[creator] = std::max(green_lines_[creator], line);
       trim_white();
       break;
     }
@@ -592,13 +597,13 @@ void ReplicationEngine::handle_action(const Action& a) {
     case EngineState::kNonPrim:
     case EngineState::kExchangeStates:
     case EngineState::kExchangeActions:
-      mark_red(a);  // A.1 / A.4 / A.6
+      mark_red(std::move(a));  // A.1 / A.4 / A.6
       break;
     case EngineState::kConstruct:
     case EngineState::kNo:
       // The paper marks these "not possible"; with asynchronous disk writes
       // a stray resend can land here — red is always safe.
-      mark_red(a);
+      mark_red(std::move(a));
       break;
     case EngineState::kLeft:
       break;
@@ -1043,7 +1048,7 @@ void ReplicationEngine::on_newly_red(const Action& a) {
   // A.14: persist the red mark; the action is ordered, no longer at risk
   // of loss, so it leaves the ongoing queue and (§6 semantics permitting)
   // the client can be answered.
-  storage_.append(encode_log_red(a));
+  storage_.append(encode_log_red(encoded_body(a)));
   ++stats_.actions_red;
   if (tracer_) tracer_.emit_action(obs::EventKind::kActionRed, a.id);
   if (metric_red_ != nullptr) metric_red_->inc();
@@ -1053,6 +1058,20 @@ void ReplicationEngine::on_newly_red(const Action& a) {
 
 void ReplicationEngine::mark_red(const Action& a) {
   for (const Action* r : log_.mark_red(a)) on_newly_red(*r);
+}
+
+void ReplicationEngine::mark_red(Action&& a) {
+  for (const Action* r : log_.mark_red(std::move(a))) on_newly_red(*r);
+}
+
+const Bytes& ReplicationEngine::encoded_body(const Action& a) {
+  // An ActionId names one immutable action for the lifetime of the system
+  // (the protocol's core invariant), so a cached body can never be stale.
+  if (!(enc_body_id_ == a.id)) {
+    enc_body_ = encode_action_body(a);
+    enc_body_id_ = a.id;
+  }
+  return enc_body_;
 }
 
 void ReplicationEngine::mark_yellow(const Action& a) {
@@ -1068,7 +1087,7 @@ void ReplicationEngine::mark_green(const Action& a) {
   for (const Action* r : res.newly_red) on_newly_red(*r);
   if (res.position == 0) return;  // duplicate: already green
   green_lines_[id_] = log_.green_count();
-  storage_.append(encode_log_green(res.position, a));
+  storage_.append(encode_log_green(res.position, encoded_body(a)));
   ++stats_.actions_green;
   if (tracer_) tracer_.emit_action(obs::EventKind::kActionGreen, a.id, res.position);
   if (metric_green_ != nullptr) metric_green_->inc();
@@ -1083,13 +1102,34 @@ void ReplicationEngine::mark_green(const Action& a) {
   maybe_compact();
 }
 
+void ReplicationEngine::mark_green(Action&& a) {
+  const ActionId aid = a.id;
+  const ActionLog::GreenResult res = log_.mark_green(std::move(a));
+  for (const Action* r : res.newly_red) on_newly_red(*r);
+  if (res.position == 0) return;  // duplicate: already green
+  // A newly-green action always has its body in the log store; fetching it
+  // back is one hash probe versus the deep copy the lvalue path pays.
+  const Action& g = *log_.body_of(aid);
+  green_lines_[id_] = log_.green_count();
+  storage_.append(encode_log_green(res.position, encoded_body(g)));
+  ++stats_.actions_green;
+  if (tracer_) tracer_.emit_action(obs::EventKind::kActionGreen, aid, res.position);
+  if (metric_green_ != nullptr) metric_green_->inc();
+  if (green_latency_hist_ != nullptr) {
+    auto it = submit_times_.find(aid);
+    if (it != submit_times_.end()) {
+      green_latency_hist_->record((sim_.now() - it->second) / 1000000);  // ns -> ms
+      submit_times_.erase(it);
+    }
+  }
+  apply_green(g);
+  maybe_compact();
+}
+
 void ReplicationEngine::apply_green(const Action& a) {
   switch (a.type) {
     case ActionType::kUpdate: {
-      db::Command combined;
-      combined.ops = a.query.ops;
-      combined.ops.insert(combined.ops.end(), a.update.ops.begin(), a.update.ops.end());
-      const db::ApplyResult res = db_.apply(combined);
+      const db::ApplyResult res = db_.apply(a.query, a.update);
       if (tracer_ && !res.range_events.empty()) {
         // Stamp each range event with the green position so the checker can
         // order fence/install/write across independent groups (DESIGN.md §9).

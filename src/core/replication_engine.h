@@ -220,7 +220,7 @@ class ReplicationEngine {
   void on_regular_config(const gc::Configuration& conf);
   void on_transitional_config(const gc::Configuration& conf);
   void on_deliver(const gc::Delivery& d);
-  void handle_action(const Action& a);
+  void handle_action(Action&& a);  ///< consumes the body into the log
   void handle_state_msg(const StateMessage& s);
   void handle_cpc(const CpcMessage& c);
   void handle_green_retrans(std::int64_t position, const Action& a);
@@ -238,8 +238,10 @@ class ReplicationEngine {
   void install();                              // A.10
   void handle_buffered_requests();             // A.8
   void mark_red(const Action& a);              // A.14
+  void mark_red(Action&& a);                   // A.14 (hot path: moves body)
   void mark_yellow(const Action& a);           // A.14
   void mark_green(const Action& a);            // A.14 + CodeSegment 5.1
+  void mark_green(Action&& a);                 // hot path: moves body
   void apply_green(const Action& a);
   void on_join_green(const Action& a);         // 5.1 lines 5-10
   void on_leave_green(const Action& a);        // 5.1 lines 11-13
@@ -254,6 +256,9 @@ class ReplicationEngine {
                      std::int64_t client, Semantics semantics, NodeId subject);
   void persist_and_send(std::vector<Action> actions);
   void on_newly_red(const Action& a);
+  /// Encoded body of `a`, memoized for the immediately-repeated case (the
+  /// red and green log records of one action encode the same body twice).
+  const Bytes& encoded_body(const Action& a);
   bool is_green(const ActionId& id) const { return log_.is_green(id); }
   MetaRecord current_meta() const;
   void append_meta();
@@ -303,6 +308,8 @@ class ReplicationEngine {
   // Coloring bookkeeping: the colored-action history lives in the
   // ActionLog subsystem; the engine keeps only cluster-knowledge state.
   ActionLog log_;
+  ActionId enc_body_id_;  ///< id cached in enc_body_ (kNoNode: none)
+  Bytes enc_body_;
   std::map<NodeId, std::int64_t> green_lines_;  ///< A: greenLines (as counts)
   std::map<ActionId, Action> ongoing_;          ///< A: ongoingQueue
 

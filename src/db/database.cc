@@ -164,6 +164,12 @@ void Database::carve_tracked(std::string_view lo, std::string_view hi) {
 }
 
 ApplyResult Database::apply(const Command& cmd) {
+  static const Command kNoUpdate;
+  return apply(cmd, kNoUpdate);
+}
+
+ApplyResult Database::apply(const Command& query, const Command& update) {
+  const std::vector<Op>* const lists[2] = {&query.ops, &update.ops};
   ApplyResult res;
   // Evaluate every precondition against the current state first, so that a
   // failed check aborts the whole command with no partial effects — every
@@ -171,37 +177,44 @@ ApplyResult Database::apply(const Command& cmd) {
   // "aborts" identically (paper §6, interactive actions). Checks are
   // evaluated before fences so a duplicate session retry reads as a plain
   // guard abort, which is what exactly-once resolution relies on.
-  for (const Op& op : cmd.ops) {
-    if (op.type == OpType::kCheck && get(op.key) != op.value) {
-      res.aborted = true;
-      return res;
-    }
-  }
-  if (!ranges_.empty()) {
-    for (const Op& op : cmd.ops) {
-      if (!mutates(op.type) || reserved_key(op.key)) continue;
-      const TrackedRange* r = range_of(op.key);
-      if (r != nullptr && r->fenced) {
+  for (const auto* ops : lists) {
+    for (const Op& op : *ops) {
+      if (op.type == OpType::kCheck && value_of(op.key) != op.value) {
         res.aborted = true;
-        res.fenced = true;
         return res;
       }
     }
   }
+  if (!ranges_.empty()) {
+    for (const auto* ops : lists) {
+      for (const Op& op : *ops) {
+        if (!mutates(op.type) || reserved_key(op.key)) continue;
+        const TrackedRange* r = range_of(op.key);
+        if (r != nullptr && r->fenced) {
+          res.aborted = true;
+          res.fenced = true;
+          return res;
+        }
+      }
+    }
+  }
 
-  for (const Op& op : cmd.ops) {
+  for (const auto* op_list : lists) {
+  for (const Op& op : *op_list) {
     switch (op.type) {
       case OpType::kPut:
         data_[op.key].value = op.value;
         break;
-      case OpType::kAdd:
-        data_[op.key].value = std::to_string(to_num(get(op.key)) + op.num);
+      case OpType::kAdd: {
+        const std::int64_t cur = to_num(value_of(op.key));
+        data_[op.key].value = std::to_string(cur + op.num);
         break;
+      }
       case OpType::kAppend:
         data_[op.key].value += op.value;
         break;
       case OpType::kGet:
-        res.reads.push_back(get(op.key));
+        res.reads.push_back(value_of(op.key));
         break;
       case OpType::kCheck:
         break;  // evaluated above
@@ -273,6 +286,7 @@ ApplyResult Database::apply(const Command& cmd) {
       }
     }
   }
+  }
   ++version_;
   return res;
 }
@@ -280,20 +294,23 @@ ApplyResult Database::apply(const Command& cmd) {
 ApplyResult Database::peek(const Command& cmd) const {
   ApplyResult res;
   for (const Op& op : cmd.ops) {
-    if (op.type == OpType::kCheck && get(op.key) != op.value) {
+    if (op.type == OpType::kCheck && value_of(op.key) != op.value) {
       res.aborted = true;
       return res;
     }
   }
   for (const Op& op : cmd.ops) {
-    if (op.type == OpType::kGet) res.reads.push_back(get(op.key));
+    if (op.type == OpType::kGet) res.reads.push_back(value_of(op.key));
   }
   return res;
 }
 
-std::string Database::get(const std::string& key) const {
+std::string Database::get(const std::string& key) const { return value_of(key); }
+
+const std::string& Database::value_of(const std::string& key) const {
+  static const std::string kEmpty;
   auto it = data_.find(key);
-  return it == data_.end() ? "" : it->second.value;
+  return it == data_.end() ? kEmpty : it->second.value;
 }
 
 bool Database::range_fenced(const std::string& lo, const std::string& hi) const {

@@ -124,6 +124,13 @@ class Database {
   /// every replica aborts identically (§6).
   ApplyResult apply(const Command& cmd);
 
+  /// Apply two commands as one atomic action — an interactive action's query
+  /// program followed by its update program — without materializing their
+  /// concatenation. Exactly equivalent to applying a command holding
+  /// query.ops + update.ops: every kCheck across both programs is evaluated
+  /// first, then fence guards, then the ops run in program order.
+  ApplyResult apply(const Command& query, const Command& update);
+
   /// Read a single key ("" when absent) without counting as an action.
   std::string get(const std::string& key) const;
 
@@ -176,6 +183,8 @@ class Database {
   };
   const TrackedRange* range_of(std::string_view key) const;
   void carve_tracked(std::string_view lo, std::string_view hi);
+  /// get() without the return-by-value copy, for the apply hot path.
+  const std::string& value_of(const std::string& key) const;
 
   std::map<std::string, Cell> data_;
   std::vector<TrackedRange> ranges_;

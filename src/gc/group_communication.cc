@@ -35,7 +35,7 @@ GroupCommunication::GroupCommunication(Network& net, NodeId id, Listener listene
       counter_floor_(initial_config_counter) {
   config_.id = ConfigId{initial_config_counter, id_};
   config_.members = {id_};
-  known_contig_[id_] = 0;
+  known_contig_.emplace_back(id_, 0);
 
   net_.set_packet_handler(id_, [this](NodeId from, const Bytes& wire) { on_packet(from, wire); });
   // Deliver the initial singleton configuration before anything else runs.
@@ -54,16 +54,12 @@ GroupCommunication::~GroupCommunication() {
   net_.clear_reachability_handler(id_);
 }
 
-void GroupCommunication::schedule(SimDuration delay, std::function<void()> fn) {
-  sim_.after(delay, [alive = alive_, fn = std::move(fn)] {
-    if (*alive) fn();
-  });
+void GroupCommunication::send_to(NodeId to, Bytes wire) {
+  net_.send(id_, to, std::move(wire));
 }
 
-void GroupCommunication::send_to(NodeId to, const Bytes& wire) { net_.send(id_, to, wire); }
-
-void GroupCommunication::send_all(const std::vector<NodeId>& to, const Bytes& wire) {
-  net_.multicast(id_, to, wire);
+void GroupCommunication::send_all(const std::vector<NodeId>& to, Bytes wire) {
+  net_.multicast(id_, to, std::move(wire));
 }
 
 void GroupCommunication::multicast(Bytes payload, Service service) {
@@ -113,34 +109,70 @@ void GroupCommunication::handle_ordered(OrderedMsg msg) {
   store_ordered(std::move(msg));
 }
 
+GroupCommunication::BufferedMsg* GroupCommunication::buffered(std::int64_t seq) {
+  if (buffer_.empty() || seq < buffer_base_ ||
+      seq >= buffer_base_ + static_cast<std::int64_t>(buffer_.size())) {
+    return nullptr;
+  }
+  BufferedMsg& m = buffer_[static_cast<std::size_t>(seq - buffer_base_)];
+  return m.origin == kNoNode ? nullptr : &m;
+}
+
+void GroupCommunication::buffer_put(std::int64_t seq, BufferedMsg m) {
+  if (buffer_.empty()) {
+    buffer_base_ = seq;
+    buffer_.push_back(std::move(m));
+    return;
+  }
+  while (seq < buffer_base_) {
+    buffer_.push_front(BufferedMsg{});
+    --buffer_base_;
+  }
+  while (seq >= buffer_base_ + static_cast<std::int64_t>(buffer_.size())) {
+    buffer_.emplace_back();
+  }
+  buffer_[static_cast<std::size_t>(seq - buffer_base_)] = std::move(m);
+}
+
 void GroupCommunication::store_ordered(OrderedMsg&& msg) {
-  if (msg.seq <= delivered_upto_ || buffer_.count(msg.seq)) return;
-  if (msg.seq <= recv_contig_ && !buffer_.count(msg.seq)) {
+  if (msg.seq <= delivered_upto_ || buffered(msg.seq)) return;
+  if (msg.seq <= recv_contig_) {
     // Already pruned as stable; duplicate retransmission.
     return;
   }
-  buffer_[msg.seq] =
-      BufferedMsg{msg.origin, msg.origin_local_seq, msg.service, std::move(msg.payload)};
+  buffer_put(msg.seq, BufferedMsg{msg.origin, msg.origin_local_seq, msg.service,
+                                  std::move(msg.payload)});
   bool advanced = false;
-  while (buffer_.count(recv_contig_ + 1)) {
+  while (buffered(recv_contig_ + 1)) {
     ++recv_contig_;
     advanced = true;
   }
   if (advanced) after_contig_advance();
 }
 
+std::int64_t* GroupCommunication::known_slot(NodeId m) {
+  auto it = std::lower_bound(
+      known_contig_.begin(), known_contig_.end(), m,
+      [](const std::pair<NodeId, std::int64_t>& p, NodeId n) { return p.first < n; });
+  return (it != known_contig_.end() && it->first == m) ? &it->second : nullptr;
+}
+
 std::int64_t GroupCommunication::safe_line() const {
+  if (!safe_line_dirty_) return safe_line_cache_;
+  // known_contig_ holds exactly the configuration's members (install
+  // rebuilds it), so scanning it is the same min the members loop computed.
   std::int64_t line = recv_contig_;
-  for (NodeId m : config_.members) {
-    if (m == id_) continue;
-    auto it = known_contig_.find(m);
-    line = std::min(line, it == known_contig_.end() ? 0 : it->second);
+  for (const auto& [m, v] : known_contig_) {
+    if (m != id_) line = std::min(line, v);
   }
+  safe_line_cache_ = line;
+  safe_line_dirty_ = false;
   return line;
 }
 
 void GroupCommunication::after_contig_advance() {
-  known_contig_[id_] = recv_contig_;
+  if (std::int64_t* self = known_slot(id_)) *self = recv_contig_;
+  safe_line_dirty_ = true;  // our own contribution to the min advanced
   if (config_.members.size() > 1) schedule_ack();
   try_deliver();
 }
@@ -150,22 +182,25 @@ void GroupCommunication::try_deliver() {
   const std::int64_t safe = safe_line();
   while (true) {
     const std::int64_t next = delivered_upto_ + 1;
-    auto it = buffer_.find(next);
-    if (it == buffer_.end() || next > recv_contig_) break;
-    if (it->second.service == Service::kSafe && next > safe) break;
-    deliver_one(next, it->second.service == Service::kSafe ? DeliveryKind::kSafeInRegular
-                                                           : DeliveryKind::kAgreed);
+    BufferedMsg* m = buffered(next);
+    if (m == nullptr || next > recv_contig_) break;
+    if (m->service == Service::kSafe && next > safe) break;
+    deliver_one(next, m->service == Service::kSafe ? DeliveryKind::kSafeInRegular
+                                                   : DeliveryKind::kAgreed);
   }
   // Prune messages that are both delivered here and received by everyone:
   // no member can ever need them retransmitted.
   const std::int64_t prune = std::min(safe, delivered_upto_);
-  while (!buffer_.empty() && buffer_.begin()->first <= prune) buffer_.erase(buffer_.begin());
+  while (!buffer_.empty() && buffer_base_ <= prune) {
+    buffer_.pop_front();
+    ++buffer_base_;
+  }
 }
 
 void GroupCommunication::deliver_one(std::int64_t seq, DeliveryKind kind) {
-  auto it = buffer_.find(seq);
-  assert(it != buffer_.end());
-  BufferedMsg& m = it->second;
+  BufferedMsg* slot = buffered(seq);
+  assert(slot != nullptr);
+  BufferedMsg& m = *slot;
   delivered_upto_ = seq;
   if (m.origin == id_) {
     while (!outbox_.empty() && outbox_.front().local_seq <= m.origin_local_seq) {
@@ -203,19 +238,30 @@ void GroupCommunication::schedule_ack() {
     // Acknowledgements go to every member directly (one hardware
     // multicast), so safe delivery costs three one-way hops (DATA, ORDERED,
     // ACK) rather than four — the difference matters on wide-area links.
-    const Bytes wire = encode(AckMsg{config_.id, recv_contig_});
+    Bytes wire = encode(AckMsg{config_.id, recv_contig_});
     std::vector<NodeId> others;
     for (NodeId m : config_.members) {
       if (m != id_) others.push_back(m);
     }
-    send_all(others, wire);
+    send_all(others, std::move(wire));
   });
 }
 
 void GroupCommunication::handle_ack(NodeId from, const AckMsg& msg) {
   if (state_ != GcState::kOperational || msg.config != config_.id) return;
-  std::int64_t& known = known_contig_[from];
+  std::int64_t* slot = known_slot(from);
+  if (slot == nullptr) {
+    // Config-id match implies membership, but stay defensive: track the
+    // sender exactly as the map's operator[] used to.
+    known_contig_.insert(std::upper_bound(known_contig_.begin(), known_contig_.end(),
+                                          std::pair<NodeId, std::int64_t>{from, 0}),
+                         {from, 0});
+    slot = known_slot(from);
+  }
+  std::int64_t& known = *slot;
   if (msg.recv_contig <= known) return;
+  // The min over members can only move if the advancing member was at it.
+  if (known <= safe_line_cache_) safe_line_dirty_ = true;
   known = msg.recv_contig;
   try_deliver();
 }
@@ -247,8 +293,8 @@ void GroupCommunication::start_gather(const std::vector<NodeId>& reachable) {
   if (!reachable.empty() && reachable.front() == id_) {
     my_token_ = GatherToken{id_, ++gather_seq_};
     my_proposed_ = reachable;
-    const Bytes wire = encode(InquireMsg{*my_token_, my_proposed_});
-    send_all(my_proposed_, wire);
+    Bytes wire = encode(InquireMsg{*my_token_, my_proposed_});
+    send_all(my_proposed_, std::move(wire));
     arm_retry_timer();
   }
   arm_stuck_timer();
@@ -301,8 +347,8 @@ JoinInfoMsg GroupCommunication::make_join_info(const GatherToken& token) const {
     if (m == id_) {
       info.known_contig.push_back(recv_contig_);
     } else {
-      auto it = known_contig_.find(m);
-      info.known_contig.push_back(it == known_contig_.end() ? 0 : it->second);
+      const std::int64_t* v = const_cast<GroupCommunication*>(this)->known_slot(m);
+      info.known_contig.push_back(v == nullptr ? 0 : *v);
     }
   }
   info.max_config_counter = counter_floor_;
@@ -442,13 +488,12 @@ void GroupCommunication::handle_plan(const PlanMsg& msg) {
       const NodeId q = e->participants[i];
       if (q == id_) continue;
       for (std::int64_t seq = e->participant_contig[i] + 1; seq <= e->target_seq; ++seq) {
-        auto it = buffer_.find(seq);
-        if (it == buffer_.end()) continue;  // pruned as globally stable: q has it
+        const BufferedMsg* m = buffered(seq);
+        if (m == nullptr) continue;  // pruned as globally stable: q has it
         RetransMsg rm;
         rm.token = msg.token;
-        rm.message = OrderedMsg{config_.id, seq, it->second.origin,
-                                it->second.origin_local_seq, it->second.service,
-                                it->second.payload};
+        rm.message = OrderedMsg{config_.id,    seq,        m->origin,
+                                m->origin_local_seq, m->service, m->payload};
         ++stats_.retransmissions;
         send_to(q, encode(rm));
       }
@@ -503,10 +548,10 @@ void GroupCommunication::run_install() {
   //    of the old configuration: these still meet the safe guarantee.
   while (delivered_upto_ < e.safe_line) {
     const std::int64_t next = delivered_upto_ + 1;
-    auto it = buffer_.find(next);
-    if (it == buffer_.end()) break;  // was pruned => already delivered
-    deliver_one(next, it->second.service == Service::kSafe ? DeliveryKind::kSafeInRegular
-                                                           : DeliveryKind::kAgreed);
+    const BufferedMsg* m = buffered(next);
+    if (m == nullptr) break;  // was pruned => already delivered
+    deliver_one(next, m->service == Service::kSafe ? DeliveryKind::kSafeInRegular
+                                                   : DeliveryKind::kAgreed);
   }
 
   // 2. Transitional configuration: members of the old regular configuration
@@ -522,10 +567,10 @@ void GroupCommunication::run_install() {
   // 3. Left-over messages, delivered in the transitional configuration.
   while (delivered_upto_ < e.target_seq) {
     const std::int64_t next = delivered_upto_ + 1;
-    auto it = buffer_.find(next);
-    if (it == buffer_.end()) break;
-    deliver_one(next, it->second.service == Service::kSafe ? DeliveryKind::kTransitional
-                                                           : DeliveryKind::kAgreed);
+    const BufferedMsg* m = buffered(next);
+    if (m == nullptr) break;
+    deliver_one(next, m->service == Service::kSafe ? DeliveryKind::kTransitional
+                                                   : DeliveryKind::kAgreed);
   }
 
   // 4. Install the new regular configuration and reset the data path.
@@ -538,7 +583,9 @@ void GroupCommunication::run_install() {
   delivered_upto_ = 0;
   buffer_.clear();
   known_contig_.clear();
-  for (NodeId m : config_.members) known_contig_[m] = 0;
+  known_contig_.reserve(config_.members.size());
+  for (NodeId m : config_.members) known_contig_.emplace_back(m, 0);
+  safe_line_dirty_ = true;
   last_acked_value_ = -1;
   // Pacing timers armed in the old configuration will no-op on config
   // mismatch; clear the flags so the new configuration can arm its own.

@@ -114,9 +114,17 @@ class GroupCommunication {
   // --- wiring ---------------------------------------------------------
   void on_packet(NodeId from, const Bytes& wire);
   void on_reachability(const std::vector<NodeId>& reachable);
-  void schedule(SimDuration delay, std::function<void()> fn);
-  void send_to(NodeId to, const Bytes& wire);
-  void send_all(const std::vector<NodeId>& to, const Bytes& wire);
+  /// Schedule `fn` guarded by this instance's liveness. A forwarding
+  /// template so the closure lands inline in the simulator's SmallFn slot
+  /// instead of bouncing through a heap-allocated std::function.
+  template <typename F>
+  void schedule(SimDuration delay, F&& fn) {
+    sim_.after(delay, [alive = alive_, fn = std::forward<F>(fn)]() mutable {
+      if (*alive) fn();
+    });
+  }
+  void send_to(NodeId to, Bytes wire);
+  void send_all(const std::vector<NodeId>& to, Bytes wire);
 
   // --- data path ------------------------------------------------------
   void handle_data(NodeId from, DataMsg msg);
@@ -163,8 +171,27 @@ class GroupCommunication {
   std::int64_t global_seq_ = 0;    ///< sequencer: last assigned
   std::int64_t recv_contig_ = 0;   ///< highest contiguous ORDERED received
   std::int64_t delivered_upto_ = 0;
-  std::map<std::int64_t, BufferedMsg> buffer_;
-  std::map<NodeId, std::int64_t> known_contig_;  ///< per-member ack knowledge
+  /// Seq-indexed ring over the ORDERED stream: slot i holds sequence
+  /// `buffer_base_ + i`, gaps flagged by origin == kNoNode. Sequences are
+  /// assigned densely by the sequencer, so O(1) indexing replaces the
+  /// per-message node allocation and rebalancing a std::map paid on every
+  /// store, lookup and prune of the data path.
+  std::deque<BufferedMsg> buffer_;
+  std::int64_t buffer_base_ = 0;  ///< seq of buffer_[0]; meaningless when empty
+  BufferedMsg* buffered(std::int64_t seq);  ///< slot for seq, or nullptr
+  void buffer_put(std::int64_t seq, BufferedMsg m);
+  /// Per-member ack knowledge, sorted by member id (mirrors config members).
+  /// Flat storage: probed on every ack and scanned by safe_line(), the two
+  /// hottest paths in the layer.
+  std::vector<std::pair<NodeId, std::int64_t>> known_contig_;
+  std::int64_t* known_slot(NodeId m);  ///< value for m, or nullptr
+  /// Memoized safe_line(). Contig knowledge only advances within a
+  /// configuration, so the min over members is stable unless the member
+  /// holding it advances; try_deliver() runs on every ACK, which made the
+  /// full O(members) min scan the simulation's hottest function at 100
+  /// replicas.
+  mutable std::int64_t safe_line_cache_ = 0;
+  mutable bool safe_line_dirty_ = true;
   std::int64_t counter_floor_ = 0;
 
   // Ack / stability pacing.

@@ -59,7 +59,11 @@ struct Delivery {
   ConfigId config;          ///< regular configuration the message belongs to
   std::int64_t seq = 0;     ///< total-order position within that configuration
   DeliveryKind kind = DeliveryKind::kAgreed;
-  Bytes payload;
+  /// Borrowed from the layer's delivery buffer — valid for the duration of
+  /// the on_deliver callback only; copy it to retain. (Deliveries run once
+  /// per member per message, so the copy this avoids was the group's
+  /// largest per-message allocation.)
+  const Bytes& payload;
 };
 
 /// Callbacks the application (the replication engine) installs. The layer

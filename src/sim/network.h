@@ -17,12 +17,20 @@
 //    delay, the set of nodes it can currently reach — the hook the group
 //    communication layer uses to trigger its membership protocol (the role
 //    Spread's token-loss/ hello mechanisms play in the real system).
+//
+// Hot-path layout: node state lives in a dense vector indexed by a compact
+// per-node index (NodeId -> index via a flat lookup table), link FIFO
+// horizons in one n*n array, and multicast recipients share a single
+// refcounted payload buffer — receivers treat payloads as read-only, so a
+// group-wide multicast performs zero per-target deep copies. reachable_set()
+// is cached per (component, group) and invalidated on topology changes.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/simulator.h"
@@ -56,6 +64,12 @@ struct NetworkStats {
   std::uint64_t messages_delivered = 0;
   std::uint64_t messages_dropped = 0;
   std::uint64_t bytes_sent = 0;
+  /// Payload bytes deep-copied on the send path (multicast recipients share
+  /// one refcounted buffer, so only lvalue sends/multicasts copy — once).
+  std::uint64_t payload_bytes_copied = 0;
+  /// reachable_set() cache effectiveness (invalidated on topology changes).
+  std::uint64_t reachable_cache_hits = 0;
+  std::uint64_t reachable_cache_misses = 0;
 };
 
 /// Logical channels multiplexed over one node-to-node transport. The group
@@ -110,11 +124,18 @@ class Network {
   int group(NodeId id) const;
 
   /// Send `payload` from `from` to `to`. Silently dropped when the sender is
-  /// crashed or the two nodes are (or become) disconnected.
-  void send(NodeId from, NodeId to, Bytes payload, Channel channel = Channel::kGc);
+  /// crashed or the two nodes are (or become) disconnected. The lvalue
+  /// overload deep-copies the payload once (counted in
+  /// stats().payload_bytes_copied); pass an rvalue to send without copying.
+  void send(NodeId from, NodeId to, Bytes&& payload, Channel channel = Channel::kGc);
+  void send(NodeId from, NodeId to, const Bytes& payload, Channel channel = Channel::kGc);
 
   /// Unicast to every node in `to` (including `from` itself if listed);
-  /// self-delivery uses loopback (no wire latency, still CPU-charged).
+  /// self-delivery uses loopback (no wire latency, still CPU-charged). All
+  /// recipients share one refcounted payload buffer — handlers receive a
+  /// read-only view, never a private copy.
+  void multicast(NodeId from, const std::vector<NodeId>& to, Bytes&& payload,
+                 Channel channel = Channel::kGc);
   void multicast(NodeId from, const std::vector<NodeId>& to, const Bytes& payload,
                  Channel channel = Channel::kGc);
 
@@ -149,6 +170,7 @@ class Network {
 
  private:
   struct NodeState {
+    NodeId id = kNoNode;
     bool up = true;
     bool group_active = true;
     int component = 0;
@@ -161,19 +183,33 @@ class Network {
     ReachabilityHandler on_reachability;
   };
 
+  /// Dense index for `id`; throws std::out_of_range for unknown ids.
+  std::size_t idx(NodeId id) const;
+  NodeState& state(NodeId id) { return states_[idx(id)]; }
+  const NodeState& state(NodeId id) const { return states_[idx(id)]; }
+  bool connected_idx(std::size_t a, std::size_t b) const {
+    return states_[a].up && states_[b].up && states_[a].component == states_[b].component;
+  }
+
   void topology_changed();
   void schedule_notify(NodeId id);
-  void deliver(NodeId from, NodeId to, std::uint64_t to_epoch, Channel channel, Bytes payload);
-  /// Occupy `from`'s site egress for one cross-site copy of `bytes`;
-  /// returns the serialization delay to add to that copy's arrival time.
-  SimDuration wan_serialize(NodeId from, std::size_t bytes);
+  void deliver(NodeId from, NodeId to, std::uint64_t to_epoch, Channel channel,
+               std::shared_ptr<const Bytes> payload);
+  /// Occupy `site`'s egress for one cross-site copy of `bytes`; returns the
+  /// serialization delay to add to that copy's arrival time.
+  SimDuration wan_serialize(int site, std::size_t bytes);
 
   Simulator& sim_;
   NetworkParams params_;
-  std::map<NodeId, NodeState> nodes_;
-  std::map<std::pair<NodeId, NodeId>, SimTime> link_horizon_;  ///< FIFO per link
-  std::map<int, SimTime> site_egress_busy_;  ///< WAN serialization per site
-  NetworkStats stats_;
+  std::vector<NodeState> states_;        ///< dense, insertion-indexed
+  std::vector<std::int32_t> dense_;      ///< NodeId -> index into states_ (-1 unknown)
+  std::vector<NodeId> ids_sorted_;       ///< all node ids, ascending
+  std::vector<SimTime> link_horizon_;    ///< FIFO per link, [from_idx * n + to_idx]
+  std::vector<SimTime> site_egress_busy_;  ///< WAN serialization per site
+  /// reachable_set() memo per (component, group); cleared whenever topology
+  /// or membership changes.
+  mutable std::unordered_map<std::uint64_t, std::vector<NodeId>> reach_cache_;
+  mutable NetworkStats stats_;  ///< mutable: const reachable_set counts cache hits
 };
 
 }  // namespace tordb

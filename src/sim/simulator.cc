@@ -1,46 +1,150 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-#include <utility>
+#include <stdexcept>
 
 namespace tordb {
 
-void Simulator::at(SimTime t, std::function<void()> fn) {
+void Simulator::schedule(SimTime t, SmallFn fn, std::shared_ptr<Cancelable::State> cancel) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  // Opportunistically drop dead weight before growing the heap: once cancelled
+  // entries make up more than half the queue (and there are enough of them to
+  // amortize the scan), compact in one pass.
+  if (*cancel_tally_ > kMinDeadForPurge && *cancel_tally_ * 2 > heap_.size()) purge();
+  const std::uint32_t slot = acquire_slot();
+  if (slot >> kSlotBits) throw std::length_error("simulator: too many pending events");
+  Slot& s = slots_[slot];
+  s.fn = std::move(fn);
+  s.cancel = std::move(cancel);
+  heap_.push_back(Entry{t, (next_seq_++ << kSlotBits) | slot});
+  sift_up(heap_.size() - 1);
+  if (heap_.size() > peak_depth_) peak_depth_ = heap_.size();
 }
 
-Cancelable Simulator::after_cancelable(SimDuration delay, std::function<void()> fn) {
-  Cancelable token;
-  auto flag = token.flag();
-  at(now_ + delay, [flag, fn = std::move(fn)] {
-    if (*flag) fn();
-  });
-  return token;
+Cancelable Simulator::after_cancelable(SimDuration delay, SmallFn fn) {
+  Cancelable c;
+  c.state_->cancel_tally = cancel_tally_;
+  schedule(now_ + delay, std::move(fn), c.state_);
+  return c;
 }
 
-void Simulator::pop_and_run() {
-  // priority_queue::top() is const; move out via const_cast, which is safe
-  // because we pop immediately after.
-  Event ev = std::move(const_cast<Event&>(queue_.top()));
-  queue_.pop();
-  assert(ev.time >= now_);
-  now_ = ev.time;
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.fn = SmallFn{};
+  s.cancel.reset();
+  free_slots_.push_back(slot);
+}
+
+// 4-ary heap: half the levels of a binary heap, so pops touch far fewer
+// cache lines on the hundred-thousand-entry queues of 100-replica sweeps.
+// (time, seq) keys are unique, so the pop order — and therefore every
+// simulation result — is identical to any other correct priority queue.
+
+void Simulator::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!later(heap_[parent], e)) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    const std::size_t end = first + 4 < n ? first + 4 : n;
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (later(heap_[best], heap_[c])) best = c;
+    }
+    if (!later(e, heap_[best])) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
+void Simulator::purge() {
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const Entry& e = heap_[i];
+    const auto& cancel = slots_[e.slot()].cancel;
+    if (cancel && !cancel->alive) {
+      release_slot(e.slot());
+      ++purged_;
+      assert(*cancel_tally_ > 0);
+      --*cancel_tally_;
+      continue;
+    }
+    heap_[kept++] = e;
+  }
+  heap_.resize(kept);
+  // Rebuild heap order over the survivors; (time, seq) keys are unique, so
+  // live events rank exactly as they did before the purge. (Bottom-up over
+  // the non-leaf prefix of the 4-ary layout.)
+  if (heap_.size() > 1) {
+    for (std::size_t i = (heap_.size() - 2) / 4 + 1; i-- > 0;) sift_down(i);
+  }
+}
+
+bool Simulator::pop_and_run() {
+  const Entry top = heap_[0];
+  const std::size_t last = heap_.size() - 1;
+  if (last > 0) {
+    heap_[0] = heap_[last];
+    heap_.resize(last);
+    sift_down(0);
+  } else {
+    heap_.clear();
+  }
+  assert(top.time >= now_);
+
+  Slot& s = slots_[top.slot()];
+  // A cancelled event still advances the clock to its scheduled time (it held
+  // its place in the time order), but never executes.
+  if (s.cancel && !s.cancel->alive) {
+    now_ = top.time;
+    release_slot(top.slot());
+    ++cancelled_pops_;
+    assert(*cancel_tally_ > 0);
+    --*cancel_tally_;
+    return false;
+  }
+  if (s.cancel) s.cancel->alive = false;  // fired: token reports inactive, no tally
+  // Move the closure out and release the slot *before* invoking, so events
+  // scheduled from inside the callback can reuse it.
+  SmallFn fn = std::move(s.fn);
+  release_slot(top.slot());
+  now_ = top.time;
+  fn();
   ++executed_;
-  ev.fn();
+  return true;
 }
 
 std::size_t Simulator::run(std::size_t limit) {
   std::size_t n = 0;
-  while (!queue_.empty() && n < limit) {
-    pop_and_run();
-    ++n;
+  while (n < limit && !heap_.empty()) {
+    if (pop_and_run()) ++n;
   }
   return n;
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) pop_and_run();
+  while (!heap_.empty() && heap_[0].time <= t) pop_and_run();
   if (now_ < t) now_ = t;
 }
 

@@ -1,6 +1,7 @@
 #include "storage/stable_storage.h"
 
 #include <algorithm>
+#include <iterator>
 #include <stdexcept>
 
 namespace tordb {
@@ -10,8 +11,9 @@ StableStorage::StableStorage(Simulator& sim, StorageParams params)
 
 std::size_t StableStorage::append(Bytes record) {
   ++stats_.appends;
-  log_.push_back(std::move(record));
-  return log_.size() - 1;
+  offsets_.push_back(arena_.size());
+  arena_.insert(arena_.end(), record.begin(), record.end());
+  return offsets_.size() - 1;
 }
 
 void StableStorage::sync(SyncCallback done) {
@@ -22,12 +24,12 @@ void StableStorage::sync(SyncCallback done) {
     start_force_if_needed();
     return;
   }
-  if (durable_ >= log_.size()) {
+  if (durable_ >= offsets_.size()) {
     // Nothing new to force; complete as soon as the loop turns.
     sim_.after(0, std::move(done));
     return;
   }
-  pending_.push_back(PendingSync{log_.size(), std::move(done)});
+  pending_.push_back(PendingSync{offsets_.size(), std::move(done)});
   if (force_in_flight_) return;  // will batch onto the next force
   if (params_.commit_window > 0 && !window_armed_) {
     window_armed_ = true;
@@ -43,10 +45,10 @@ void StableStorage::sync(SyncCallback done) {
 }
 
 void StableStorage::start_force_if_needed() {
-  if (force_in_flight_ || durable_ == log_.size()) return;
+  if (force_in_flight_ || durable_ == offsets_.size()) return;
   force_in_flight_ = true;
   ++stats_.forces;
-  inflight_covered_ = log_.size();
+  inflight_covered_ = offsets_.size();
   const std::uint64_t epoch = epoch_;
   sim_.after(params_.force_latency, [this, epoch] { force_completed(epoch); });
 }
@@ -81,21 +83,40 @@ void StableStorage::crash() {
   ++epoch_;
   force_in_flight_ = false;
   pending_.clear();
-  stats_.records_lost_in_crash += log_.size() - durable_;
-  log_.resize(durable_);
+  stats_.records_lost_in_crash += offsets_.size() - durable_;
+  if (durable_ < offsets_.size()) {
+    arena_.resize(offsets_[durable_]);
+    offsets_.resize(durable_);
+  }
 }
 
 std::vector<Bytes> StableStorage::recover_records() const {
-  return std::vector<Bytes>(log_.begin(), log_.begin() + static_cast<std::ptrdiff_t>(durable_));
+  std::vector<Bytes> records;
+  records.reserve(durable_);
+  for (std::size_t i = 0; i < durable_; ++i) {
+    records.emplace_back(arena_.begin() + static_cast<std::ptrdiff_t>(offsets_[i]),
+                         arena_.begin() + static_cast<std::ptrdiff_t>(record_end(i)));
+  }
+  return records;
 }
 
 void StableStorage::compact(std::size_t upto, Bytes snapshot_record) {
   if (upto > durable_) throw std::logic_error("cannot compact non-durable records");
   if (upto == 0) return;
-  std::vector<Bytes> rest(log_.begin() + static_cast<std::ptrdiff_t>(upto), log_.end());
-  log_.clear();
-  log_.push_back(std::move(snapshot_record));
-  log_.insert(log_.end(), rest.begin(), rest.end());
+  // Rebuild the arena as [snapshot][surviving tail] and re-base offsets.
+  const std::size_t tail_start = upto < offsets_.size() ? offsets_[upto] : arena_.size();
+  Bytes next;
+  next.reserve(snapshot_record.size() + arena_.size() - tail_start);
+  next.insert(next.end(), snapshot_record.begin(), snapshot_record.end());
+  next.insert(next.end(), arena_.begin() + static_cast<std::ptrdiff_t>(tail_start), arena_.end());
+  std::vector<std::size_t> next_offsets;
+  next_offsets.reserve(offsets_.size() - upto + 1);
+  next_offsets.push_back(0);
+  for (std::size_t i = upto; i < offsets_.size(); ++i) {
+    next_offsets.push_back(offsets_[i] - tail_start + snapshot_record.size());
+  }
+  arena_ = std::move(next);
+  offsets_ = std::move(next_offsets);
   durable_ = durable_ - upto + 1;
   // Re-base bookkeeping that referenced pre-compaction record counts.
   const std::size_t shrink = upto - 1;

@@ -74,9 +74,9 @@ class StableStorage {
   /// Models log compaction; only durable data may be compacted.
   void compact(std::size_t upto, Bytes snapshot_record);
 
-  std::size_t log_size() const { return log_.size(); }
+  std::size_t log_size() const { return offsets_.size(); }
   std::size_t durable_size() const { return durable_; }
-  bool fully_durable() const { return durable_ == log_.size(); }
+  bool fully_durable() const { return durable_ == offsets_.size(); }
 
   const StorageStats& stats() const { return stats_; }
   StorageParams& params() { return params_; }
@@ -89,10 +89,19 @@ class StableStorage {
 
   void start_force_if_needed();
   void force_completed(std::uint64_t epoch);
+  /// One past the last byte of record `i` in the arena.
+  std::size_t record_end(std::size_t i) const {
+    return i + 1 < offsets_.size() ? offsets_[i + 1] : arena_.size();
+  }
 
   Simulator& sim_;
   StorageParams params_;
-  std::vector<Bytes> log_;
+  /// Append-only record storage: one contiguous arena plus per-record start
+  /// offsets. Records are written once and read back only at recovery, so
+  /// per-record buffers bought nothing but allocator traffic and teardown
+  /// cost at scale.
+  Bytes arena_;
+  std::vector<std::size_t> offsets_;
   std::size_t durable_ = 0;
   bool force_in_flight_ = false;
   bool window_armed_ = false;         ///< group-commit window timer pending

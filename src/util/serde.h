@@ -7,6 +7,7 @@
 // condition, but we still fail loudly rather than reading garbage).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -26,6 +27,11 @@ using Bytes = std::vector<std::uint8_t>;
 
 class BufWriter {
  public:
+  // Nearly every wire message and log record fits in one cache-line-friendly
+  // chunk; reserving up front turns the per-encode realloc ladder (1, 2, 4,
+  // ... bytes) into a single allocation.
+  BufWriter() { buf_.reserve(128); }
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u32(std::uint32_t v) { put_le(v); }
   void u64(std::uint64_t v) { put_le(v); }
@@ -69,8 +75,14 @@ class BufWriter {
  private:
   template <typename T>
   void put_le(T v) {
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    if constexpr (std::endian::native == std::endian::little) {
+      const std::size_t at = buf_.size();
+      buf_.resize(at + sizeof(T));
+      std::memcpy(buf_.data() + at, &v, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+      }
     }
   }
 
@@ -147,8 +159,12 @@ class BufReader {
   T get_le() {
     need(sizeof(T));
     T v = 0;
-    for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v |= static_cast<T>(buf_[pos_ + i]) << (8 * i);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    } else {
+      for (std::size_t i = 0; i < sizeof(T); ++i) {
+        v |= static_cast<T>(buf_[pos_ + i]) << (8 * i);
+      }
     }
     pos_ += sizeof(T);
     return v;

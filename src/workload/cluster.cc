@@ -71,6 +71,12 @@ void EngineCluster::sample_metrics() {
   metrics_->counter("gc.regular_configs").set_total(configs);
   metrics_->counter("net.messages").set_total(net_.stats().messages_sent);
   metrics_->counter("net.bytes").set_total(net_.stats().bytes_sent);
+  metrics_->counter("net.payload_bytes_copied").set_total(net_.stats().payload_bytes_copied);
+  metrics_->counter("net.reachable_cache_hits").set_total(net_.stats().reachable_cache_hits);
+  metrics_->counter("net.reachable_cache_misses").set_total(net_.stats().reachable_cache_misses);
+  metrics_->counter("sim.events_executed").set_total(sim_.executed_events());
+  metrics_->gauge("sim.queue_depth").set(static_cast<std::int64_t>(sim_.queue_depth()));
+  metrics_->gauge("sim.peak_queue_depth").set(static_cast<std::int64_t>(sim_.peak_queue_depth()));
 }
 
 std::vector<NodeId> EngineCluster::all_ids() const {

@@ -1,5 +1,6 @@
 #include "workload/experiments.h"
 
+#include <chrono>
 #include <functional>
 #include <memory>
 
@@ -174,6 +175,22 @@ LatencyResult run_latency(Deployment& dep, Simulator& sim, Algorithm algorithm, 
   r.p99_ms = stats.p99_ms();
   r.p999_ms = stats.p999_ms();
   return r;
+}
+
+/// Highest green count among a cluster's running engines (the group's
+/// committed watermark — any lagging member converges to it).
+std::int64_t max_green(EngineCluster& c) {
+  std::int64_t g = 0;
+  for (int i = 0; i < c.replicas(); ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    if (c.node(id).running()) g = std::max(g, c.engine(id).green_count());
+  }
+  return g;
+}
+
+double wall_ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
 }
 
 }  // namespace
@@ -588,6 +605,86 @@ ShardingPoint measure_sharding(int shards, int replicas_per_shard, int clients,
   p.mean_latency_ms = driver.latencies().mean_ms();
   p.cross_committed = *cross_committed;
   p.mean_barrier_ms = *cross_committed ? *barrier_sum / static_cast<double>(*cross_committed) : 0;
+  return p;
+}
+
+SimScalePoint measure_sim_scale(int shards, int replicas_per_shard, int clients,
+                                SimDuration warmup, SimDuration measure, std::uint64_t seed) {
+  SimScalePoint p;
+  p.shards = shards;
+  p.replicas_per_shard = replicas_per_shard;
+  p.total_replicas = shards * replicas_per_shard;
+  p.clients = clients;
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  Simulator* sim = nullptr;
+  const NetworkStats* net_stats = nullptr;
+  std::int64_t green_start = 0, green_end = 0;
+  std::uint64_t completed = 0;
+
+  if (shards == 1) {
+    // Single engine group: the pure EVS data path (one sequencer, group-wide
+    // multicasts, coalesced acks) with no router in front.
+    EngineDeployment dep(replicas_per_shard, seed, /*delayed=*/false);
+    sim = &dep.cluster->sim();
+    net_stats = &dep.cluster->net().stats();
+    ClosedLoopDriver driver(*sim, sim->now() + warmup, sim->now() + warmup + measure);
+    for (int c = 0; c < clients; ++c) driver.add_client(dep.client(c));
+    sim->after(warmup, [&] { green_start = max_green(*dep.cluster); });
+    sim->after(warmup + measure, [&] { green_end = max_green(*dep.cluster); });
+    dep.cluster->run_for(warmup + measure + millis(200));
+    completed = driver.completed_in_window();
+    p.peak_queue_depth = sim->peak_queue_depth();
+    p.events = sim->executed_events();
+    p.wall_ms = wall_ms_since(wall_start);
+  } else {
+    ShardedClusterOptions o;
+    o.shards = shards;
+    o.replicas_per_shard = replicas_per_shard;
+    o.seed = seed;
+    ShardedCluster cluster(o);
+    cluster.run_for(seconds(2));  // every shard forms its primary component
+    sim = &cluster.sim();
+    net_stats = &cluster.net().stats();
+    ClosedLoopDriver driver(*sim, sim->now() + warmup, sim->now() + warmup + measure);
+    for (int c = 0; c < clients; ++c) {
+      const int home = c % shards;
+      auto counter = std::make_shared<std::int64_t>(0);
+      auto rng = std::make_shared<Rng>(cluster.shard_seed(home) +
+                                       static_cast<std::uint64_t>(c) * 0x9e3779b97f4a7c15ULL);
+      driver.add_client([&cluster, rng, counter, c, home](std::function<void(bool)> done) {
+        db::Command cmd = db::Command::put(
+            "key-" + std::to_string(home) + "-" + std::to_string(rng->next_below(64)),
+            "v" + std::to_string(++*counter));
+        cluster.router().submit(c, std::move(cmd),
+                                [done = std::move(done)](const shard::RouteReply& r) {
+                                  done(r.committed);
+                                });
+      });
+    }
+    sim->after(warmup, [&] {
+      for (int s = 0; s < shards; ++s) green_start += cluster.green_count(s);
+    });
+    sim->after(warmup + measure, [&] {
+      for (int s = 0; s < shards; ++s) green_end += cluster.green_count(s);
+    });
+    cluster.run_for(warmup + measure + millis(200));
+    completed = driver.completed_in_window();
+    p.peak_queue_depth = sim->peak_queue_depth();
+    p.events = sim->executed_events();
+    p.wall_ms = wall_ms_since(wall_start);
+  }
+
+  p.completed = completed;
+  p.green_per_second = static_cast<double>(green_end - green_start) / to_seconds(measure);
+  p.messages = net_stats->messages_sent;
+  p.payload_bytes_copied = net_stats->payload_bytes_copied;
+  p.reachable_cache_hits = net_stats->reachable_cache_hits;
+  p.reachable_cache_misses = net_stats->reachable_cache_misses;
+  p.events_per_wall_second =
+      p.wall_ms > 0 ? static_cast<double>(p.events) / (p.wall_ms / 1e3) : 0;
+  const double sim_seconds = to_seconds(sim->now());
+  p.wall_ms_per_sim_second = sim_seconds > 0 ? p.wall_ms / sim_seconds : 0;
   return p;
 }
 

@@ -187,6 +187,38 @@ RebalancePoint measure_rebalance(int shards, int replicas_per_shard, int clients
                                  SimDuration warmup, SimDuration measure,
                                  std::uint64_t seed = 1);
 
+struct SimScalePoint {
+  int shards = 0;  ///< 1 = one plain engine group (no router)
+  int replicas_per_shard = 0;
+  int total_replicas = 0;
+  int clients = 0;
+  double green_per_second = 0;  ///< aggregate engine green actions/s (sim time)
+  std::uint64_t completed = 0;  ///< client-visible commits in the window
+  // Cost of the simulation itself, the subject of bench_sim_scale:
+  std::uint64_t events = 0;    ///< simulator events executed, whole run
+  std::uint64_t messages = 0;  ///< network messages sent, whole run
+  double wall_ms = 0;          ///< host wall clock for the whole run
+  double events_per_wall_second = 0;
+  double wall_ms_per_sim_second = 0;  ///< wall cost per simulated second
+  std::size_t peak_queue_depth = 0;
+  // Hot-path counters (see NetworkStats); 0 on builds that predate them.
+  std::uint64_t payload_bytes_copied = 0;
+  std::uint64_t reachable_cache_hits = 0;
+  std::uint64_t reachable_cache_misses = 0;
+};
+
+/// Simulator-scale probe: drives a closed-loop put workload over either one
+/// plain engine group (`shards` == 1, the single-group EVS run) or a
+/// ShardedCluster of `shards` groups, and reports what the simulation run
+/// itself cost the host — events/sec, wall-clock per simulated second, peak
+/// event-queue depth — alongside the simulated throughput. This is the
+/// harness-profiling companion to measure_sharding: identical seeds produce
+/// identical virtual-time results, so wall-clock deltas between builds
+/// measure only the simulator hot path.
+SimScalePoint measure_sim_scale(int shards, int replicas_per_shard, int clients,
+                                SimDuration warmup, SimDuration measure,
+                                std::uint64_t seed = 1);
+
 /// Ablation A5: availability of the two quorum systems under a cascading
 /// partition schedule (the network repeatedly shrinks the surviving
 /// component, then heals). Dynamic linear voting (the paper's choice, [15])

@@ -248,6 +248,12 @@ void ShardedCluster::sample_metrics() {
   metrics_->counter("cluster.primaries_installed").set_total(total_installs);
   metrics_->counter("net.messages").set_total(net_.stats().messages_sent);
   metrics_->counter("net.bytes").set_total(net_.stats().bytes_sent);
+  metrics_->counter("net.payload_bytes_copied").set_total(net_.stats().payload_bytes_copied);
+  metrics_->counter("net.reachable_cache_hits").set_total(net_.stats().reachable_cache_hits);
+  metrics_->counter("net.reachable_cache_misses").set_total(net_.stats().reachable_cache_misses);
+  metrics_->counter("sim.events_executed").set_total(sim_.executed_events());
+  metrics_->gauge("sim.queue_depth").set(static_cast<std::int64_t>(sim_.queue_depth()));
+  metrics_->gauge("sim.peak_queue_depth").set(static_cast<std::int64_t>(sim_.peak_queue_depth()));
   metrics_->counter("router.committed").set_total(router_->stats().committed);
   metrics_->counter("router.cross").set_total(router_->stats().routed_cross);
   metrics_->counter("router.failovers").set_total(router_->stats().failovers);

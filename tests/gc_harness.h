@@ -19,16 +19,35 @@
 
 namespace tordb::gc::testing {
 
+/// Owning copy of a Delivery. The layer's Delivery borrows its payload from
+/// the delivery buffer (valid only during the callback), so the recorder
+/// snapshots it here. Converts back to Delivery so existing checks that
+/// iterate `const Delivery&` keep working.
+struct StoredDelivery {
+  NodeId sender = kNoNode;
+  ConfigId config;
+  std::int64_t seq = 0;
+  DeliveryKind kind = DeliveryKind::kAgreed;
+  Bytes payload;
+
+  StoredDelivery() = default;
+  StoredDelivery(const Delivery& d)  // NOLINT: implicit by design
+      : sender(d.sender), config(d.config), seq(d.seq), kind(d.kind), payload(d.payload) {}
+  operator Delivery() const {  // NOLINT: implicit by design
+    return Delivery{sender, config, seq, kind, payload};
+  }
+};
+
 struct RecordedEvent {
   enum class Kind { kRegular, kTransitional, kDelivery };
   Kind kind;
-  Configuration config;  // for config events
-  Delivery delivery;     // for deliveries
+  Configuration config;      // for config events
+  StoredDelivery delivery;   // for deliveries
 };
 
 struct NodeRecord {
   std::vector<RecordedEvent> events;
-  std::vector<Delivery> deliveries;
+  std::vector<StoredDelivery> deliveries;
   std::vector<Configuration> regulars;
   std::vector<Configuration> transitionals;
   bool crashed = false;

@@ -1,0 +1,206 @@
+// Fixed-seed trace-digest regression suite: the before/after guard for
+// simulator hot-path work.
+//
+// Each scenario folds everything the simulation produced — per-node green
+// orders, database digests, network message counts, the final virtual
+// clock — into one 64-bit digest, and asserts it against a golden value
+// recorded before the simulator/network hot-path refactor (dense node
+// tables, shared-payload multicast, reachability caching, the slot-pool
+// event heap). All arithmetic is integral and seeded, so the digests are
+// identical on every platform; any change to event ordering, RNG draw
+// order, latency math, or delivery semantics shifts them.
+//
+// The sharded scenario also runs twice in-process (run-to-run determinism)
+// and once with the online safety checker subscribed (observability must
+// not perturb virtual time — under TORDB_OBS_CHECK=1 every variant has the
+// checker on, which must *still* reproduce the golden digest).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "util/rng.h"
+#include "workload/cluster.h"
+#include "workload/sharded_cluster.h"
+
+namespace tordb {
+namespace {
+
+using workload::ClusterOptions;
+using workload::EngineCluster;
+using workload::ShardedCluster;
+using workload::ShardedClusterOptions;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  std::uint64_t s = h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return splitmix64(s);
+}
+
+std::uint64_t fold_engine(std::uint64_t h, const core::ReplicationEngine& e) {
+  h = mix(h, static_cast<std::uint64_t>(e.green_count()));
+  h = mix(h, e.db_digest());
+  for (std::int64_t pos = 1; pos <= e.green_count(); ++pos) {
+    const ActionId a = e.green_action_at(pos);
+    h = mix(h, static_cast<std::uint64_t>(a.server_id));
+    h = mix(h, static_cast<std::uint64_t>(a.index));
+  }
+  return h;
+}
+
+std::uint64_t fold_net(std::uint64_t h, const NetworkStats& s, SimTime now) {
+  h = mix(h, s.messages_sent);
+  h = mix(h, s.messages_delivered);
+  h = mix(h, s.messages_dropped);
+  h = mix(h, s.bytes_sent);
+  h = mix(h, static_cast<std::uint64_t>(now));
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: churn-heavy sharded run — 3 engine groups on one network, a
+// router in front, cross-shard actions, partitions, crashes, recoveries.
+// ---------------------------------------------------------------------------
+
+std::uint64_t sharded_churn_digest(bool with_checker) {
+  ShardedClusterOptions o;
+  o.shards = 3;
+  o.replicas_per_shard = 3;
+  o.seed = 0x5eed2026;
+  o.obs.check = with_checker;
+  ShardedCluster c(o);
+  c.run_for(seconds(2));  // primaries form
+
+  // Pre-bucket keys per owning shard so cross-shard commands can target two
+  // distinct shards deterministically under hash sharding.
+  std::vector<std::vector<std::string>> pool(3);
+  for (int i = 0;; ++i) {
+    std::string key = "dk" + std::to_string(i);
+    auto& bucket = pool[static_cast<std::size_t>(c.directory().shard_of(key))];
+    if (bucket.size() < 8) bucket.push_back(std::move(key));
+    if (pool[0].size() >= 8 && pool[1].size() >= 8 && pool[2].size() >= 8) break;
+  }
+
+  // 9 closed-loop clients, 3 per home shard; every 6th action of a client is
+  // cross-shard (two puts in one command).
+  struct Client {
+    int id;
+    int home;
+    std::int64_t n = 0;
+  };
+  auto clients = std::make_shared<std::vector<Client>>();
+  for (int i = 0; i < 9; ++i) clients->push_back({i, i % 3});
+  auto rng = std::make_shared<Rng>(o.seed ^ 0xd1ce5);
+  std::function<void(std::size_t)> issue = [&, clients, rng](std::size_t idx) {
+    Client& cl = (*clients)[idx];
+    ++cl.n;
+    db::Command cmd;
+    const auto& ph = pool[static_cast<std::size_t>(cl.home)];
+    cmd.ops.push_back(db::Op{db::OpType::kPut, ph[rng->next_below(ph.size())],
+                             "v" + std::to_string(cl.n), 0});
+    if (cl.n % 6 == 0) {
+      const int other = (cl.home + 1) % 3;
+      const auto& po = pool[static_cast<std::size_t>(other)];
+      cmd.ops.push_back(db::Op{db::OpType::kPut, po[rng->next_below(po.size())],
+                               "x" + std::to_string(cl.n), 0});
+    }
+    c.router().submit(cl.id, std::move(cmd), [&issue, idx, &c](const shard::RouteReply&) {
+      if (c.sim().now() < seconds(9)) issue(idx);
+    });
+  };
+  for (std::size_t i = 0; i < clients->size(); ++i) issue(i);
+
+  // Deterministic churn schedule across all three shards.
+  c.run_for(millis(700));
+  c.partition_shard(0, {{0, 1}, {2}});
+  c.run_for(millis(600));
+  c.crash(1, 0);
+  c.run_for(millis(500));
+  c.heal_shard(0);
+  c.partition_shard(2, {{0}, {1, 2}});
+  c.run_for(millis(600));
+  c.recover(1, 0);
+  c.run_for(millis(400));
+  c.crash(2, 1);
+  c.heal_shard(2);
+  c.run_for(millis(700));
+  c.recover(2, 1);
+  c.heal();
+  c.run_for(seconds(6));  // drain and settle
+
+  EXPECT_EQ(c.check_all(), std::nullopt);
+
+  std::uint64_t h = 0x70bdb;
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      const auto& n = c.node(s, i);
+      h = mix(h, n.running() ? 1 : 0);
+      if (n.running()) h = fold_engine(h, n.engine());
+    }
+  }
+  return fold_net(h, c.net().stats(), c.sim().now());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: single-group EVS churn — the paper's deployment shape, no
+// router; partitions and crash/recovery against 7 replicas.
+// ---------------------------------------------------------------------------
+
+std::uint64_t single_group_churn_digest() {
+  ClusterOptions o;
+  o.replicas = 7;
+  o.seed = 0xe5e5e5;
+  EngineCluster c(o);
+  c.run_for(seconds(2));
+
+  Rng rng(o.seed);
+  for (int step = 0; step < 40; ++step) {
+    const NodeId n = static_cast<NodeId>(rng.next_below(7));
+    if (c.node(n).running()) {
+      c.engine(n).submit({}, db::Command::add("k" + std::to_string(step % 5), 1), n,
+                         core::Semantics::kStrict, nullptr);
+    }
+    if (step == 10) c.partition({{0, 1, 2, 3}, {4, 5, 6}});
+    if (step == 18) c.heal();
+    if (step == 24) c.crash(2);
+    if (step == 30) c.partition({{0, 1, 3}, {2, 4, 5, 6}});
+    if (step == 34) c.heal();
+    if (step == 36) c.recover(2);
+    c.run_for(millis(static_cast<std::int64_t>(rng.next_range(20, 150))));
+  }
+  c.run_for(seconds(6));
+
+  EXPECT_EQ(c.check_all(), std::nullopt);
+
+  std::uint64_t h = 0x190;
+  for (NodeId i = 0; i < 7; ++i) {
+    h = mix(h, c.node(i).running() ? 1 : 0);
+    if (c.node(i).running()) h = fold_engine(h, c.engine(i));
+  }
+  return fold_net(h, c.net().stats(), c.sim().now());
+}
+
+// Golden digests recorded from the pre-refactor simulator (std::map node
+// tables, per-target payload copies, std::priority_queue event loop). The
+// hot-path refactor must reproduce them bit for bit.
+constexpr std::uint64_t kShardedChurnGolden = 7601728032253957633ULL;
+constexpr std::uint64_t kSingleGroupChurnGolden = 1558581517657567485ULL;
+
+TEST(SimDigest, ShardedChurnMatchesGolden) {
+  EXPECT_EQ(sharded_churn_digest(false), kShardedChurnGolden);
+}
+
+TEST(SimDigest, ShardedChurnRunToRunIdentical) {
+  EXPECT_EQ(sharded_churn_digest(false), sharded_churn_digest(false));
+}
+
+TEST(SimDigest, CheckerDoesNotPerturbVirtualTime) {
+  EXPECT_EQ(sharded_churn_digest(true), kShardedChurnGolden);
+}
+
+TEST(SimDigest, SingleGroupChurnMatchesGolden) {
+  EXPECT_EQ(single_group_churn_digest(), kSingleGroupChurnGolden);
+}
+
+}  // namespace
+}  // namespace tordb

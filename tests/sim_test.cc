@@ -80,6 +80,75 @@ TEST(Simulator, RunWithLimit) {
   EXPECT_EQ(sim.run(), 2u);
 }
 
+TEST(Simulator, CancelledPopsDoNotCountAsExecuted) {
+  Simulator sim;
+  int fired = 0;
+  std::vector<Cancelable> tokens;
+  for (int i = 0; i < 10; ++i) {
+    tokens.push_back(sim.after_cancelable(millis(i + 1), [&] { ++fired; }));
+  }
+  for (int i = 0; i < 10; i += 2) tokens[i].cancel();
+  sim.at(millis(20), [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 6);
+  EXPECT_EQ(sim.executed_events(), 6u);
+  // Every cancelled event was either skipped at the top or purged en masse;
+  // none executed and none inflated the executed count.
+  EXPECT_EQ(sim.cancelled_pops() + sim.purged_events(), 5u);
+}
+
+TEST(Simulator, RunLimitCountsOnlyLiveEvents) {
+  Simulator sim;
+  int fired = 0;
+  auto dead1 = sim.after_cancelable(millis(1), [&] { ++fired; });
+  sim.at(millis(2), [&] { ++fired; });
+  auto dead2 = sim.after_cancelable(millis(3), [&] { ++fired; });
+  sim.at(millis(4), [&] { ++fired; });
+  sim.at(millis(5), [&] { ++fired; });
+  dead1.cancel();
+  dead2.cancel();
+  // The limit is a budget of *live* events: skipped cancellations are free.
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, CancelledBacklogIsPurgedBeforeGrowth) {
+  Simulator sim;
+  std::vector<Cancelable> tokens;
+  for (int i = 0; i < 200; ++i) {
+    tokens.push_back(sim.after_cancelable(seconds(1) + millis(i), [] {}));
+  }
+  for (auto& t : tokens) t.cancel();
+  EXPECT_EQ(sim.queue_depth(), 200u);  // lazily cancelled: still queued
+  // The next schedule sees a queue dominated by dead entries and compacts
+  // it in one pass instead of growing past it.
+  sim.at(millis(1), [] {});
+  EXPECT_EQ(sim.queue_depth(), 1u);
+  EXPECT_EQ(sim.purged_events(), 200u);
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 1u);
+  // Purged events never ran, so the clock stopped at the live event.
+  EXPECT_EQ(sim.now(), millis(1));
+}
+
+TEST(Simulator, PurgePreservesFifoOrderOfSurvivors) {
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<Cancelable> tokens;
+  for (int i = 0; i < 100; ++i) {
+    tokens.push_back(sim.after_cancelable(millis(5), [] {}));
+  }
+  for (int i = 0; i < 10; ++i) sim.at(millis(5), [&order, i] { order.push_back(i); });
+  for (auto& t : tokens) t.cancel();
+  sim.at(millis(5), [&order] { order.push_back(10); });  // triggers the purge
+  EXPECT_EQ(sim.peak_queue_depth(), 110u);
+  sim.run();
+  ASSERT_EQ(order.size(), 11u);
+  // Same-time events keep exact schedule-order FIFO across the re-heapify.
+  for (int i = 0; i <= 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
 // ---------------------------------------------------------------------------
 
 class NetworkTest : public ::testing::Test {

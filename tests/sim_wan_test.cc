@@ -141,6 +141,27 @@ TEST(WanBandwidth, IntraSiteTrafficUnaffectedByEgress) {
   EXPECT_LT(arrival, millis(10));
 }
 
+TEST(WanBandwidth, CrashReleasesSiteEgress) {
+  Simulator sim(1);
+  Network net(sim, wan_params(0, micros(1)));
+  for (NodeId n : {0, 1, 2}) net.add_node(n);
+  net.set_site(0, 0);
+  net.set_site(1, 0);  // same site as 0
+  net.set_site(2, 1);
+  // Node 0 loads its site's egress with 10ms of cross-site traffic, then
+  // crashes before any of it reaches the wire.
+  net.send(0, 2, Bytes(10000));
+  net.crash(0);
+  // A healthy same-site sender must not serialize behind bytes that died
+  // with the crashed node: the egress is released on crash.
+  SimTime arrival = -1;
+  net.set_packet_handler(2, [&](NodeId, const Bytes&) { arrival = sim.now(); });
+  net.send(1, 2, Bytes(1000));
+  sim.run();
+  ASSERT_GE(arrival, 0);
+  EXPECT_LT(arrival, millis(5));  // 10ms queue would push arrival past 10ms
+}
+
 TEST(WanBandwidth, SitesShareTheEgressQueue) {
   Simulator sim(1);
   Network net(sim, wan_params(0, micros(1)));
