@@ -11,8 +11,15 @@
 // involved shard until the slowest one reports green (the commit barrier),
 // so throughput falls and the barrier wait shows up as extra latency.
 //
-// Pass --quick (or set TORDB_BENCH_FAST=1) for the reduced CI smoke sweep.
+// Pass --quick (or set TORDB_BENCH_FAST=1) for the reduced CI sweep, or
+// --smoke for the reduced sweep plus a wall-clock budget (default 90 s,
+// TORDB_SHARDING_BUDGET_MS to override): the CI guard that fails loudly if
+// the router->directory->db hot path regresses by an order of magnitude.
+// The budget is deliberately loose — it tolerates sanitizers and slow
+// runners, not a return of per-op key re-hashing and tree walks.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "bench_util.h"
@@ -23,8 +30,10 @@ int main(int argc, char** argv) {
   using namespace tordb::workload;
 
   bool quick = bench::fast_mode();
+  bool smoke = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--smoke") == 0) quick = smoke = true;
   }
 
   bench::header("Ablation A6: sharding (12 replicas total, closed-loop router clients)",
@@ -47,6 +56,7 @@ int main(int argc, char** argv) {
   std::printf("%7s | %6s | %12s | %12s | %10s | %11s | %9s\n", "shards", "cross%",
               "committed/s", "green/s", "latency", "barrier", "crossed");
   bench::row_sep(86);
+  const auto t0 = std::chrono::steady_clock::now();
   double green_1shard = 0, green_4shard = 0;
   for (const int shards : shard_counts) {
     for (const double ratio : ratios) {
@@ -64,6 +74,24 @@ int main(int argc, char** argv) {
   if (green_1shard > 0 && green_4shard > 0) {
     std::printf("scaling at 0%% cross-shard: 4 shards / 1 shard = %.2fx\n",
                 green_4shard / green_1shard);
+  }
+
+  if (smoke) {
+    const double total_wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    double budget_ms = 90'000;
+    if (const char* b = std::getenv("TORDB_SHARDING_BUDGET_MS")) {
+      budget_ms = std::atof(b);
+    }
+    if (total_wall_ms > budget_ms) {
+      std::fprintf(stderr,
+                   "FAIL: smoke sweep took %.0f ms, over the %.0f ms budget — the "
+                   "routing/apply hot path regressed\n",
+                   total_wall_ms, budget_ms);
+      return 1;
+    }
+    std::printf("smoke budget: %.0f ms <= %.0f ms OK\n", total_wall_ms, budget_ms);
   }
   return 0;
 }

@@ -72,7 +72,7 @@ void CorelReplica::submit(db::Command update, std::function<void(bool)> done) {
 }
 
 void CorelReplica::on_deliver(const gc::Delivery& d) {
-  BufReader r(d.payload);
+  BufReader r(d.payload.data(), d.payload.size());
   const auto type = static_cast<CorelMsg>(r.u8());
   switch (type) {
     case CorelMsg::kData: {

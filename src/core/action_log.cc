@@ -4,33 +4,47 @@
 
 namespace tordb::core {
 
-std::vector<const Action*> ActionLog::mark_red(Action&& a) {
-  std::vector<const Action*> admitted;
+std::unique_ptr<ActionLog::StoredAction> ActionLog::alloc_stored() {
+  if (pool_.empty()) return std::make_unique<StoredAction>();
+  std::unique_ptr<StoredAction> p = std::move(pool_.back());
+  pool_.pop_back();
+  p->green_pos = 0;
+  return p;
+}
+
+void ActionLog::recycle(std::unique_ptr<StoredAction> p) {
+  if (pool_.size() < 4096) pool_.push_back(std::move(p));
+}
+
+std::span<const Action* const> ActionLog::mark_red(Action&& a) {
+  admitted_.clear();
   const ActionId aid = a.id;
   CreatorState& cs = creators_[aid.server_id];
-  if (cs.red_cut >= aid.index) return admitted;  // duplicate
+  if (cs.red_cut >= aid.index) return admitted_;  // duplicate
   if (cs.red_cut < aid.index - 1) {
     // Creator-FIFO gap: exchange-phase red and green retransmissions come
     // from different members and may interleave out of creator order;
     // park the action until its predecessors arrive.
-    red_waiting_.emplace(aid, std::move(a));
-    return admitted;
+    red_waiting_[pack_action_id(aid)] = std::move(a);
+    return admitted_;
   }
   Action current = std::move(a);
   for (;;) {
     const ActionId cid = current.id;
     cs.red_cut = cid.index;
-    // try_emplace + assign (not insert_or_assign) so a body re-admitted
-    // after a green-during-gap keeps the green position it already earned.
-    auto [it, _] = store_.try_emplace(cid);
-    it->second.body = std::move(current);
-    admitted.push_back(&it->second.body);
-    auto next = red_waiting_.find(ActionId{aid.server_id, cs.red_cut + 1});
-    if (next == red_waiting_.end()) break;
-    current = std::move(next->second);
-    red_waiting_.erase(next);
+    // Fetch-or-create (not overwrite) so a body re-admitted after a
+    // green-during-gap keeps the green position it already earned.
+    auto& slot = store_[pack_action_id(cid)];
+    if (!slot) slot = alloc_stored();
+    slot->body = std::move(current);
+    admitted_.push_back(&slot->body);
+    const std::uint64_t next_key = pack_action_id(ActionId{aid.server_id, cs.red_cut + 1});
+    Action* next = red_waiting_.find(next_key);
+    if (next == nullptr) break;
+    current = std::move(*next);
+    red_waiting_.erase(next_key);
   }
-  return admitted;
+  return admitted_;
 }
 
 ActionLog::GreenResult ActionLog::mark_green(Action&& a) {
@@ -45,21 +59,26 @@ ActionLog::GreenResult ActionLog::mark_green(Action&& a) {
   // The action may have been parked (gap) rather than admitted red; the
   // green order still needs its body in the store, so mirror the parked
   // copy there (mark_red consumed the argument).
-  auto it = store_.find(aid);
-  if (it == store_.end()) {
-    auto parked = red_waiting_.find(aid);
-    if (parked != red_waiting_.end()) {
-      it = store_.try_emplace(aid, StoredAction{parked->second, 0}).first;
-    }
+  const std::uint64_t key = pack_action_id(aid);
+  StoredAction* cell = nullptr;
+  if (auto* slot = store_.find(key)) {
+    cell = slot->get();
+  } else if (const Action* parked = red_waiting_.find(key)) {
+    auto& fresh = store_[key];
+    fresh = std::make_unique<StoredAction>(StoredAction{*parked, 0});
+    cell = fresh.get();
   }
-  if (it != store_.end()) it->second.green_pos = green_count_;
+  if (cell != nullptr) {
+    cell->green_pos = green_count_;
+    res.body = &cell->body;
+  }
   res.position = green_count_;
   return res;
 }
 
 const Action* ActionLog::body_of(const ActionId& id) const {
-  auto it = store_.find(id);
-  return it == store_.end() ? nullptr : &it->second.body;
+  const auto* slot = store_.find(pack_action_id(id));
+  return slot == nullptr ? nullptr : &(*slot)->body;
 }
 
 const Action* ActionLog::green_body_at(std::int64_t position) const {
@@ -77,8 +96,8 @@ ActionId ActionLog::green_action_at(std::int64_t position) const {
 }
 
 std::int64_t ActionLog::position_of(const ActionId& id) const {
-  auto it = store_.find(id);
-  return it == store_.end() ? 0 : it->second.green_pos;
+  const auto* slot = store_.find(pack_action_id(id));
+  return slot == nullptr ? 0 : (*slot)->green_pos;
 }
 
 std::size_t ActionLog::red_count() const {
@@ -92,41 +111,32 @@ std::size_t ActionLog::red_count() const {
 }
 
 std::int64_t ActionLog::red_cut(NodeId creator) const {
-  auto it = creators_.find(creator);
-  return it == creators_.end() ? 0 : it->second.red_cut;
+  const CreatorState* cs = creators_.find(creator);
+  return cs == nullptr ? 0 : cs->red_cut;
 }
 
 std::int64_t ActionLog::green_red_cut(NodeId creator) const {
-  auto it = creators_.find(creator);
-  return it == creators_.end() ? 0 : it->second.green_red_cut;
-}
-
-std::vector<NodeId> ActionLog::sorted_creators() const {
-  std::vector<NodeId> v;
-  v.reserve(creators_.size());
-  for (const auto& [c, cs] : creators_) v.push_back(c);
-  std::sort(v.begin(), v.end());
-  return v;
+  const CreatorState* cs = creators_.find(creator);
+  return cs == nullptr ? 0 : cs->green_red_cut;
 }
 
 std::vector<std::pair<NodeId, std::int64_t>> ActionLog::red_cut_pairs() const {
   std::vector<std::pair<NodeId, std::int64_t>> v;
   v.reserve(creators_.size());
-  for (NodeId c : sorted_creators()) v.emplace_back(c, creators_.at(c).red_cut);
+  for (const auto& [c, cs] : creators_) v.emplace_back(c, cs.red_cut);
   return v;
 }
 
 std::vector<std::pair<NodeId, std::int64_t>> ActionLog::green_red_cut_pairs() const {
   std::vector<std::pair<NodeId, std::int64_t>> v;
   v.reserve(creators_.size());
-  for (NodeId c : sorted_creators()) v.emplace_back(c, creators_.at(c).green_red_cut);
+  for (const auto& [c, cs] : creators_) v.emplace_back(c, cs.green_red_cut);
   return v;
 }
 
 std::vector<ActionId> ActionLog::pending_red_ids() const {
   std::vector<ActionId> ids;
-  for (NodeId c : sorted_creators()) {
-    const CreatorState& cs = creators_.at(c);
+  for (const auto& [c, cs] : creators_) {
     for (std::int64_t i = cs.green_red_cut + 1; i <= cs.red_cut; ++i) {
       ids.push_back(ActionId{c, i});
     }
@@ -135,8 +145,7 @@ std::vector<ActionId> ActionLog::pending_red_ids() const {
 }
 
 void ActionLog::for_each_pending_red(const std::function<void(const Action&)>& fn) const {
-  for (NodeId c : sorted_creators()) {
-    const CreatorState& cs = creators_.at(c);
+  for (const auto& [c, cs] : creators_) {
     for (std::int64_t i = cs.green_red_cut + 1; i <= cs.red_cut; ++i) {
       if (const Action* b = body_of(ActionId{c, i})) fn(*b);
     }
@@ -148,7 +157,11 @@ std::size_t ActionLog::trim_white_to(std::int64_t white_line) {
   while (white_count_ < white_line && green_head_ < green_seq_.size()) {
     const ActionId aid = green_seq_[green_head_++];
     ++white_count_;
-    store_.erase(aid);
+    const std::uint64_t key = pack_action_id(aid);
+    if (auto* slot = store_.find(key)) {
+      recycle(std::move(*slot));
+      store_.erase(key);
+    }
     ++trimmed;
   }
   compact_green_seq();
@@ -191,13 +204,18 @@ void ActionLog::adopt_green_prefix(
   // Bodies and parked retransmissions the adopted prefix covers are dead:
   // green-by-position retransmission below our white line is impossible
   // (the exchange falls back to a catch-up transfer), and covered indices
-  // can never be pending reds again.
-  for (auto it = store_.begin(); it != store_.end();) {
-    it = is_green(it->first) ? store_.erase(it) : std::next(it);
-  }
-  for (auto it = red_waiting_.begin(); it != red_waiting_.end();) {
-    it = is_green(it->first) ? red_waiting_.erase(it) : std::next(it);
-  }
+  // can never be pending reds again. Collect first, then erase — the flat
+  // tables must not shrink under their own iteration.
+  std::vector<std::uint64_t> dead;
+  store_.for_each([&](std::uint64_t key, const std::unique_ptr<StoredAction>&) {
+    if (is_green(unpack_action_id(key))) dead.push_back(key);
+  });
+  for (const std::uint64_t key : dead) store_.erase(key);
+  dead.clear();
+  red_waiting_.for_each([&](std::uint64_t key, const Action&) {
+    if (is_green(unpack_action_id(key))) dead.push_back(key);
+  });
+  for (const std::uint64_t key : dead) red_waiting_.erase(key);
 }
 
 bool ActionLog::replay_green(std::int64_t position, const Action& a) {
@@ -207,9 +225,10 @@ bool ActionLog::replay_green(std::int64_t position, const Action& a) {
   CreatorState& cs = creators_[a.id.server_id];
   cs.green_red_cut = std::max(cs.green_red_cut, a.id.index);
   cs.red_cut = std::max(cs.red_cut, a.id.index);
-  auto [it, _] = store_.try_emplace(a.id);
-  it->second.body = a;
-  it->second.green_pos = green_count_;
+  auto& slot = store_[pack_action_id(a.id)];
+  if (!slot) slot = alloc_stored();
+  slot->body = a;
+  slot->green_pos = green_count_;
   return true;
 }
 

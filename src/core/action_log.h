@@ -38,11 +38,13 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "core/action.h"
+#include "util/flat_map.h"
 #include "util/types.h"
 
 namespace tordb::core {
@@ -59,10 +61,14 @@ class ActionLog {
 
   struct GreenResult {
     /// Actions newly admitted to the local red order by this call (the
-    /// argument and any unparked successors), in admission order.
-    std::vector<const Action*> newly_red;
+    /// argument and any unparked successors), in admission order. Views the
+    /// log's scratch buffer: valid until the next mark_red/mark_green.
+    std::span<const Action* const> newly_red;
     /// Assigned global green position; 0 if the action was already green.
     std::int64_t position = 0;
+    /// Stored body of the newly-green action (nullptr when position == 0 or
+    /// the body is unknown) — saves callers the store re-probe.
+    const Action* body = nullptr;
   };
 
   // --- coloring ------------------------------------------------------------
@@ -70,12 +76,14 @@ class ActionLog {
   /// Admit `a` to the local red order (A.14). Ignores duplicates; parks
   /// actions arriving ahead of their creator-FIFO predecessors in the
   /// retransmission buffer; admitting a gap-filler drains the parked
-  /// chain. Returns every action newly ordered red, in order; pointers
-  /// are stable until the action is trimmed. The rvalue overload moves the
-  /// body into storage (one deep copy per delivery saved on the hot path);
-  /// the lvalue overload copies.
-  std::vector<const Action*> mark_red(Action&& a);
-  std::vector<const Action*> mark_red(const Action& a) { return mark_red(Action(a)); }
+  /// chain. Returns every action newly ordered red, in order; body pointers
+  /// are stable until the action is trimmed, but the returned view itself
+  /// reuses a scratch buffer valid only until the next mark_red/mark_green
+  /// (consume-immediately, like the hot path does). The rvalue overload
+  /// moves the body into storage (one deep copy per delivery saved on the
+  /// hot path); the lvalue overload copies.
+  std::span<const Action* const> mark_red(Action&& a);
+  std::span<const Action* const> mark_red(const Action& a) { return mark_red(Action(a)); }
 
   /// Append `a` to the green sequence (A.14 mark-green), admitting it red
   /// first if needed. Duplicates (already green) return position 0.
@@ -85,8 +93,8 @@ class ActionLog {
   // --- queries -------------------------------------------------------------
 
   bool is_green(const ActionId& id) const {
-    auto it = creators_.find(id.server_id);
-    return it != creators_.end() && id.index <= it->second.green_red_cut;
+    const CreatorState* cs = creators_.find(id.server_id);
+    return cs != nullptr && id.index <= cs->green_red_cut;
   }
   /// Stored body, or nullptr if unknown or trimmed.
   const Action* body_of(const ActionId& id) const;
@@ -152,14 +160,15 @@ class ActionLog {
     std::int64_t red_cut = 0;        ///< A: redCut — contiguous local prefix
     std::int64_t green_red_cut = 0;  ///< prefix covered by the green order
   };
-  /// Body plus its green position (0 while only red), one hash entry per
-  /// stored action instead of parallel body/position tables.
+  /// Body plus its green position (0 while only red), one entry per stored
+  /// action instead of parallel body/position tables. Heap-allocated behind
+  /// the flat table so body pointers stay stable across table growth (the
+  /// mark_red contract: pointers live until the action is trimmed).
   struct StoredAction {
     Action body;
     std::int64_t green_pos = 0;
   };
 
-  std::vector<NodeId> sorted_creators() const;
   void compact_green_seq();
 
   std::int64_t green_count_ = 0;
@@ -167,9 +176,28 @@ class ActionLog {
   /// Positions white+1..green live at indexes [green_head_, size).
   std::vector<ActionId> green_seq_;
   std::size_t green_head_ = 0;
-  std::unordered_map<NodeId, CreatorState> creators_;
-  std::unordered_map<ActionId, Action> red_waiting_;
-  std::unordered_map<ActionId, StoredAction> store_;  ///< bodies (red + untrimmed green)
+  /// Tiny (group-sized) and iterated for wire encodings: the sorted vector
+  /// gives creator-ordered iteration for free.
+  util::VecMap<NodeId, CreatorState> creators_;
+  /// Recycle StoredAction blocks between trim (which frees one per white
+  /// action) and admit (which allocates one per red action): the two rates
+  /// match in steady state, so the pool turns a malloc/free pair per action
+  /// per replica into a pop/push on this vector. Entries keep their last
+  /// body until reuse (the move-assign there releases it); the pool is
+  /// capped so a burst can't pin memory.
+  std::unique_ptr<StoredAction> alloc_stored();
+  void recycle(std::unique_ptr<StoredAction> p);
+  std::vector<std::unique_ptr<StoredAction>> pool_;
+
+  /// Scratch for mark_red's return view — reused across calls so the hot
+  /// path (one mark_red per delivered action per member) allocates nothing.
+  std::vector<const Action*> admitted_;
+
+  /// Keyed by pack_action_id; probed per retransmission, never iterated in
+  /// a determinism-relevant order.
+  util::FlatMap64<Action> red_waiting_;
+  /// Bodies (red + untrimmed green), keyed by pack_action_id.
+  util::FlatMap64<std::unique_ptr<StoredAction>> store_;
 };
 
 }  // namespace tordb::core

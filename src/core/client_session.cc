@@ -1,6 +1,20 @@
 #include "core/client_session.h"
 
+#include <charconv>
+
 namespace tordb::core {
+
+namespace {
+
+/// std::to_string without the temporary: reuses `out`'s capacity.
+void assign_num(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out.assign(buf, end);
+}
+
+}  // namespace
 
 ClientSession::ClientSession(Simulator& sim, std::vector<ReplicaNode*> replicas,
                              std::int64_t client_id, SessionOptions options)
@@ -32,6 +46,7 @@ void ClientSession::pump() {
   current_ = std::move(queue_.front());
   queue_.pop_front();
   in_flight_ = true;
+  assign_num(seq_str_, current_.seq);  // every attempt reuses the one string
   issue();
 }
 
@@ -79,8 +94,9 @@ void ClientSession::issue() {
   // time at every replica identically, so a duplicate of an already
   // committed attempt aborts everywhere.
   db::Command fenced;
+  fenced.ops.reserve(2 + current_.update.ops.size());
   fenced.ops.push_back(db::Op{db::OpType::kCheck, guard_key_, last_committed_guard_, 0});
-  fenced.ops.push_back(db::Op{db::OpType::kPut, guard_key_, std::to_string(seq), 0});
+  fenced.ops.push_back(db::Op{db::OpType::kPut, guard_key_, seq_str_, 0});
   fenced.ops.insert(fenced.ops.end(), current_.update.ops.begin(), current_.update.ops.end());
 
   node->engine().submit({}, std::move(fenced), client_id_, Semantics::kStrict,
@@ -98,7 +114,7 @@ void ClientSession::on_reply(std::int64_t seq, std::uint64_t attempt_epoch, bool
                              bool fenced) {
   if (!in_flight_ || current_.seq != seq || attempt_epoch != attempt_epoch_) return;
   if (!aborted) {
-    last_committed_guard_ = std::to_string(seq);
+    last_committed_guard_ = seq_str_;  // assignment reuses capacity
     finish(true);
     return;
   }
@@ -132,10 +148,10 @@ void ClientSession::resolve_ambiguous_abort(std::int64_t seq, std::uint64_t atte
       [this, alive = alive_, seq, attempt_epoch](const Reply& r) {
         if (!*alive) return;
         if (!in_flight_ || current_.seq != seq || attempt_epoch != attempt_epoch_) return;
-        if (!r.reads.empty() && r.reads[0] == std::to_string(seq)) {
+        if (!r.reads.empty() && r.reads[0] == seq_str_) {
           // An earlier attempt committed; the retry was the duplicate.
           ++stats_.duplicates_suppressed;
-          last_committed_guard_ = std::to_string(seq);
+          last_committed_guard_ = seq_str_;
           finish(true);
         } else {
           finish(false);

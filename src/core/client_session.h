@@ -113,6 +113,7 @@ class ClientSession {
 
   std::int64_t next_seq_ = 0;
   std::string last_committed_guard_;  ///< guard value of the last commit
+  std::string seq_str_;  ///< decimal form of current_.seq, built once per request
   std::deque<Request> queue_;
   bool in_flight_ = false;
   Request current_;

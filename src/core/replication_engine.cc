@@ -198,7 +198,8 @@ void ReplicationEngine::recover_from_log(const std::vector<NodeId>& fallback_ser
         vulnerable_ = m.vulnerable;
         yellow_ = m.yellow;
         for (const auto& [n, g] : m.green_lines) {
-          green_lines_[n] = std::max(green_lines_[n], g);
+          std::int64_t& v = green_lines_[n];
+          v = std::max(v, g);
         }
         gc_counter = std::max(gc_counter, m.gc_counter);
         break;
@@ -266,26 +267,30 @@ void ReplicationEngine::adopt_snapshot(const SnapshotMessage& s, bool set_prim) 
   log_.adopt_green_prefix(s.green_count, s.green_red_cut);
   server_set_ = s.server_set;
   for (const auto& [n, g] : s.green_lines) {
-    green_lines_[n] = std::max(green_lines_[n], g);
+    std::int64_t& v = green_lines_[n];
+    v = std::max(v, g);
   }
   if (set_prim) prim_ = s.prim;
-  // Own in-flight actions the snapshot already ordered are settled.
-  for (auto it = ongoing_.begin(); it != ongoing_.end();) {
-    if (is_green(it->first)) {
-      auto pit = pending_replies_.find(it->first);
-      if (pit != pending_replies_.end()) {
-        // Ordered inside the transferred prefix; the per-action result is
-        // not recoverable from a state transfer, so acknowledge commit.
-        Reply rep;
-        rep.action = it->first;
-        pit->second.fn(rep);
-        ++stats_.replies;
-        pending_replies_.erase(pit);
-      }
-      it = ongoing_.erase(it);
-    } else {
-      ++it;
+  // Own in-flight actions the snapshot already ordered are settled, in
+  // ActionId order (sorted packed keys) so reply ordering stays
+  // deterministic despite the flat table's unspecified iteration order.
+  std::vector<std::uint64_t> settled;
+  ongoing_.for_each([&](std::uint64_t key, const Bytes&) {
+    if (is_green(unpack_action_id(key))) settled.push_back(key);
+  });
+  std::sort(settled.begin(), settled.end());
+  for (const std::uint64_t key : settled) {
+    if (PendingReply* pit = pending_replies_.find(key)) {
+      // Ordered inside the transferred prefix; the per-action result is
+      // not recoverable from a state transfer, so acknowledge commit.
+      Reply rep;
+      rep.action = unpack_action_id(key);
+      auto fn = std::move(pit->fn);
+      pending_replies_.erase(key);
+      ++stats_.replies;
+      if (fn) fn(rep);
     }
+    ongoing_.erase(key);
   }
 }
 
@@ -310,7 +315,7 @@ Action ReplicationEngine::make_action(ActionType type, db::Command query, db::Co
     tracer_.emit_action(obs::EventKind::kActionSubmitted, a.id,
                         static_cast<std::int64_t>(semantics), static_cast<std::int64_t>(type));
   }
-  if (green_latency_hist_ != nullptr) submit_times_[a.id] = sim_.now();
+  if (green_latency_hist_ != nullptr) submit_times_[pack_action_id(a.id)] = sim_.now();
   return a;
 }
 
@@ -321,26 +326,56 @@ void ReplicationEngine::persist_and_send(std::vector<Action> actions) {
   // (buffered requests flushing together) are framed as one log record and
   // one multicast instead of per-action records and messages.
   if (actions.empty()) return;
-  for (const Action& a : actions) ongoing_[a.id] = a;
+  if (actions.size() == 1) {
+    // Single-action fast path (the steady-state shape): one log record, one
+    // wire, and a sync callback that fits SmallFn's inline slot — the whole
+    // persist pipeline allocates only the wire buffer itself.
+    const Action& a = actions.front();
+    const Bytes& body = encoded_body(a);
+    ongoing_[pack_action_id(a.id)] = body;
+    storage_.append_framed(static_cast<std::uint8_t>(LogRecordType::kOngoing), body);
+    Bytes wire;
+    wire.reserve(1 + body.size());
+    wire.push_back(static_cast<std::uint8_t>(EngineMsgType::kAction));
+    wire.insert(wire.end(), body.begin(), body.end());
+    storage_.sync([this, alive = alive_, wire = std::move(wire)]() mutable {
+      if (!*alive || state_ == EngineState::kLeft) return;
+      gc_->multicast(std::move(wire), gc::Service::kSafe);
+    });
+    return;
+  }
   const bool batched = params_.batch_persist && actions.size() > 1;
+  // Encode each body exactly once: the ongoing-queue entry, the log record
+  // and the multicast wire all share the same canonical bytes. The wires
+  // are framed here (not in the sync callback) so the callback only moves
+  // pre-built buffers into the gc layer.
+  std::vector<Bytes> wires;
   if (batched) {
+    for (const Action& a : actions) {
+      ongoing_[pack_action_id(a.id)] = encode_action_body(a);
+    }
     storage_.append(encode_log_ongoing_batch(actions));
+    wires.push_back(encode_action_batch(actions));
     ++stats_.persist_batches;
     stats_.persist_batch_actions += actions.size();
     stats_.persist_batch_max = std::max(stats_.persist_batch_max,
                                         static_cast<std::uint64_t>(actions.size()));
   } else {
-    for (const Action& a : actions) storage_.append(encode_log_ongoing(a));
-  }
-  storage_.sync([this, alive = alive_, batched, actions = std::move(actions)] {
-    if (!*alive || state_ == EngineState::kLeft) return;
-    if (batched) {
-      gc_->multicast(encode_action_batch(actions), gc::Service::kSafe);
-    } else {
-      for (const Action& a : actions) {
-        gc_->multicast(encode_action_msg(a), gc::Service::kSafe);
-      }
+    wires.reserve(actions.size());
+    for (const Action& a : actions) {
+      const Bytes& body = encoded_body(a);
+      ongoing_[pack_action_id(a.id)] = body;
+      storage_.append_framed(static_cast<std::uint8_t>(LogRecordType::kOngoing), body);
+      Bytes wire;
+      wire.reserve(1 + body.size());
+      wire.push_back(static_cast<std::uint8_t>(EngineMsgType::kAction));
+      wire.insert(wire.end(), body.begin(), body.end());
+      wires.push_back(std::move(wire));
     }
+  }
+  storage_.sync([this, alive = alive_, wires = std::move(wires)]() mutable {
+    if (!*alive || state_ == EngineState::kLeft) return;
+    for (Bytes& w : wires) gc_->multicast(std::move(w), gc::Service::kSafe);
   });
 }
 
@@ -355,7 +390,9 @@ void ReplicationEngine::submit(db::Command query, db::Command update, std::int64
   if (state_ == EngineState::kRegPrim || state_ == EngineState::kNonPrim) {
     Action a = make_action(ActionType::kUpdate, std::move(query), std::move(update), client,
                            semantics, kNoNode);
-    if (reply) pending_replies_[a.id] = PendingReply{semantics, std::move(reply)};
+    if (reply) {
+      pending_replies_[pack_action_id(a.id)] = PendingReply{semantics, std::move(reply)};
+    }
     persist_and_send({std::move(a)});
   } else {
     buffered_requests_.push_back(BufferedRequest{ActionType::kUpdate, std::move(query),
@@ -460,7 +497,9 @@ void ReplicationEngine::handle_buffered_requests() {
     buffered_requests_.pop_front();
     Action a = make_action(req.type, std::move(req.query), std::move(req.update), req.client,
                            req.semantics, req.subject);
-    if (req.reply) pending_replies_[a.id] = PendingReply{req.semantics, std::move(req.reply)};
+    if (req.reply) {
+      pending_replies_[pack_action_id(a.id)] = PendingReply{req.semantics, std::move(req.reply)};
+    }
     actions.push_back(std::move(a));
   }
   persist_and_send(std::move(actions));
@@ -528,7 +567,7 @@ void ReplicationEngine::on_regular_config(const gc::Configuration& conf) {
 
 void ReplicationEngine::on_deliver(const gc::Delivery& d) {
   if (state_ == EngineState::kLeft) return;
-  BufReader r(d.payload);
+  BufReader r(d.payload.data(), d.payload.size());
   const auto type = static_cast<EngineMsgType>(r.u8());
   switch (type) {
     case EngineMsgType::kAction: {
@@ -579,7 +618,8 @@ void ReplicationEngine::handle_action(Action&& a) {
       const NodeId creator = a.id.server_id;
       const std::int64_t line = a.green_line;
       mark_green(std::move(a));
-      green_lines_[creator] = std::max(green_lines_[creator], line);
+      std::int64_t& v = green_lines_[creator];
+      v = std::max(v, line);
       trim_white();
       break;
     }
@@ -694,7 +734,7 @@ void ReplicationEngine::shift_to_exchange_actions() {
         snap.green_count = log_.green_count();
         snap.green_red_cut = log_.green_red_cut_pairs();
         snap.server_set = server_set_;
-        snap.green_lines = map_to_pairs(green_lines_);
+        snap.green_lines = green_lines_.entries();
         snap.prim = prim_;
         gc_->multicast(encode_catchup(snap), gc::Service::kAgreed);
         ++stats_.snapshots_sent;
@@ -786,7 +826,7 @@ void ReplicationEngine::handle_catchup(const SnapshotMessage& s) {
     rec.green_red_cut = log_.green_red_cut_pairs();
     rec.meta = current_meta();
     log_.for_each_pending_red([&](const Action& a2) { rec.red_actions.push_back(a2); });
-    for (const auto& [aid, act] : ongoing_) rec.ongoing_actions.push_back(act);
+    rec.ongoing_actions = sorted_ongoing();
     storage_.append(encode_log_db_snapshot(rec));
     green_lines_[id_] = log_.green_count();
   }
@@ -802,7 +842,8 @@ void ReplicationEngine::maybe_end_of_retrans() {
 void ReplicationEngine::end_of_retrans() {
   // A.5 End_of_retrans: incorporate green lines, compute knowledge, decide.
   for (const auto& [m, s] : state_msgs_) {
-    green_lines_[m] = std::max(green_lines_[m], s.green_count);
+    std::int64_t& g = green_lines_[m];
+    g = std::max(g, s.green_count);
   }
   compute_knowledge();
   trim_white();
@@ -973,9 +1014,12 @@ void ReplicationEngine::check_construct_complete() {
     if (!cpc_received_.count(m)) return;
   }
   // A.9: everyone reached the same state during the exchange, so after
-  // install all members share this server's green line.
+  // install all members share this server's green line. (Copy the own line
+  // out first: inserting other members may reallocate the flat entries.)
+  const std::int64_t own_line = green_lines_[id_];
   for (NodeId m : conf_.members) {
-    green_lines_[m] = std::max(green_lines_[m], green_lines_[id_]);
+    std::int64_t& v = green_lines_[m];
+    v = std::max(v, own_line);
   }
   install();
   set_state(EngineState::kRegPrim);
@@ -1048,11 +1092,11 @@ void ReplicationEngine::on_newly_red(const Action& a) {
   // A.14: persist the red mark; the action is ordered, no longer at risk
   // of loss, so it leaves the ongoing queue and (§6 semantics permitting)
   // the client can be answered.
-  storage_.append(encode_log_red(encoded_body(a)));
+  storage_.append_framed(static_cast<std::uint8_t>(LogRecordType::kRed), encoded_body(a));
   ++stats_.actions_red;
   if (tracer_) tracer_.emit_action(obs::EventKind::kActionRed, a.id);
   if (metric_red_ != nullptr) metric_red_->inc();
-  ongoing_.erase(a.id);
+  ongoing_.erase(pack_action_id(a.id));
   maybe_reply_red(a);
 }
 
@@ -1062,6 +1106,17 @@ void ReplicationEngine::mark_red(const Action& a) {
 
 void ReplicationEngine::mark_red(Action&& a) {
   for (const Action* r : log_.mark_red(std::move(a))) on_newly_red(*r);
+}
+
+void ReplicationEngine::append_log_green(std::int64_t position, const Bytes& body) {
+  // [kGreen][i64 LE position][body] — byte-identical to
+  // encode_log_green(position, body) without materializing the record.
+  std::uint8_t hdr[9];
+  hdr[0] = static_cast<std::uint8_t>(LogRecordType::kGreen);
+  for (std::size_t i = 0; i < 8; ++i) {
+    hdr[1 + i] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(position) >> (8 * i));
+  }
+  storage_.append_framed(hdr, sizeof(hdr), body);
 }
 
 const Bytes& ReplicationEngine::encoded_body(const Action& a) {
@@ -1087,15 +1142,15 @@ void ReplicationEngine::mark_green(const Action& a) {
   for (const Action* r : res.newly_red) on_newly_red(*r);
   if (res.position == 0) return;  // duplicate: already green
   green_lines_[id_] = log_.green_count();
-  storage_.append(encode_log_green(res.position, encoded_body(a)));
+  append_log_green(res.position, encoded_body(a));
   ++stats_.actions_green;
   if (tracer_) tracer_.emit_action(obs::EventKind::kActionGreen, a.id, res.position);
   if (metric_green_ != nullptr) metric_green_->inc();
   if (green_latency_hist_ != nullptr) {
-    auto it = submit_times_.find(a.id);
-    if (it != submit_times_.end()) {
-      green_latency_hist_->record((sim_.now() - it->second) / 1000000);  // ns -> ms
-      submit_times_.erase(it);
+    const std::uint64_t key = pack_action_id(a.id);
+    if (const SimTime* t = submit_times_.find(key)) {
+      green_latency_hist_->record((sim_.now() - *t) / 1000000);  // ns -> ms
+      submit_times_.erase(key);
     }
   }
   apply_green(a);
@@ -1107,19 +1162,19 @@ void ReplicationEngine::mark_green(Action&& a) {
   const ActionLog::GreenResult res = log_.mark_green(std::move(a));
   for (const Action* r : res.newly_red) on_newly_red(*r);
   if (res.position == 0) return;  // duplicate: already green
-  // A newly-green action always has its body in the log store; fetching it
-  // back is one hash probe versus the deep copy the lvalue path pays.
-  const Action& g = *log_.body_of(aid);
+  // A newly-green action always has its body in the log store; the result
+  // carries the stored pointer, versus the deep copy the lvalue path pays.
+  const Action& g = res.body != nullptr ? *res.body : *log_.body_of(aid);
   green_lines_[id_] = log_.green_count();
-  storage_.append(encode_log_green(res.position, encoded_body(g)));
+  append_log_green(res.position, encoded_body(g));
   ++stats_.actions_green;
   if (tracer_) tracer_.emit_action(obs::EventKind::kActionGreen, aid, res.position);
   if (metric_green_ != nullptr) metric_green_->inc();
   if (green_latency_hist_ != nullptr) {
-    auto it = submit_times_.find(aid);
-    if (it != submit_times_.end()) {
-      green_latency_hist_->record((sim_.now() - it->second) / 1000000);  // ns -> ms
-      submit_times_.erase(it);
+    const std::uint64_t key = pack_action_id(aid);
+    if (const SimTime* t = submit_times_.find(key)) {
+      green_latency_hist_->record((sim_.now() - *t) / 1000000);  // ns -> ms
+      submit_times_.erase(key);
     }
   }
   apply_green(g);
@@ -1172,28 +1227,30 @@ void ReplicationEngine::maybe_reply_red(const Action& a) {
   // §6 timestamp/commutative semantics: the client is answered as soon as
   // the action is ordered locally; global convergence follows later.
   if (a.semantics == Semantics::kStrict || a.id.server_id != id_) return;
-  auto it = pending_replies_.find(a.id);
-  if (it == pending_replies_.end()) return;
+  const std::uint64_t key = pack_action_id(a.id);
+  PendingReply* it = pending_replies_.find(key);
+  if (it == nullptr) return;
   Reply rep;
   rep.action = a.id;
   ++stats_.replies;
-  auto fn = std::move(it->second.fn);
-  pending_replies_.erase(it);
+  auto fn = std::move(it->fn);
+  pending_replies_.erase(key);
   if (fn) fn(rep);
 }
 
 void ReplicationEngine::reply_green(const Action& a, const db::ApplyResult& result) {
   if (a.id.server_id != id_) return;
-  auto it = pending_replies_.find(a.id);
-  if (it == pending_replies_.end()) return;
+  const std::uint64_t key = pack_action_id(a.id);
+  PendingReply* it = pending_replies_.find(key);
+  if (it == nullptr) return;
   Reply rep;
   rep.action = a.id;
   rep.aborted = result.aborted;
   rep.fenced = result.fenced;
   rep.reads = result.reads;
   ++stats_.replies;
-  auto fn = std::move(it->second.fn);
-  pending_replies_.erase(it);
+  auto fn = std::move(it->fn);
+  pending_replies_.erase(key);
   if (fn) fn(rep);
 }
 
@@ -1241,7 +1298,7 @@ void ReplicationEngine::send_snapshot_to(NodeId joiner) {
   s.green_count = log_.green_count();
   s.green_red_cut = log_.green_red_cut_pairs();
   s.server_set = server_set_;
-  s.green_lines = map_to_pairs(green_lines_);
+  s.green_lines = green_lines_.entries();
   s.prim = prim_;
   net_.send(id_, joiner, encode_snapshot(s), Channel::kDirect);
   pending_join_transfers_.erase(joiner);
@@ -1254,13 +1311,19 @@ void ReplicationEngine::send_snapshot_to(NodeId joiner) {
 
 void ReplicationEngine::enter_left() {
   set_state(EngineState::kLeft);
-  // Fail any requests that can no longer be served.
-  for (auto& [aid, pending] : pending_replies_) {
-    if (pending.fn) {
+  // Fail any requests that can no longer be served, in ActionId order
+  // (sorted packed keys keep the abort replies deterministic).
+  std::vector<std::uint64_t> keys;
+  pending_replies_.for_each([&](std::uint64_t key, const PendingReply&) { keys.push_back(key); });
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    PendingReply* pending = pending_replies_.find(key);
+    if (pending != nullptr && pending->fn) {
       Reply rep;
-      rep.action = aid;
+      rep.action = unpack_action_id(key);
       rep.aborted = true;
-      pending.fn(rep);
+      auto fn = std::move(pending->fn);
+      fn(rep);
     }
   }
   pending_replies_.clear();
@@ -1285,8 +1348,8 @@ db::Database ReplicationEngine::dirty_database() const {
 std::int64_t ReplicationEngine::white_line() const {
   std::int64_t line = log_.green_count();
   for (NodeId s : server_set_) {
-    auto it = green_lines_.find(s);
-    line = std::min(line, it == green_lines_.end() ? 0 : it->second);
+    const std::int64_t* g = green_lines_.find(s);
+    line = std::min(line, g == nullptr ? 0 : *g);
   }
   return line;
 }
@@ -1312,7 +1375,7 @@ MetaRecord ReplicationEngine::current_meta() const {
   m.attempt_index = attempt_index_;
   m.vulnerable = vulnerable_;
   m.yellow = yellow_;
-  m.green_lines = map_to_pairs(green_lines_);
+  m.green_lines = green_lines_.entries();
   m.gc_counter = gc_ ? gc_->max_counter_seen() : 0;
   return m;
 }
@@ -1330,15 +1393,21 @@ void ReplicationEngine::maybe_compact() {
   rec.green_red_cut = log_.green_red_cut_pairs();
   rec.meta = current_meta();
   log_.for_each_pending_red([&](const Action& a) { rec.red_actions.push_back(a); });
-  for (const auto& [aid, act] : ongoing_) rec.ongoing_actions.push_back(act);
+  rec.ongoing_actions = sorted_ongoing();
   storage_.compact(upto, encode_log_db_snapshot(rec));
 }
 
-std::vector<std::pair<NodeId, std::int64_t>> ReplicationEngine::map_to_pairs(
-    const std::map<NodeId, std::int64_t>& m) const {
-  std::vector<std::pair<NodeId, std::int64_t>> v;
-  v.reserve(m.size());
-  for (const auto& [n, x] : m) v.emplace_back(n, x);
+std::vector<Action> ReplicationEngine::sorted_ongoing() const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(ongoing_.size());
+  ongoing_.for_each([&](std::uint64_t key, const Bytes&) { keys.push_back(key); });
+  std::sort(keys.begin(), keys.end());
+  std::vector<Action> v;
+  v.reserve(keys.size());
+  for (const std::uint64_t key : keys) {
+    BufReader r(*ongoing_.find(key));
+    v.push_back(Action::decode(r));
+  }
   return v;
 }
 

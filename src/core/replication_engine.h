@@ -56,6 +56,7 @@
 #include "obs/trace.h"
 #include "sim/network.h"
 #include "storage/stable_storage.h"
+#include "util/flat_map.h"
 
 namespace tordb::core {
 
@@ -259,6 +260,8 @@ class ReplicationEngine {
   /// Encoded body of `a`, memoized for the immediately-repeated case (the
   /// red and green log records of one action encode the same body twice).
   const Bytes& encoded_body(const Action& a);
+  /// Append a green log record framed in place (hot: one per green action).
+  void append_log_green(std::int64_t position, const Bytes& body);
   bool is_green(const ActionId& id) const { return log_.is_green(id); }
   MetaRecord current_meta() const;
   void append_meta();
@@ -269,8 +272,9 @@ class ReplicationEngine {
   void flush_strict_queries();
   void send_snapshot_to(NodeId joiner);
   void enter_left();
-  std::vector<std::pair<NodeId, std::int64_t>> map_to_pairs(
-      const std::map<NodeId, std::int64_t>& m) const;
+  /// Ongoing actions in ActionId order (sorted packed keys) — the
+  /// deterministic order persisted records and catch-up snapshots use.
+  std::vector<Action> sorted_ongoing() const;
 
   // --- observability ---------------------------------------------------------
   /// Builds the per-node Tracer from params_.trace_bus, hands it down to the
@@ -310,8 +314,14 @@ class ReplicationEngine {
   ActionLog log_;
   ActionId enc_body_id_;  ///< id cached in enc_body_ (kNoNode: none)
   Bytes enc_body_;
-  std::map<NodeId, std::int64_t> green_lines_;  ///< A: greenLines (as counts)
-  std::map<ActionId, Action> ongoing_;          ///< A: ongoingQueue
+  /// A: greenLines (as counts). Group-sized; the sorted vector keeps
+  /// map_to_pairs-style wire encodings in creator order for free.
+  util::VecMap<NodeId, std::int64_t> green_lines_;
+  /// A: ongoingQueue, keyed by pack_action_id. Values are the canonical
+  /// encoded action bodies: the hot path only ever inserts and erases
+  /// (one buffer memcpy instead of a deep Action copy), and the cold
+  /// readers (sorted_ongoing) decode on demand.
+  util::FlatMap64<Bytes> ongoing_;
 
   // Exchange state.
   std::map<NodeId, StateMessage> state_msgs_;
@@ -338,7 +348,7 @@ class ReplicationEngine {
     Semantics semantics;
     ReplyFn fn;
   };
-  std::map<ActionId, PendingReply> pending_replies_;
+  util::FlatMap64<PendingReply> pending_replies_;  ///< keyed by pack_action_id
   struct PendingQuery {
     db::Command query;
     ReplyFn fn;
@@ -357,7 +367,7 @@ class ReplicationEngine {
   obs::Counter* metric_green_ = nullptr;
   obs::Counter* metric_red_ = nullptr;
   obs::Counter* metric_installs_ = nullptr;
-  std::map<ActionId, SimTime> submit_times_;  ///< only populated when metrics on
+  util::FlatMap64<SimTime> submit_times_;  ///< by pack_action_id; only when metrics on
   SimTime exchange_started_at_ = -1;          ///< -1 = no exchange in flight
 };
 

@@ -1,5 +1,6 @@
 #include "db/database.h"
 
+#include <algorithm>
 #include <charconv>
 
 namespace tordb::db {
@@ -9,6 +10,15 @@ std::int64_t to_num(const std::string& s) {
   std::int64_t v = 0;
   std::from_chars(s.data(), s.data() + s.size(), v);
   return v;
+}
+
+/// Decimal-format `v` into `out`, reusing its capacity (hot path: kAdd
+/// rewrites a counter cell per op; std::to_string would allocate a fresh
+/// string every time).
+void assign_num(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.assign(buf, res.ptr);
 }
 
 bool mutates(OpType t) {
@@ -171,17 +181,52 @@ ApplyResult Database::apply(const Command& cmd) {
 ApplyResult Database::apply(const Command& query, const Command& update) {
   const std::vector<Op>* const lists[2] = {&query.ops, &update.ops};
   ApplyResult res;
+  // Intern every row key up front: one hash probe per op, after which the
+  // check, fence and apply passes below run on dense ids against the flat
+  // cell table. Interning is unconditional — aborted commands leave ids
+  // behind but no live cells, and since every replica applies the same
+  // command sequence the interner stays deterministic per node. Range ops
+  // carry bounds, not row keys, and are not interned.
+  //
+  // Fixed-size stack array for the common case (a session-guarded command
+  // is 3 ops); heap fallback for bulk commands.
+  constexpr std::size_t kInlineOps = 16;
+  util::KeyId inline_ids[kInlineOps];
+  std::vector<util::KeyId> heap_ids;
+  const std::size_t total_ops = query.ops.size() + update.ops.size();
+  util::KeyId* ids = inline_ids;
+  if (total_ops > kInlineOps) {
+    heap_ids.resize(total_ops);
+    ids = heap_ids.data();
+  }
+  {
+    std::size_t n = 0;
+    for (const auto* ops : lists) {
+      for (const Op& op : *ops) {
+        const bool row_op = op.type != OpType::kFenceRange &&
+                            op.type != OpType::kInstallRange &&
+                            op.type != OpType::kUnfenceRange;
+        ids[n++] = row_op ? keys_.intern(op.key) : util::kNoKeyId;
+      }
+    }
+  }
+  if (keys_.size() > cells_.size()) cells_.resize(keys_.size());
+
   // Evaluate every precondition against the current state first, so that a
   // failed check aborts the whole command with no partial effects — every
   // replica applies the same deterministic rule to the same state and thus
   // "aborts" identically (paper §6, interactive actions). Checks are
   // evaluated before fences so a duplicate session retry reads as a plain
   // guard abort, which is what exactly-once resolution relies on.
-  for (const auto* ops : lists) {
-    for (const Op& op : *ops) {
-      if (op.type == OpType::kCheck && value_of(op.key) != op.value) {
-        res.aborted = true;
-        return res;
+  {
+    std::size_t n = 0;
+    for (const auto* ops : lists) {
+      for (const Op& op : *ops) {
+        if (op.type == OpType::kCheck && value_at(ids[n]) != op.value) {
+          res.aborted = true;
+          return res;
+        }
+        ++n;
       }
     }
   }
@@ -199,36 +244,46 @@ ApplyResult Database::apply(const Command& query, const Command& update) {
     }
   }
 
+  std::size_t op_index = 0;
   for (const auto* op_list : lists) {
   for (const Op& op : *op_list) {
+    const util::KeyId id = ids[op_index++];
     switch (op.type) {
       case OpType::kPut:
-        data_[op.key].value = op.value;
+        upsert(id).value = op.value;
         break;
       case OpType::kAdd: {
-        const std::int64_t cur = to_num(value_of(op.key));
-        data_[op.key].value = std::to_string(cur + op.num);
+        const std::int64_t cur = to_num(value_at(id));
+        assign_num(upsert(id).value, cur + op.num);
         break;
       }
       case OpType::kAppend:
-        data_[op.key].value += op.value;
+        upsert(id).value += op.value;
         break;
       case OpType::kGet:
-        res.reads.push_back(value_of(op.key));
+        res.reads.push_back(value_at(id));
         break;
       case OpType::kCheck:
         break;  // evaluated above
       case OpType::kTimestampPut: {
-        Cell& cell = data_[op.key];
+        Cell& cell = upsert(id);
         if (op.num > cell.ts) {
           cell.ts = op.num;
           cell.value = op.value;
         }
         break;
       }
-      case OpType::kDelete:
-        data_.erase(op.key);
+      case OpType::kDelete: {
+        Cell& cell = cells_[id];
+        if (cell.live) {
+          cell.live = false;
+          cell.value.clear();
+          cell.value.shrink_to_fit();
+          cell.ts = -1;
+          --live_;
+        }
         break;
+      }
       case OpType::kFenceRange: {
         carve_tracked(op.key, op.value);
         ranges_.push_back(TrackedRange{op.key, op.value, true});
@@ -243,18 +298,22 @@ ApplyResult Database::apply(const Command& query, const Command& update) {
         // rows this replica still holds in [lo, hi) (a former owner's copy
         // — keys deleted at the current owner must not resurrect), then
         // adopt the snapshot. Reserved "__" keys are pinned infrastructure.
-        for (auto it = data_.lower_bound(snap.lo);
-             it != data_.end() && (snap.hi.empty() || it->first < snap.hi);) {
-          if (reserved_key(it->first)) {
-            ++it;
-          } else {
-            it = data_.erase(it);
-          }
+        ensure_ordered();
+        for (std::size_t i = ordered_lower_bound(snap.lo); i < ordered_.size(); ++i) {
+          const std::string_view key = keys_.key(ordered_[i]);
+          if (!snap.hi.empty() && key >= std::string_view(snap.hi)) break;
+          Cell& cell = cells_[ordered_[i]];
+          if (!cell.live || reserved_key(key)) continue;
+          cell.live = false;
+          cell.value.clear();
+          cell.value.shrink_to_fit();
+          cell.ts = -1;
+          --live_;
         }
         carve_tracked(snap.lo, snap.hi);
         ranges_.push_back(TrackedRange{snap.lo, snap.hi, false});
         for (const RangeRow& row : snap.rows) {
-          Cell& cell = data_[row.key];
+          Cell& cell = upsert(keys_.intern(row.key));
           cell.value = row.value;
           cell.ts = row.ts;
         }
@@ -307,10 +366,57 @@ ApplyResult Database::peek(const Command& cmd) const {
 
 std::string Database::get(const std::string& key) const { return value_of(key); }
 
-const std::string& Database::value_of(const std::string& key) const {
+const std::string& Database::value_of(std::string_view key) const {
+  return value_at(keys_.find(key));
+}
+
+const std::string& Database::value_at(util::KeyId id) const {
   static const std::string kEmpty;
-  auto it = data_.find(key);
-  return it == data_.end() ? kEmpty : it->second.value;
+  if (id == util::kNoKeyId || id >= cells_.size() || !cells_[id].live) return kEmpty;
+  return cells_[id].value;
+}
+
+Database::Cell& Database::upsert(util::KeyId id) {
+  if (id >= cells_.size()) cells_.resize(id + 1);
+  Cell& cell = cells_[id];
+  if (!cell.live) {
+    cell.live = true;
+    cell.value.clear();
+    cell.ts = -1;
+    ++live_;
+  }
+  return cell;
+}
+
+void Database::ensure_ordered() const {
+  if (ordered_.size() == keys_.size()) return;
+  const std::size_t merged = ordered_.size();
+  ordered_.reserve(keys_.size());
+  for (util::KeyId id = static_cast<util::KeyId>(merged); id < keys_.size(); ++id) {
+    ordered_.push_back(id);
+  }
+  const auto by_key = [this](util::KeyId a, util::KeyId b) {
+    return keys_.key(a) < keys_.key(b);
+  };
+  std::sort(ordered_.begin() + static_cast<std::ptrdiff_t>(merged), ordered_.end(), by_key);
+  std::inplace_merge(ordered_.begin(), ordered_.begin() + static_cast<std::ptrdiff_t>(merged),
+                     ordered_.end(), by_key);
+}
+
+std::size_t Database::ordered_lower_bound(std::string_view lo) const {
+  const auto it = std::lower_bound(
+      ordered_.begin(), ordered_.end(), lo,
+      [this](util::KeyId id, std::string_view bound) { return keys_.key(id) < bound; });
+  return static_cast<std::size_t>(it - ordered_.begin());
+}
+
+DbStats Database::stats() const {
+  DbStats s;
+  s.interned_keys = keys_.size();
+  s.interned_bytes = keys_.bytes();
+  s.table_slots = keys_.slots();
+  s.table_rehashes = keys_.rehashes();
+  return s;
 }
 
 bool Database::range_fenced(const std::string& lo, const std::string& hi) const {
@@ -324,20 +430,29 @@ RangeSnapshot Database::extract_range(const std::string& lo, const std::string& 
   RangeSnapshot snap;
   snap.lo = lo;
   snap.hi = hi;
-  for (auto it = data_.lower_bound(lo); it != data_.end(); ++it) {
-    if (!hi.empty() && it->first >= hi) break;
-    if (reserved_key(it->first)) continue;
-    snap.rows.push_back(RangeRow{it->first, it->second.value, it->second.ts});
+  ensure_ordered();
+  for (std::size_t i = ordered_lower_bound(lo); i < ordered_.size(); ++i) {
+    const std::string_view key = keys_.key(ordered_[i]);
+    if (!hi.empty() && key >= std::string_view(hi)) break;
+    const Cell& cell = cells_[ordered_[i]];
+    if (!cell.live || reserved_key(key)) continue;
+    snap.rows.push_back(RangeRow{std::string(key), cell.value, cell.ts});
   }
   return snap;
 }
 
 Bytes Database::snapshot() const {
+  // Rows are written in sorted key order — the same bytes the old std::map
+  // walk produced, which state transfer (and therefore virtual time)
+  // depends on.
+  ensure_ordered();
   BufWriter w;
   w.i64(version_);
-  w.u32(static_cast<std::uint32_t>(data_.size()));
-  for (const auto& [k, cell] : data_) {
-    w.str(k);
+  w.u32(static_cast<std::uint32_t>(live_));
+  for (const util::KeyId id : ordered_) {
+    const Cell& cell = cells_[id];
+    if (!cell.live) continue;
+    w.str_view(keys_.key(id));
     w.str(cell.value);
     w.i64(cell.ts);
   }
@@ -354,16 +469,18 @@ Bytes Database::snapshot() const {
 
 void Database::restore(const Bytes& snap) {
   BufReader r(snap);
-  data_.clear();
+  keys_.clear();
+  cells_.clear();
+  ordered_.clear();
+  live_ = 0;
   ranges_.clear();
   version_ = r.i64();
   const std::uint32_t n = r.u32();
   for (std::uint32_t i = 0; i < n; ++i) {
-    std::string k = r.str();
-    Cell cell;
+    const std::string k = r.str();
+    Cell& cell = upsert(keys_.intern(k));
     cell.value = r.str();
     cell.ts = r.i64();
-    data_[std::move(k)] = std::move(cell);
   }
   const std::uint32_t nr = r.u32();
   for (std::uint32_t i = 0; i < nr; ++i) {
@@ -376,8 +493,11 @@ void Database::restore(const Bytes& snap) {
 }
 
 std::uint64_t Database::digest() const {
+  // Byte-identical to the pre-interning implementation: live rows in sorted
+  // key order, then tracked ranges — ids never enter the digest.
+  ensure_ordered();
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  auto mix = [&h](const std::string& s) {
+  auto mix = [&h](std::string_view s) {
     for (unsigned char c : s) {
       h ^= c;
       h *= 0x100000001b3ULL;
@@ -385,8 +505,10 @@ std::uint64_t Database::digest() const {
     h ^= 0xff;
     h *= 0x100000001b3ULL;
   };
-  for (const auto& [k, cell] : data_) {
-    mix(k);
+  for (const util::KeyId id : ordered_) {
+    const Cell& cell = cells_[id];
+    if (!cell.live) continue;
+    mix(keys_.key(id));
     mix(cell.value);
     h ^= static_cast<std::uint64_t>(cell.ts) * 0x9e3779b97f4a7c15ULL;
   }

@@ -10,15 +10,23 @@
 // The database supports snapshot/restore (used for state transfer to a
 // joining replica, §5.1) and a content digest used by tests to assert
 // replica-state convergence.
+//
+// Layout (DESIGN.md §11): keys are interned to dense per-node ids
+// (util::KeyInterner) and rows live in a flat id-indexed cell table, so the
+// apply hot path pays one hash probe per op instead of a red-black-tree
+// walk with string compares. Sorted iteration — needed only by the cold
+// range ops, snapshot/restore and digest() — comes from a lazily-merged
+// ordered index of ids; digest() and snapshot() stay byte-identical to the
+// old std::map implementation.
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "util/key_interner.h"
 #include "util/serde.h"
 
 namespace tordb::db {
@@ -117,6 +125,15 @@ struct ApplyResult {
   std::vector<RangeEvent> range_events;  ///< only populated once ranges are tracked
 };
 
+/// Flat-table accounting, sampled into the metrics registry by the cluster
+/// harnesses (`db.intern.{keys,bytes}`, `db.table.{slots,rehashes}`).
+struct DbStats {
+  std::uint64_t interned_keys = 0;   ///< distinct keys ever seen
+  std::uint64_t interned_bytes = 0;  ///< bytes held by the interner
+  std::uint64_t table_slots = 0;     ///< open-addressing slots allocated
+  std::uint64_t table_rehashes = 0;  ///< table growth events
+};
+
 class Database {
  public:
   /// Apply a command deterministically. A failed kCheck aborts the whole
@@ -139,7 +156,8 @@ class Database {
   ApplyResult peek(const Command& cmd) const;
 
   std::int64_t version() const { return version_; }
-  std::size_t size() const { return data_.size(); }
+  std::size_t size() const { return live_; }
+  DbStats stats() const;
 
   /// Serialize full state (used for state transfer to joining replicas).
   Bytes snapshot() const;
@@ -166,9 +184,15 @@ class Database {
   std::size_t tracked_ranges() const { return ranges_.size(); }
 
  private:
+  /// One row, indexed by the key's dense id. Ids are assigned by the
+  /// per-database interner in first-touch order, so `cells_` is a flat
+  /// array — no hashing or string compares past the one intern per op.
+  /// Deletion marks the cell dead (the id, like the interned key, is
+  /// permanent); a dead cell reads as absent everywhere.
   struct Cell {
     std::string value;
     std::int64_t ts = -1;  ///< for kTimestampPut cells
+    bool live = false;
   };
   /// A range this replica has seen a fence or install for, keyed by bounds.
   /// Kept tiny (one entry per rebalanced range), scanned only on updates
@@ -184,9 +208,28 @@ class Database {
   const TrackedRange* range_of(std::string_view key) const;
   void carve_tracked(std::string_view lo, std::string_view hi);
   /// get() without the return-by-value copy, for the apply hot path.
-  const std::string& value_of(const std::string& key) const;
+  const std::string& value_of(std::string_view key) const;
+  const std::string& value_at(util::KeyId id) const;
+  /// The live cell for `id`, reviving a dead/new cell to the default state
+  /// (empty value, ts = -1) exactly as std::map::operator[] used to.
+  Cell& upsert(util::KeyId id);
+  /// Bring `ordered_` up to date: every interned id, sorted by key. New ids
+  /// since the last call are sorted and merged in; deletes never invalidate
+  /// it (iteration skips dead cells), so steady-state workloads over a
+  /// fixed key pool keep it valid indefinitely. Cold ops only — the hot
+  /// apply path never orders.
+  void ensure_ordered() const;
+  /// First position in `ordered_` whose key is >= `lo`.
+  std::size_t ordered_lower_bound(std::string_view lo) const;
 
-  std::map<std::string, Cell> data_;
+  util::KeyInterner keys_;
+  std::vector<Cell> cells_;  ///< indexed by KeyId; dense, never shrinks
+  std::size_t live_ = 0;     ///< cells with live == true
+  /// Lazily-maintained ordered index of (key, id) — the replacement for the
+  /// old std::map's sorted iteration, consulted only by the cold range ops
+  /// (fence/install/unfence erase scans, extract_range), snapshot/restore
+  /// and digest() (which must iterate in sorted key order byte-identically).
+  mutable std::vector<util::KeyId> ordered_;
   std::vector<TrackedRange> ranges_;
   std::int64_t version_ = 0;
 };

@@ -37,7 +37,12 @@ GroupCommunication::GroupCommunication(Network& net, NodeId id, Listener listene
   config_.members = {id_};
   known_contig_.emplace_back(id_, 0);
 
-  net_.set_packet_handler(id_, [this](NodeId from, const Bytes& wire) { on_packet(from, wire); });
+  // The shared handler hands over the refcounted wire buffer, letting the
+  // delivery buffer retain ORDERED payloads without a per-member deep copy.
+  net_.set_shared_packet_handler(
+      id_, [this](NodeId from, const std::shared_ptr<const Bytes>& wire) {
+        on_packet(from, wire);
+      });
   // Deliver the initial singleton configuration before anything else runs.
   schedule(0, [this] {
     ++stats_.regular_configs;
@@ -63,22 +68,29 @@ void GroupCommunication::send_all(const std::vector<NodeId>& to, Bytes wire) {
 }
 
 void GroupCommunication::multicast(Bytes payload, Service service) {
-  OutEntry entry{++next_local_seq_, service, std::move(payload)};
-  outbox_.push_back(entry);
+  outbox_.push_back(OutEntry{++next_local_seq_, service, std::move(payload)});
   if (state_ == GcState::kOperational) send_data(outbox_.back());
 }
 
 void GroupCommunication::send_data(const OutEntry& entry) {
-  DataMsg msg{config_.id, id_, entry.local_seq, entry.service, entry.payload};
-  send_to(config_.members.front(), encode(msg));
+  // Frame the DATA wire directly from the outbox entry — byte-identical to
+  // encode(DataMsg{...}) without staging the payload in a message struct.
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kData));
+  w.config_id(config_.id);
+  w.i32(id_);
+  w.i64(entry.local_seq);
+  w.u8(static_cast<std::uint8_t>(entry.service));
+  w.bytes(entry.payload);
+  send_to(config_.members.front(), w.take());
 }
 
-void GroupCommunication::on_packet(NodeId from, const Bytes& wire) {
-  BufReader r(wire);
+void GroupCommunication::on_packet(NodeId from, const std::shared_ptr<const Bytes>& wire) {
+  BufReader r(*wire);
   const auto type = static_cast<MsgType>(r.u8());
   switch (type) {
-    case MsgType::kData: handle_data(from, decode_data(r)); break;
-    case MsgType::kOrdered: handle_ordered(decode_ordered(r)); break;
+    case MsgType::kData: handle_data(from, r); break;
+    case MsgType::kOrdered: handle_ordered(r, wire); break;
     case MsgType::kAck: handle_ack(from, decode_ack(r)); break;
     case MsgType::kStable: break;  // legacy: stability rides on ACKs now
     case MsgType::kInquire: handle_inquire(from, decode_inquire(r)); break;
@@ -94,19 +106,45 @@ void GroupCommunication::on_packet(NodeId from, const Bytes& wire) {
 // Data path
 // --------------------------------------------------------------------------
 
-void GroupCommunication::handle_data(NodeId from, DataMsg msg) {
+void GroupCommunication::handle_data(NodeId from, BufReader& r) {
   (void)from;
-  if (state_ != GcState::kOperational || msg.config != config_.id) return;  // sender resends
+  // Decode the DATA header in place and, when sequencing, re-frame the
+  // payload bytes straight from the incoming wire into the ORDERED wire
+  // (same layout as encode(OrderedMsg{...})) — the payload is never
+  // materialized as a standalone buffer on this path.
+  const ConfigId config = r.config_id();
+  const NodeId origin = r.i32();
+  const std::int64_t local_seq = r.i64();
+  const auto service = static_cast<Service>(r.u8());
+  if (state_ != GcState::kOperational || config != config_.id) return;  // sender resends
   if (!is_sequencer()) return;
-  OrderedMsg ordered{config_.id, ++global_seq_, msg.origin, msg.local_seq, msg.service,
-                     std::move(msg.payload)};
+  const auto [payload, payload_len] = r.bytes_view();
+  BufWriter w;
+  w.u8(static_cast<std::uint8_t>(MsgType::kOrdered));
+  w.config_id(config_.id);
+  w.i64(++global_seq_);
+  w.i32(origin);
+  w.i64(local_seq);
+  w.u8(static_cast<std::uint8_t>(service));
+  w.bytes_view(payload, payload_len);
   ++stats_.messages_ordered;
-  send_all(config_.members, encode(ordered));
+  send_all(config_.members, w.take());
 }
 
-void GroupCommunication::handle_ordered(OrderedMsg msg) {
-  if (state_ != GcState::kOperational || msg.config != config_.id) return;
-  store_ordered(std::move(msg));
+void GroupCommunication::handle_ordered(BufReader& r, const std::shared_ptr<const Bytes>& wire) {
+  // Decode the ORDERED header in place (same layout as decode_ordered) and
+  // buffer the payload as a slice of the shared wire — every recipient of
+  // the multicast holds the same refcounted buffer, zero deep copies.
+  const ConfigId config = r.config_id();
+  const std::int64_t seq = r.i64();
+  const NodeId origin = r.i32();
+  const std::int64_t origin_local_seq = r.i64();
+  const auto service = static_cast<Service>(r.u8());
+  if (state_ != GcState::kOperational || config != config_.id) return;
+  const auto [payload, payload_len] = r.bytes_view();
+  const auto off = static_cast<std::uint32_t>(payload - wire->data());
+  store_buffered(seq, BufferedMsg{origin, origin_local_seq, service, wire, off,
+                                  static_cast<std::uint32_t>(payload_len)});
 }
 
 GroupCommunication::BufferedMsg* GroupCommunication::buffered(std::int64_t seq) {
@@ -135,13 +173,21 @@ void GroupCommunication::buffer_put(std::int64_t seq, BufferedMsg m) {
 }
 
 void GroupCommunication::store_ordered(OrderedMsg&& msg) {
-  if (msg.seq <= delivered_upto_ || buffered(msg.seq)) return;
-  if (msg.seq <= recv_contig_) {
+  // Retransmission path: the payload arrives as an owned Bytes; wrap it so
+  // it fits the shared-buffer slot format (offset 0, full length).
+  auto buf = std::make_shared<const Bytes>(std::move(msg.payload));
+  const auto len = static_cast<std::uint32_t>(buf->size());
+  store_buffered(msg.seq, BufferedMsg{msg.origin, msg.origin_local_seq, msg.service,
+                                      std::move(buf), 0, len});
+}
+
+void GroupCommunication::store_buffered(std::int64_t seq, BufferedMsg&& m) {
+  if (seq <= delivered_upto_ || buffered(seq)) return;
+  if (seq <= recv_contig_) {
     // Already pruned as stable; duplicate retransmission.
     return;
   }
-  buffer_put(msg.seq, BufferedMsg{msg.origin, msg.origin_local_seq, msg.service,
-                                  std::move(msg.payload)});
+  buffer_put(seq, std::move(m));
   bool advanced = false;
   while (buffered(recv_contig_ + 1)) {
     ++recv_contig_;
@@ -213,12 +259,14 @@ void GroupCommunication::deliver_one(std::int64_t seq, DeliveryKind kind) {
   if (params_.tracer && kind == DeliveryKind::kSafeInRegular) {
     // Safe delivery is the point the paper's trichotomy hinges on: every
     // member of the configuration delivers the same payload at (config, seq).
-    params_.tracer.emit(obs::EventKind::kSafeDeliver, config_.id.counter,
-                        static_cast<std::int64_t>(config_.id.coordinator), seq,
-                        static_cast<std::int64_t>(obs::fingerprint(m.payload)));
+    params_.tracer.emit(
+        obs::EventKind::kSafeDeliver, config_.id.counter,
+        static_cast<std::int64_t>(config_.id.coordinator), seq,
+        static_cast<std::int64_t>(obs::fingerprint(m.payload_data(), m.payload_size())));
   }
   if (listener_.on_deliver) {
-    Delivery d{m.origin, config_.id, seq, kind, m.payload};
+    Delivery d{m.origin, config_.id, seq, kind,
+               std::span<const std::uint8_t>(m.payload_data(), m.payload_size())};
     listener_.on_deliver(d);
   }
 }
@@ -492,8 +540,9 @@ void GroupCommunication::handle_plan(const PlanMsg& msg) {
         if (m == nullptr) continue;  // pruned as globally stable: q has it
         RetransMsg rm;
         rm.token = msg.token;
-        rm.message = OrderedMsg{config_.id,    seq,        m->origin,
-                                m->origin_local_seq, m->service, m->payload};
+        rm.message =
+            OrderedMsg{config_.id, seq, m->origin, m->origin_local_seq, m->service,
+                       Bytes(m->payload_data(), m->payload_data() + m->payload_size())};
         ++stats_.retransmissions;
         send_to(q, encode(rm));
       }

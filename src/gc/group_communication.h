@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -98,11 +99,20 @@ class GroupCommunication {
  private:
   enum class GcState { kOperational, kGathering };
 
+  /// One slot of the ORDERED delivery buffer. The payload is held as a
+  /// (shared wire buffer, offset, length) slice: all members of a multicast
+  /// share one refcounted wire, so buffering a message costs a refcount
+  /// bump instead of a per-member deep copy of the payload.
   struct BufferedMsg {
     NodeId origin = kNoNode;
     std::int64_t origin_local_seq = 0;
     Service service = Service::kAgreed;
-    Bytes payload;
+    std::shared_ptr<const Bytes> buf;
+    std::uint32_t payload_off = 0;
+    std::uint32_t payload_len = 0;
+
+    const std::uint8_t* payload_data() const { return buf->data() + payload_off; }
+    std::size_t payload_size() const { return payload_len; }
   };
 
   struct OutEntry {
@@ -112,7 +122,7 @@ class GroupCommunication {
   };
 
   // --- wiring ---------------------------------------------------------
-  void on_packet(NodeId from, const Bytes& wire);
+  void on_packet(NodeId from, const std::shared_ptr<const Bytes>& wire);
   void on_reachability(const std::vector<NodeId>& reachable);
   /// Schedule `fn` guarded by this instance's liveness. A forwarding
   /// template so the closure lands inline in the simulator's SmallFn slot
@@ -127,10 +137,11 @@ class GroupCommunication {
   void send_all(const std::vector<NodeId>& to, Bytes wire);
 
   // --- data path ------------------------------------------------------
-  void handle_data(NodeId from, DataMsg msg);
-  void handle_ordered(OrderedMsg msg);
+  void handle_data(NodeId from, BufReader& r);
+  void handle_ordered(BufReader& r, const std::shared_ptr<const Bytes>& wire);
   void handle_ack(NodeId from, const AckMsg& msg);
   void store_ordered(OrderedMsg&& msg);
+  void store_buffered(std::int64_t seq, BufferedMsg&& m);
   void try_deliver();
   void deliver_one(std::int64_t seq, DeliveryKind kind);
   void emit_config(const Configuration& c);

@@ -29,7 +29,7 @@ void SpreadMailbox::join() {
     SpEvent ev;
     ev.type = SpEventType::kMessage;
     ev.sender = d.sender;
-    ev.payload = d.payload;
+    ev.payload.assign(d.payload.begin(), d.payload.end());
     ev.safe_delivered = d.kind == DeliveryKind::kSafeInRegular;
     ev.config = d.config;
     queue_.push_back(std::move(ev));

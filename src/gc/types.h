@@ -18,7 +18,9 @@
 //    while somebody else sees "never delivered".
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -60,10 +62,12 @@ struct Delivery {
   std::int64_t seq = 0;     ///< total-order position within that configuration
   DeliveryKind kind = DeliveryKind::kAgreed;
   /// Borrowed from the layer's delivery buffer — valid for the duration of
-  /// the on_deliver callback only; copy it to retain. (Deliveries run once
-  /// per member per message, so the copy this avoids was the group's
-  /// largest per-message allocation.)
-  const Bytes& payload;
+  /// the on_deliver callback only; copy it to retain. A view rather than a
+  /// whole Bytes because the buffer holds refcounted wire buffers shared by
+  /// every recipient of a multicast: the payload is a slice of the ORDERED
+  /// wire, and deliveries run once per member per message, so the deep copy
+  /// this avoids was the group's largest per-message allocation.
+  std::span<const std::uint8_t> payload;
 };
 
 /// Callbacks the application (the replication engine) installs. The layer

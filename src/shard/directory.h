@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "util/key_interner.h"
 
 namespace tordb::shard {
 
@@ -47,12 +48,29 @@ class Directory {
   /// Bumped by every successful split/merge/ownership mutation. Starts 0.
   std::int64_t epoch() const { return epoch_; }
 
-  /// The shard owning `key`. Deterministic and total.
+  /// The shard owning `key`. Deterministic and total. This is the pure
+  /// mapping (hash or range walk); the router's per-op lookups go through
+  /// shard_of_cached instead.
   int shard_of(std::string_view key) const;
 
-  /// Sorted, de-duplicated shards touched by the command's ops. Empty for
-  /// a command with no ops (the router pins those to shard 0).
+  /// shard_of through the epoch-validated route cache: the key is interned
+  /// once, after which a repeat lookup is one array read instead of a
+  /// string range walk (ranged mode) or a full key hash (hashed mode). Any
+  /// split/merge/ownership mutation bumps `epoch`, which invalidates every
+  /// cached entry on the next lookup — in-flight traffic retargets without
+  /// restarting anything, exactly as before.
+  int shard_of_cached(std::string_view key) const;
+
+  /// Sorted, de-duplicated shards touched by the command's ops (through the
+  /// route cache). Empty for a command with no ops (the router pins those
+  /// to shard 0).
   std::vector<int> shards_of(const db::Command& cmd) const;
+
+  struct RouteCacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;  ///< first-touch interns and post-epoch refills
+  };
+  const RouteCacheStats& route_cache_stats() const { return cache_stats_; }
 
   // --- online rebalancing (ranged mode only; DESIGN.md §9) -------------------
 
@@ -90,6 +108,14 @@ class Directory {
   std::int64_t epoch_ = 0;
   std::vector<std::string> splits_;  ///< ascending; ranges = splits + 1
   std::vector<int> owners_;          ///< owners_[i] = shard owning range i
+
+  // Route cache: interned-key -> owning shard, valid for one epoch. All
+  // mutable because routing is logically const; the simulation is
+  // single-threaded so no synchronization is needed.
+  mutable util::KeyInterner cache_keys_;
+  mutable std::vector<std::int32_t> cache_shard_;  ///< by KeyId; -1 = unfilled
+  mutable std::int64_t cache_epoch_ = 0;
+  mutable RouteCacheStats cache_stats_;
 };
 
 }  // namespace tordb::shard

@@ -1,5 +1,6 @@
 #include "shard/router.h"
 
+#include <map>
 #include <stdexcept>
 #include <utility>
 
@@ -33,7 +34,7 @@ std::string Router::cross_marker_key(std::int64_t client, std::int64_t cross_seq
 }
 
 core::ClientSession& Router::session(std::int64_t client, int shard) {
-  auto& slot = sessions_[{client, shard}];
+  auto& slot = sessions_[session_key(client, shard)];
   if (!slot) {
     // One engine-level session per (client, shard): the guard key is scoped
     // to the session's group, and sequence numbers stay dense per shard.
@@ -45,10 +46,11 @@ core::ClientSession& Router::session(std::int64_t client, int shard) {
 }
 
 bool Router::idle() const {
-  for (const auto& [key, s] : sessions_) {
-    if (!s->idle()) return false;
-  }
-  return cross_inflight_.empty() && pending_bounces_ == 0;
+  bool all_idle = true;
+  sessions_.for_each([&](std::uint64_t, const std::unique_ptr<core::ClientSession>& s) {
+    if (!s->idle()) all_idle = false;
+  });
+  return all_idle && cross_inflight_.empty() && pending_bounces_ == 0;
 }
 
 std::int64_t Router::green_watermark(int shard) const {
@@ -128,11 +130,11 @@ void Router::route(std::int64_t client, db::Command update, RouteReplyFn reply, 
   }
 
   ++stats_.routed_cross;
-  const std::int64_t cross_seq = ++next_cross_seq_[client];
+  const std::int64_t cross_seq = ++next_cross_seq_[static_cast<std::uint64_t>(client)];
   // Deterministic id: unique per (client, cross_seq), stable across runs.
   const std::int64_t xid = client * 1'000'000 + cross_seq;
   const std::int64_t token = ++next_cross_token_;
-  CrossState& cs = cross_inflight_[token];
+  CrossState& cs = cross_inflight_[static_cast<std::uint64_t>(token)];
   cs.xid = xid;
   cs.client = client;
   cs.marker = cross_marker_key(client, cross_seq);
@@ -149,14 +151,14 @@ void Router::route(std::int64_t client, db::Command update, RouteReplyFn reply, 
   for (const int shard : shards) {
     db::Command slice;
     for (const db::Op& op : update.ops) {
-      if (directory_->shard_of(op.key) == shard) slice.ops.push_back(op);
+      if (directory_->shard_of_cached(op.key) == shard) slice.ops.push_back(op);
     }
     submit_cross_slice(token, shard, std::move(slice));
   }
 }
 
 void Router::submit_cross_slice(std::int64_t token, int shard, db::Command user_slice) {
-  CrossState& cs = cross_inflight_.at(token);
+  CrossState& cs = *cross_inflight_.find(static_cast<std::uint64_t>(token));
   db::Command sub = user_slice;
   sub.ops.push_back(db::Op{db::OpType::kPut, cs.marker, std::to_string(cs.xid), 0});
   options_.tracer.emit(obs::EventKind::kShardRoute, shard, cs.client, cs.xid);
@@ -166,7 +168,7 @@ void Router::submit_cross_slice(std::int64_t token, int shard, db::Command user_
       .submit(std::move(sub), [this, alive = alive_, token, shard,
                                retained](const core::SessionReply& r) {
         if (!*alive) return;
-        CrossState& cs = cross_inflight_.at(token);
+        CrossState& cs = *cross_inflight_.find(static_cast<std::uint64_t>(token));
         if (r.attempts > 1) {
           ++stats_.failovers;
           options_.tracer.emit(obs::EventKind::kShardFailover, shard, cs.client, r.attempts);
@@ -195,13 +197,15 @@ void Router::submit_cross_slice(std::int64_t token, int shard, db::Command user_
 }
 
 void Router::rebounce_cross_slice(std::int64_t token, const db::Command& user_slice) {
-  CrossState& cs = cross_inflight_.at(token);
+  CrossState& cs = *cross_inflight_.find(static_cast<std::uint64_t>(token));
   // Re-split by the *current* directory — the range may have moved, or even
   // split, since the slice was first routed. Every part re-enters the same
   // commit barrier.
+  // An ordered map on purpose: parts are submitted in ascending shard
+  // order, which the virtual-time goldens depend on.
   std::map<int, db::Command> parts;
   for (const db::Op& op : user_slice.ops) {
-    parts[directory_->shard_of(op.key)].ops.push_back(op);
+    parts[directory_->shard_of_cached(op.key)].ops.push_back(op);
   }
   cs.outstanding += static_cast<int>(parts.size()) - 1;
   for (auto& [shard, part] : parts) submit_cross_slice(token, shard, std::move(part));
@@ -213,8 +217,7 @@ void Router::finish_cross(std::int64_t token) {
   // wait out whole-group outages, a mixed outcome means a sub-session
   // exhausted its attempt budget — surfaced as a distinct stat because it
   // breaks all-or-nothing and the property test must never observe it.
-  auto node = cross_inflight_.extract(token);
-  CrossState& cs = node.mapped();
+  CrossState cs = cross_inflight_.extract(static_cast<std::uint64_t>(token));
   const bool committed = cs.all_committed;
   if (cs.any_committed && !cs.all_committed) ++stats_.cross_partial_aborts;
   committed ? ++stats_.committed : ++stats_.aborted;

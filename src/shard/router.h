@@ -44,7 +44,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
 #include <vector>
 
@@ -52,6 +51,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "shard/directory.h"
+#include "util/flat_map.h"
 
 namespace tordb::shard {
 
@@ -138,6 +138,15 @@ class Router {
     RouteReplyFn reply;
   };
 
+  /// (client, shard) packed into the flat-map key, built once per lookup
+  /// from two integers instead of a pair compare per tree level. Shard
+  /// counts are < 2^16 by construction (the directory validates its shard
+  /// count against the replica groups).
+  static std::uint64_t session_key(std::int64_t client, int shard) {
+    return (static_cast<std::uint64_t>(client) << 16) |
+           static_cast<std::uint64_t>(shard & 0xffff);
+  }
+
   core::ClientSession& session(std::int64_t client, int shard);
   void route(std::int64_t client, db::Command update, RouteReplyFn reply, int bounces);
   void submit_cross_slice(std::int64_t token, int shard, db::Command user_slice);
@@ -150,10 +159,13 @@ class Router {
   RouterOptions options_;
   std::shared_ptr<bool> alive_;
 
-  std::map<std::pair<std::int64_t, int>, std::unique_ptr<core::ClientSession>> sessions_;
-  std::map<std::int64_t, std::int64_t> next_cross_seq_;  ///< per client
+  // Hot per-request state on flat open-addressing maps (util::FlatMap64):
+  // one probe per lookup, no tree walks. Values are re-fetched after any
+  // call that can insert (inserts may rehash).
+  util::FlatMap64<std::unique_ptr<core::ClientSession>> sessions_;  ///< by session_key
+  util::FlatMap64<std::int64_t> next_cross_seq_;                   ///< per client
   std::int64_t next_cross_token_ = 0;
-  std::map<std::int64_t, CrossState> cross_inflight_;    ///< token -> state
+  util::FlatMap64<CrossState> cross_inflight_;  ///< token -> state
   std::int64_t pending_bounces_ = 0;  ///< single-shard re-routes waiting out the delay
   obs::Histogram* barrier_hist_ = nullptr;
   RouterStats stats_;

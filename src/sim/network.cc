@@ -46,8 +46,14 @@ void Network::set_packet_handler(NodeId id, PacketHandler handler, Channel chann
   state(id).on_packet[static_cast<int>(channel)] = std::move(handler);
 }
 
+void Network::set_shared_packet_handler(NodeId id, SharedPacketHandler handler,
+                                        Channel channel) {
+  state(id).on_packet_shared[static_cast<int>(channel)] = std::move(handler);
+}
+
 void Network::clear_packet_handler(NodeId id, Channel channel) {
   state(id).on_packet[static_cast<int>(channel)] = nullptr;
+  state(id).on_packet_shared[static_cast<int>(channel)] = nullptr;
 }
 
 void Network::set_reachability_handler(NodeId id, ReachabilityHandler handler) {
@@ -260,6 +266,10 @@ void Network::deliver(NodeId from, NodeId to, std::uint64_t to_epoch, Channel ch
       return;
     }
     ++stats_.messages_delivered;
+    if (SharedPacketHandler& shared = d.on_packet_shared[static_cast<int>(channel)]) {
+      shared(from, p);
+      return;
+    }
     PacketHandler& handler = d.on_packet[static_cast<int>(channel)];
     if (handler) handler(from, *p);
   };

@@ -82,6 +82,11 @@ inline constexpr int kNumChannels = 2;
 class Network {
  public:
   using PacketHandler = std::function<void(NodeId from, const Bytes& payload)>;
+  /// Variant that hands the receiver the refcounted wire buffer itself, so
+  /// a layer that must retain the payload (the gc delivery buffer) can hold
+  /// a reference instead of deep-copying it once per member.
+  using SharedPacketHandler =
+      std::function<void(NodeId from, const std::shared_ptr<const Bytes>& payload)>;
   using ReachabilityHandler = std::function<void(const std::vector<NodeId>& reachable)>;
 
   Network(Simulator& sim, NetworkParams params = {});
@@ -90,8 +95,11 @@ class Network {
   void add_node(NodeId id);
 
   /// Install the handler invoked for each delivered packet on a channel.
+  /// The shared form takes precedence when both are set.
   void set_packet_handler(NodeId id, PacketHandler handler,
                           Channel channel = Channel::kGc);
+  void set_shared_packet_handler(NodeId id, SharedPacketHandler handler,
+                                 Channel channel = Channel::kGc);
   void clear_packet_handler(NodeId id, Channel channel);
 
   /// Install the handler invoked (after detect_delay) whenever the set of
@@ -180,6 +188,7 @@ class Network {
     SimTime busy_until = 0;
     bool notify_pending = false;
     PacketHandler on_packet[kNumChannels];
+    SharedPacketHandler on_packet_shared[kNumChannels];
     ReachabilityHandler on_reachability;
   };
 

@@ -16,6 +16,15 @@ std::size_t StableStorage::append(Bytes record) {
   return offsets_.size() - 1;
 }
 
+std::size_t StableStorage::append_framed(const std::uint8_t* header, std::size_t header_len,
+                                         const Bytes& body) {
+  ++stats_.appends;
+  offsets_.push_back(arena_.size());
+  arena_.insert(arena_.end(), header, header + header_len);
+  arena_.insert(arena_.end(), body.begin(), body.end());
+  return offsets_.size() - 1;
+}
+
 void StableStorage::sync(SyncCallback done) {
   ++stats_.syncs_requested;
   if (params_.mode == SyncMode::kDelayed) {

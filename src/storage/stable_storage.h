@@ -53,12 +53,25 @@ struct StorageStats {
 
 class StableStorage {
  public:
-  using SyncCallback = std::function<void()>;
+  /// SmallFn rather than std::function: the engine's post-persist callback
+  /// (this + liveness guard + one wire buffer) fits the 48-byte inline slot,
+  /// so the per-action sync costs no heap allocation.
+  using SyncCallback = SmallFn;
 
   StableStorage(Simulator& sim, StorageParams params = {});
 
   /// Append one record to the volatile tail. Returns its index.
   std::size_t append(Bytes record);
+
+  /// Append one record framed as [header][body] straight into the arena,
+  /// skipping the intermediate record buffer the hot log paths (red /
+  /// green / ongoing, one record per action per replica) used to build
+  /// and throw away. Byte-identical to append(header + body).
+  std::size_t append_framed(const std::uint8_t* header, std::size_t header_len,
+                            const Bytes& body);
+  std::size_t append_framed(std::uint8_t type, const Bytes& body) {
+    return append_framed(&type, 1, body);
+  }
 
   /// Request that everything appended so far become durable. `done` fires
   /// when it is (forced mode) or immediately (delayed mode).

@@ -1,0 +1,226 @@
+// Open-addressing hash map from 64-bit keys to values.
+//
+// The router's per-request state (`sessions_` keyed by (client, shard),
+// per-client cross sequence counters, in-flight cross actions by token)
+// used to live in `std::map`s, paying a red-black-tree walk per request.
+// Those keys all pack into one integer, so a flat power-of-two table with
+// linear probing serves each lookup in ~one cache line.
+//
+// Deletion uses tombstones; a rehash (on growth, or when tombstones pile
+// up past half the live count) drops them. Values must be movable; value
+// references are invalidated by any insert (callers re-fetch after calls
+// that may insert — the same discipline the simulator's flat tables use).
+// Iteration order is the table's probe order, i.e. unspecified: callers
+// that need determinism-relevant ordering must sort.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tordb::util {
+
+template <typename T>
+class FlatMap64 {
+ public:
+  /// Pointer to the value for `key`, or nullptr. Never allocates.
+  T* find(std::uint64_t key) {
+    const std::size_t i = find_slot(key);
+    return i == kNpos ? nullptr : &slots_[i].value;
+  }
+  const T* find(std::uint64_t key) const {
+    const std::size_t i = find_slot(key);
+    return i == kNpos ? nullptr : &slots_[i].value;
+  }
+
+  /// Value for `key`, default-constructed on first touch.
+  T& operator[](std::uint64_t key) {
+    if (slots_.empty() || (size_ + tombs_ + 1) * 4 > slots_.size() * 3) {
+      rehash(slots_.empty() ? kInitialSlots
+                            : (size_ + 1) * 4 > slots_.size() * 3 ? slots_.size() * 2
+                                                                  : slots_.size());
+    }
+    std::size_t i = probe_start(key);
+    std::size_t insert_at = kNpos;
+    while (slots_[i].state != State::kEmpty) {
+      if (slots_[i].state == State::kFull && slots_[i].key == key) return slots_[i].value;
+      if (slots_[i].state == State::kTomb && insert_at == kNpos) insert_at = i;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    if (insert_at == kNpos) {
+      insert_at = i;
+    } else {
+      --tombs_;
+    }
+    slots_[insert_at].key = key;
+    slots_[insert_at].state = State::kFull;
+    slots_[insert_at].value = T{};
+    ++size_;
+    return slots_[insert_at].value;
+  }
+
+  /// Pre-size the table so `n` entries fit without growth rehashes.
+  void reserve(std::size_t n) {
+    std::size_t target = kInitialSlots;
+    while (n * 4 > target * 3) target *= 2;
+    if (target > slots_.size()) rehash(target);
+  }
+
+  /// Drop every entry, keeping the allocated table.
+  void clear() {
+    for (Slot& s : slots_) {
+      if (s.state != State::kEmpty) s.value = T{};
+      s.state = State::kEmpty;
+    }
+    size_ = 0;
+    tombs_ = 0;
+  }
+
+  /// Remove `key`; returns whether it was present.
+  bool erase(std::uint64_t key) {
+    const std::size_t i = find_slot(key);
+    if (i == kNpos) return false;
+    slots_[i].state = State::kTomb;
+    slots_[i].value = T{};
+    --size_;
+    ++tombs_;
+    return true;
+  }
+
+  /// Move the value for `key` out and erase it (the flat analogue of
+  /// std::map::extract). Precondition: the key is present.
+  T extract(std::uint64_t key) {
+    const std::size_t i = find_slot(key);
+    T out = std::move(slots_[i].value);
+    slots_[i].state = State::kTomb;
+    slots_[i].value = T{};
+    --size_;
+    ++tombs_;
+    return out;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Visit every (key, value) pair, probe order (unspecified).
+  template <typename F>
+  void for_each(F&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.state == State::kFull) fn(s.key, s.value);
+    }
+  }
+  template <typename F>
+  void for_each(F&& fn) {
+    for (Slot& s : slots_) {
+      if (s.state == State::kFull) fn(s.key, s.value);
+    }
+  }
+
+ private:
+  enum class State : std::uint8_t { kEmpty = 0, kFull = 1, kTomb = 2 };
+  struct Slot {
+    std::uint64_t key = 0;
+    T value{};
+    State state = State::kEmpty;
+  };
+  static constexpr std::size_t kInitialSlots = 16;
+  static constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+  static std::uint64_t mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  std::size_t probe_start(std::uint64_t key) const {
+    return static_cast<std::size_t>(mix(key)) & (slots_.size() - 1);
+  }
+
+  std::size_t find_slot(std::uint64_t key) const {
+    if (slots_.empty()) return kNpos;
+    std::size_t i = probe_start(key);
+    while (slots_[i].state != State::kEmpty) {
+      if (slots_[i].state == State::kFull && slots_[i].key == key) return i;
+      i = (i + 1) & (slots_.size() - 1);
+    }
+    return kNpos;
+  }
+
+  void rehash(std::size_t new_slots) {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(new_slots);  // value-initialized: works for move-only T
+    tombs_ = 0;
+    for (Slot& s : old) {
+      if (s.state != State::kFull) continue;
+      std::size_t i = probe_start(s.key);
+      while (slots_[i].state == State::kFull) i = (i + 1) & (new_slots - 1);
+      slots_[i].key = s.key;
+      slots_[i].value = std::move(s.value);
+      slots_[i].state = State::kFull;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t tombs_ = 0;
+};
+
+/// Sorted-vector map for tiny key sets (per-creator cuts, green lines —
+/// bounded by the replication group size): a binary search over one or two
+/// cache lines beats any hash or tree at this size, and iteration runs in
+/// ascending key order, so deterministic wire encodings come for free.
+/// Like FlatMap64, value references are invalidated by inserts.
+template <typename K, typename V>
+class VecMap {
+ public:
+  /// Value for `key`, default-constructed on first touch.
+  V& operator[](K key) {
+    auto it = lower_bound(key);
+    if (it == entries_.end() || it->first != key) {
+      it = entries_.insert(it, {key, V{}});
+    }
+    return it->second;
+  }
+
+  V* find(K key) {
+    auto it = lower_bound(key);
+    return it == entries_.end() || it->first != key ? nullptr : &it->second;
+  }
+  const V* find(K key) const {
+    auto it = lower_bound(key);
+    return it == entries_.end() || it->first != key ? nullptr : &it->second;
+  }
+
+  bool erase(K key) {
+    auto it = lower_bound(key);
+    if (it == entries_.end() || it->first != key) return false;
+    entries_.erase(it);
+    return true;
+  }
+
+  void clear() { entries_.clear(); }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries in ascending key order (the backing vector itself).
+  const std::vector<std::pair<K, V>>& entries() const { return entries_; }
+  auto begin() const { return entries_.begin(); }
+  auto end() const { return entries_.end(); }
+
+ private:
+  auto lower_bound(K key) {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const std::pair<K, V>& e, K k) { return e.first < k; });
+  }
+  auto lower_bound(K key) const {
+    return std::lower_bound(entries_.begin(), entries_.end(), key,
+                            [](const std::pair<K, V>& e, K k) { return e.first < k; });
+  }
+
+  std::vector<std::pair<K, V>> entries_;
+};
+
+}  // namespace tordb::util

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/types.h"
@@ -44,9 +45,22 @@ class BufWriter {
     buf_.insert(buf_.end(), s.begin(), s.end());
   }
 
+  /// Same wire format as str(); takes a view (interned keys, substrings).
+  void str_view(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
   void bytes(const Bytes& b) {
     u32(static_cast<std::uint32_t>(b.size()));
     buf_.insert(buf_.end(), b.begin(), b.end());
+  }
+
+  /// Same wire format as bytes(); takes a borrowed (ptr, len) view so a
+  /// payload can be re-framed without first materializing a Bytes copy.
+  void bytes_view(const std::uint8_t* p, std::size_t n) {
+    u32(static_cast<std::uint32_t>(n));
+    buf_.insert(buf_.end(), p, p + n);
   }
 
   void action_id(const ActionId& a) {
@@ -91,11 +105,14 @@ class BufWriter {
 
 class BufReader {
  public:
-  explicit BufReader(const Bytes& b) : buf_(b) {}
+  explicit BufReader(const Bytes& b) : data_(b.data()), size_(b.size()) {}
+  /// Read from a borrowed (ptr, len) view — e.g. a delivery payload that is
+  /// a slice of a shared wire buffer.
+  BufReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
   std::uint8_t u8() {
     need(1);
-    return buf_[pos_++];
+    return data_[pos_++];
   }
   std::uint32_t u32() { return get_le<std::uint32_t>(); }
   std::uint64_t u64() { return get_le<std::uint64_t>(); }
@@ -106,7 +123,7 @@ class BufReader {
   std::string str() {
     const std::uint32_t n = u32();
     need(n);
-    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
   }
@@ -114,10 +131,20 @@ class BufReader {
   Bytes bytes() {
     const std::uint32_t n = u32();
     need(n);
-    Bytes b(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-            buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    Bytes b(data_ + pos_, data_ + pos_ + n);
     pos_ += n;
     return b;
+  }
+
+  /// Zero-copy view of a length-prefixed byte field. Valid only while the
+  /// underlying buffer outlives the reader — for re-framing a payload into
+  /// another message within one handler, not for retention.
+  std::pair<const std::uint8_t*, std::size_t> bytes_view() {
+    const std::uint32_t n = u32();
+    need(n);
+    const std::uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return {p, n};
   }
 
   ActionId action_id() {
@@ -147,12 +174,12 @@ class BufReader {
     return vec<NodeId>([](BufReader& r) { return r.i32(); });
   }
 
-  bool done() const { return pos_ == buf_.size(); }
-  std::size_t remaining() const { return buf_.size() - pos_; }
+  bool done() const { return pos_ == size_; }
+  std::size_t remaining() const { return size_ - pos_; }
 
  private:
   void need(std::size_t n) {
-    if (pos_ + n > buf_.size()) throw SerdeError("buffer underrun");
+    if (pos_ + n > size_) throw SerdeError("buffer underrun");
   }
 
   template <typename T>
@@ -160,17 +187,18 @@ class BufReader {
     need(sizeof(T));
     T v = 0;
     if constexpr (std::endian::native == std::endian::little) {
-      std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+      std::memcpy(&v, data_ + pos_, sizeof(T));
     } else {
       for (std::size_t i = 0; i < sizeof(T); ++i) {
-        v |= static_cast<T>(buf_[pos_ + i]) << (8 * i);
+        v |= static_cast<T>(data_[pos_ + i]) << (8 * i);
       }
     }
     pos_ += sizeof(T);
     return v;
   }
 
-  const Bytes& buf_;
+  const std::uint8_t* data_;
+  std::size_t size_;
   std::size_t pos_ = 0;
 };
 

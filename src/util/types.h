@@ -42,6 +42,22 @@ struct ActionId {
   friend auto operator<=>(const ActionId&, const ActionId&) = default;
 };
 
+/// Order-preserving 64-bit packing of an ActionId: creator in bits 40..63,
+/// per-creator index in bits 0..39. For the ids the protocol generates
+/// (non-negative server ids far below 2^24, indices far below 2^40) packed
+/// keys compare exactly like ActionId's lexicographic order, so flat tables
+/// keyed by the packed form recover deterministic ActionId-ordered
+/// iteration by sorting their keys.
+inline std::uint64_t pack_action_id(const ActionId& id) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(id.server_id)) << 40) |
+         static_cast<std::uint64_t>(id.index);
+}
+
+inline ActionId unpack_action_id(std::uint64_t key) {
+  return ActionId{static_cast<NodeId>(key >> 40),
+                  static_cast<std::int64_t>(key & ((std::uint64_t{1} << 40) - 1))};
+}
+
 /// Identifier of a group-communication configuration (view). Totally
 /// ordered: later configurations compare greater.
 struct ConfigId {

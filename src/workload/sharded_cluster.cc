@@ -223,6 +223,7 @@ void ShardedCluster::schedule_metrics_roll() {
 void ShardedCluster::sample_metrics() {
   if (!metrics_) return;
   std::uint64_t total_green = 0, total_red = 0, total_installs = 0;
+  std::uint64_t intern_keys = 0, intern_bytes = 0, table_slots = 0, table_rehashes = 0;
   for (int s = 0; s < options_.shards; ++s) {
     std::uint64_t green = 0, red = 0, installs = 0, forces = 0;
     for (int i = 0; i < options_.replicas_per_shard; ++i) {
@@ -233,6 +234,11 @@ void ShardedCluster::sample_metrics() {
       green += es.actions_green;
       red += es.actions_red;
       installs += es.primaries_installed;
+      const db::DbStats ds = n.engine().database().stats();
+      intern_keys += ds.interned_keys;
+      intern_bytes += ds.interned_bytes;
+      table_slots += ds.table_slots;
+      table_rehashes += ds.table_rehashes;
     }
     const std::string prefix = "shard." + std::to_string(s) + ".";
     metrics_->counter(prefix + "actions_green").set_total(green);
@@ -259,6 +265,14 @@ void ShardedCluster::sample_metrics() {
   metrics_->counter("router.failovers").set_total(router_->stats().failovers);
   metrics_->counter("router.fenced_bounces").set_total(router_->stats().fenced_bounces);
   metrics_->gauge("directory.epoch").set(router_->directory().epoch());
+  // Flat-layout accounting (DESIGN.md §11), summed over running replicas.
+  metrics_->counter("db.intern.keys").set_total(intern_keys);
+  metrics_->counter("db.intern.bytes").set_total(intern_bytes);
+  metrics_->counter("db.table.slots").set_total(table_slots);
+  metrics_->counter("db.table.rehashes").set_total(table_rehashes);
+  const auto& rc = router_->directory().route_cache_stats();
+  metrics_->counter("directory.route_cache.hits").set_total(rc.hits);
+  metrics_->counter("directory.route_cache.misses").set_total(rc.misses);
 }
 
 }  // namespace tordb::workload

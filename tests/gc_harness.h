@@ -8,6 +8,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -32,7 +33,11 @@ struct StoredDelivery {
 
   StoredDelivery() = default;
   StoredDelivery(const Delivery& d)  // NOLINT: implicit by design
-      : sender(d.sender), config(d.config), seq(d.seq), kind(d.kind), payload(d.payload) {}
+      : sender(d.sender),
+        config(d.config),
+        seq(d.seq),
+        kind(d.kind),
+        payload(d.payload.begin(), d.payload.end()) {}
   operator Delivery() const {  // NOLINT: implicit by design
     return Delivery{sender, config, seq, kind, payload};
   }
@@ -61,8 +66,8 @@ inline Bytes test_payload(NodeId sender, std::int64_t k) {
   return w.take();
 }
 
-inline std::pair<NodeId, std::int64_t> parse_payload(const Bytes& b) {
-  BufReader r(b);
+inline std::pair<NodeId, std::int64_t> parse_payload(std::span<const std::uint8_t> b) {
+  BufReader r(b.data(), b.size());
   NodeId s = r.i32();
   std::int64_t k = r.i64();
   return {s, k};
@@ -138,9 +143,10 @@ class GcCluster {
     std::map<ConfigId, std::map<std::int64_t, Bytes>> by_config;
     for (const auto& [id, rec] : records_) {
       for (const Delivery& d : rec.deliveries) {
-        auto [it, inserted] = by_config[d.config].emplace(d.seq, d.payload);
+        Bytes payload(d.payload.begin(), d.payload.end());
+        auto [it, inserted] = by_config[d.config].emplace(d.seq, std::move(payload));
         if (!inserted) {
-          ASSERT_EQ(it->second, d.payload)
+          ASSERT_EQ(it->second, Bytes(d.payload.begin(), d.payload.end()))
               << "total order violated in config " << to_string(d.config) << " at seq " << d.seq
               << " (node " << id << ")";
         }
