@@ -1,0 +1,267 @@
+// Ablation A9 (DESIGN.md §12): a TPC-C-style transaction mix over shards.
+//
+// The five-transaction mix (new-order / payment / delivery / order-status /
+// stock-level) maps TPC-C onto the paper's §6 semantics family: checked
+// multi-key updates, commutative increments, timestamp stamps, weak and
+// dirty queries. The schema is range-shardable by warehouse, so the
+// generic directory/rebalancer machinery applies unmodified.
+//
+// Reported per configuration: tpmC-style throughput (new-order commits per
+// simulated minute), abort rate split by cause (failed kCheck vs fenced vs
+// other), cross-shard fraction, and per-type p50/p99. Two extra checks run
+// every time: a determinism pass (same seed twice -> identical state digest
+// and counts) and a hotspot-shift pass (Zipf-skewed warehouse choice whose
+// rank->warehouse mapping rotates mid-run — the per-shard green-count skew
+// must move to a different shard).
+//
+// Pass --quick (or set TORDB_BENCH_FAST=1) for the reduced CI smoke sweep.
+// TORDB_TPCC_BUDGET_MS (default 240000) bounds the total wall clock.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "workload/sharded_cluster.h"
+#include "workload/tpcc/driver.h"
+
+namespace {
+
+using namespace tordb;
+using namespace tordb::workload;
+
+struct TypeRow {
+  std::uint64_t committed = 0;
+  std::uint64_t aborted_check = 0;
+  std::uint64_t aborted_fenced = 0;
+  std::uint64_t aborted_other = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+struct RunOut {
+  TypeRow types[tpcc::kTxnTypes];
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  std::uint64_t cross = 0;
+  std::uint64_t remote_unchecked = 0;
+  std::uint64_t bounces = 0;
+  std::uint64_t digest = 0;
+  double tpmc = 0;
+  int hot_first = -1;   ///< shard with the largest green delta, first half
+  int hot_second = -1;  ///< same, second half (after a hotspot shift)
+  double share_first = 0;
+  double share_second = 0;
+  std::string window_table;
+};
+
+RunOut run_tpcc(int shards, tpcc::TpccOptions topt, SimDuration measure, bool want_table) {
+  ShardedClusterOptions o;
+  o.shards = shards;
+  o.replicas_per_shard = 3;
+  o.seed = topt.seed;
+  o.range_splits = tpcc::warehouse_splits(topt.warehouses, shards);
+  o.obs.metrics_window = millis(500);
+  ShardedCluster cluster(o);
+  cluster.run_for(seconds(1));  // primaries form
+  tpcc::TpccDriver driver(cluster, topt);
+  driver.load();
+
+  const SimTime ws = cluster.sim().now();
+  const SimTime we = ws + measure;
+  driver.start(ws, we);
+
+  const int n = cluster.shards();
+  std::vector<std::int64_t> g_start(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> g_mid(static_cast<std::size_t>(n));
+  std::vector<std::int64_t> g_end(static_cast<std::size_t>(n));
+  for (int s = 0; s < n; ++s) g_start[static_cast<std::size_t>(s)] = cluster.green_count(s);
+  cluster.run_for(measure / 2);
+  for (int s = 0; s < n; ++s) g_mid[static_cast<std::size_t>(s)] = cluster.green_count(s);
+  cluster.run_for(measure - measure / 2);
+  for (int guard = 0; !driver.idle(); ++guard) {
+    if (guard > 600) {
+      std::fprintf(stderr, "FAIL: tpcc run did not drain\n");
+      std::exit(1);
+    }
+    cluster.run_for(millis(100));
+  }
+  for (int s = 0; s < n; ++s) g_end[static_cast<std::size_t>(s)] = cluster.green_count(s);
+  if (auto violation = cluster.check_all()) {
+    std::fprintf(stderr, "FAIL: %s\n", violation->c_str());
+    std::exit(1);
+  }
+
+  RunOut out;
+  std::int64_t first_total = 0;
+  std::int64_t second_total = 0;
+  for (int s = 0; s < n; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    first_total += g_mid[i] - g_start[i];
+    second_total += g_end[i] - g_mid[i];
+  }
+  for (int s = 0; s < n; ++s) {
+    const auto i = static_cast<std::size_t>(s);
+    const double f = first_total
+                         ? static_cast<double>(g_mid[i] - g_start[i]) /
+                               static_cast<double>(first_total)
+                         : 0;
+    const double sec = second_total
+                           ? static_cast<double>(g_end[i] - g_mid[i]) /
+                                 static_cast<double>(second_total)
+                           : 0;
+    if (f > out.share_first) {
+      out.share_first = f;
+      out.hot_first = s;
+    }
+    if (sec > out.share_second) {
+      out.share_second = sec;
+      out.hot_second = s;
+    }
+  }
+  for (int t = 0; t < tpcc::kTxnTypes; ++t) {
+    const tpcc::TxnStats& s = driver.stats(static_cast<tpcc::TxnType>(t));
+    TypeRow& row = out.types[t];
+    row.committed = s.committed;
+    row.aborted_check = s.aborted_check;
+    row.aborted_fenced = s.aborted_fenced;
+    row.aborted_other = s.aborted_other;
+    row.p50_ms = s.latency.p50_ms();
+    row.p99_ms = s.latency.p99_ms();
+    out.committed += s.committed;
+    out.aborted += s.aborted_check + s.aborted_fenced + s.aborted_other;
+  }
+  out.cross = driver.cross_shard_committed();
+  out.remote_unchecked = driver.remote_unchecked();
+  out.bounces = driver.fenced_bounces();
+  out.digest = driver.state_digest();
+  const double minutes = to_millis(measure) / 60'000.0;
+  out.tpmc = static_cast<double>(
+                 driver.stats(tpcc::TxnType::kNewOrder).committed) /
+             minutes;
+  if (want_table && cluster.metrics()) {
+    out.window_table = cluster.metrics()->window_table(
+        {"tpcc.new_order.committed", "tpcc.payment.committed", "tpcc.aborted.check",
+         "tpcc.new_order.remote_unchecked"});
+  }
+  return out;
+}
+
+void print_run(const RunOut& r) {
+  std::printf("  tpmC %7.0f | abort %5.2f%% | cross-shard %llu (unchecked %llu) | "
+              "fence bounces %llu\n",
+              r.tpmc,
+              100.0 * static_cast<double>(r.aborted) /
+                  static_cast<double>(r.committed + r.aborted ? r.committed + r.aborted : 1),
+              static_cast<unsigned long long>(r.cross),
+              static_cast<unsigned long long>(r.remote_unchecked),
+              static_cast<unsigned long long>(r.bounces));
+  std::printf("  %-12s | %9s | %19s | %8s | %8s\n", "type", "committed",
+              "aborts chk/fen/oth", "p50", "p99");
+  for (int t = 0; t < tpcc::kTxnTypes; ++t) {
+    const TypeRow& row = r.types[t];
+    std::printf("  %-12s | %9llu | %6llu/%5llu/%5llu | %6.2fms | %6.2fms\n",
+                tpcc::to_string(static_cast<tpcc::TxnType>(t)),
+                static_cast<unsigned long long>(row.committed),
+                static_cast<unsigned long long>(row.aborted_check),
+                static_cast<unsigned long long>(row.aborted_fenced),
+                static_cast<unsigned long long>(row.aborted_other), row.p50_ms, row.p99_ms);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = bench::fast_mode();
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0 || std::strcmp(argv[i], "--smoke") == 0) {
+      quick = true;
+    }
+  }
+
+  bench::header(
+      "Ablation A9: TPC-C-style mix over range-sharded groups (DESIGN.md §12)",
+      "the paper's §6 semantics family under one realistic workload: checked "
+      "new-orders abort atomically, commutative payments cross shards through "
+      "the commit barrier, deliveries stamp timestamps, queries read weak/dirty");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SimDuration measure = quick ? seconds(4) : seconds(10);
+
+  struct Config {
+    int shards;
+    int warehouses;
+    double theta;
+    double remote;
+  };
+  std::vector<Config> configs = {{4, 8, 0.0, 0.10}, {4, 8, 0.99, 0.10}, {8, 16, 0.99, 0.25}};
+  if (quick) configs = {{4, 8, 0.99, 0.10}};
+
+  for (const Config& c : configs) {
+    tpcc::TpccOptions topt;
+    topt.warehouses = c.warehouses;
+    topt.zipf_theta = c.theta;
+    topt.remote_fraction = c.remote;
+    topt.clients = quick ? 8 : 16;
+    std::printf("shards=%d warehouses=%d zipf_theta=%.2f remote=%.2f\n", c.shards,
+                c.warehouses, c.theta, c.remote);
+    print_run(run_tpcc(c.shards, topt, measure, /*want_table=*/false));
+    bench::row_sep();
+  }
+
+  // Hotspot shift: heavy skew, rank->warehouse mapping rotates mid-run; the
+  // per-shard green-count skew must land on a different shard afterwards.
+  {
+    tpcc::TpccOptions topt;
+    topt.warehouses = 8;
+    topt.zipf_theta = 1.2;
+    topt.remote_fraction = 0.05;
+    topt.clients = 8;
+    topt.hotspot_shift_after = measure / 2;
+    const RunOut r = run_tpcc(4, topt, measure, /*want_table=*/true);
+    std::printf("hotspot shift at t=%.1fs: hottest shard %d (%.0f%% of green) -> "
+                "shard %d (%.0f%%)\n",
+                to_millis(measure / 2) / 1000.0, r.hot_first, 100 * r.share_first,
+                r.hot_second, 100 * r.share_second);
+    if (r.hot_first == r.hot_second) {
+      std::fprintf(stderr, "FAIL: hotspot shift did not move the per-shard load skew\n");
+      return 1;
+    }
+    std::printf("\nwindow series (500ms windows):\n%s", r.window_table.c_str());
+    bench::row_sep();
+  }
+
+  // Determinism: the same seed must reproduce the run bit-identically.
+  {
+    tpcc::TpccOptions topt;
+    topt.warehouses = 8;
+    topt.zipf_theta = 0.99;
+    topt.clients = 8;
+    const RunOut a = run_tpcc(4, topt, seconds(3), false);
+    const RunOut b = run_tpcc(4, topt, seconds(3), false);
+    if (a.digest != b.digest || a.committed != b.committed || a.aborted != b.aborted) {
+      std::fprintf(stderr, "FAIL: same-seed runs diverged (digest %llx vs %llx)\n",
+                   static_cast<unsigned long long>(a.digest),
+                   static_cast<unsigned long long>(b.digest));
+      return 1;
+    }
+    std::printf("determinism: two same-seed runs -> digest %016llx, %llu commits OK\n",
+                static_cast<unsigned long long>(a.digest),
+                static_cast<unsigned long long>(a.committed));
+  }
+
+  const double wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  double budget_ms = 240'000;
+  if (const char* b = std::getenv("TORDB_TPCC_BUDGET_MS")) budget_ms = std::atof(b);
+  if (wall_ms > budget_ms) {
+    std::fprintf(stderr, "FAIL: tpcc bench took %.0f ms, over the %.0f ms budget\n", wall_ms,
+                 budget_ms);
+    return 1;
+  }
+  std::printf("wall clock: %.0f ms <= %.0f ms budget OK\n", wall_ms, budget_ms);
+  return 0;
+}

@@ -129,7 +129,7 @@ void ClientSession::on_reply(std::int64_t seq, std::uint64_t attempt_epoch, bool
   if (current_.attempts == 1) {
     // Single attempt: the guard cannot have failed (nobody else writes this
     // key), so the user's own check aborted — a genuine deterministic abort.
-    finish(false);
+    finish(false, /*fenced=*/false, /*check_aborted=*/true);
     return;
   }
   // After retries an abort is ambiguous: the guard may have tripped because
@@ -154,7 +154,9 @@ void ClientSession::resolve_ambiguous_abort(std::int64_t seq, std::uint64_t atte
           last_committed_guard_ = seq_str_;
           finish(true);
         } else {
-          finish(false);
+          // No attempt committed, so the guard check held everywhere the
+          // command was evaluated — the user's own precondition aborted it.
+          finish(false, /*fenced=*/false, /*check_aborted=*/true);
         }
       });
 }
@@ -166,16 +168,19 @@ void ClientSession::on_timeout(std::int64_t seq, std::uint64_t attempt_epoch) {
   issue();
 }
 
-void ClientSession::finish(bool committed, bool fenced) {
+void ClientSession::finish(bool committed, bool fenced, bool check_aborted) {
   in_flight_ = false;
   if (committed) {
     ++stats_.committed;
   } else {
     ++stats_.aborted;
+    if (check_aborted) ++stats_.aborted_checks;
+    if (fenced) ++stats_.aborted_fenced;
   }
   SessionReply rep;
   rep.committed = committed;
   rep.fenced = fenced;
+  rep.check_aborted = check_aborted;
   rep.attempts = current_.attempts;
   auto fn = std::move(current_.reply);
   current_ = Request{};

@@ -48,8 +48,15 @@ struct SessionOptions {
 };
 
 struct SessionReply {
-  bool committed = false;  ///< false = the command's own check aborted
-  bool fenced = false;     ///< abort cause: an update hit a fenced key range
+  bool committed = false;
+  bool fenced = false;         ///< abort cause: an update hit a fenced key range
+  /// Abort cause: the command's own kCheck precondition failed — a genuine
+  /// deterministic abort (every replica aborted it identically), as opposed
+  /// to a fenced bounce (rebalance interference, retryable at the new
+  /// owner) or an exhausted attempt budget. A retried request resolves this
+  /// via the guard read-back: if no attempt committed, the guard check
+  /// necessarily passed, so the user's own precondition was what failed.
+  bool check_aborted = false;
   int attempts = 1;
 };
 using SessionReplyFn = std::function<void(const SessionReply&)>;
@@ -58,6 +65,8 @@ struct SessionStats {
   std::uint64_t submitted = 0;
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
+  std::uint64_t aborted_checks = 0;  ///< aborts with check_aborted set
+  std::uint64_t aborted_fenced = 0;  ///< aborts with fenced set
   std::uint64_t retries = 0;
   std::uint64_t duplicates_suppressed = 0;
   std::uint64_t failovers = 0;
@@ -98,7 +107,7 @@ class ClientSession {
   void on_reply(std::int64_t seq, std::uint64_t attempt_epoch, bool aborted, bool fenced);
   void on_timeout(std::int64_t seq, std::uint64_t attempt_epoch);
   void resolve_ambiguous_abort(std::int64_t seq, std::uint64_t attempt_epoch);
-  void finish(bool committed, bool fenced = false);
+  void finish(bool committed, bool fenced = false, bool check_aborted = false);
   ReplicaNode* current_replica();
   void advance_replica();
 

@@ -100,12 +100,15 @@ void Router::route(std::int64_t client, db::Command update, RouteReplyFn reply, 
             return;
           }
           r.committed ? ++stats_.committed : ++stats_.aborted;
+          if (!r.committed && r.check_aborted) ++stats_.aborted_checks;
           if (reply) {
             RouteReply out;
             out.committed = r.committed;
             out.fenced = !r.committed && r.fenced;
+            out.check_aborted = !r.committed && r.check_aborted;
             out.shards_involved = 1;
             out.attempts = r.attempts;
+            out.fenced_bounces = bounces;
             reply(out);
           }
         });
@@ -191,6 +194,7 @@ void Router::submit_cross_slice(std::int64_t token, int shard, db::Command user_
         } else {
           cs.all_committed = false;
           if (r.fenced) cs.fenced_exhausted = true;
+          if (r.check_aborted) cs.check_aborted = true;
         }
         if (--cs.outstanding == 0) finish_cross(token);
       });
@@ -221,12 +225,15 @@ void Router::finish_cross(std::int64_t token) {
   const bool committed = cs.all_committed;
   if (cs.any_committed && !cs.all_committed) ++stats_.cross_partial_aborts;
   committed ? ++stats_.committed : ++stats_.aborted;
+  if (!committed && cs.check_aborted) ++stats_.aborted_checks;
 
   RouteReply out;
   out.committed = committed;
   out.fenced = cs.fenced_exhausted;
+  out.check_aborted = !committed && cs.check_aborted;
   out.shards_involved = cs.involved;
   out.attempts = cs.attempts;
+  out.fenced_bounces = cs.bounces;
   if (committed) out.barrier_wait = cs.last_green - cs.first_green;
   options_.tracer.emit(obs::EventKind::kShardCrossCommit, cs.xid, committed ? 1 : 0,
                        out.barrier_wait);

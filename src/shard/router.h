@@ -74,8 +74,15 @@ struct RouterOptions {
 struct RouteReply {
   bool committed = false;
   bool fenced = false;           ///< aborted with the fence-bounce budget exhausted
+  /// Aborted because the command's own kCheck precondition failed — the
+  /// application-level abort (e.g. a TPC-C invalid item), distinct from
+  /// rebalance interference (`fenced`) and exhausted budgets. Surfaced from
+  /// SessionReply so workload drivers count real aborts separately from
+  /// rebalance retries.
+  bool check_aborted = false;
   int shards_involved = 1;
   int attempts = 0;              ///< summed over sub-requests
+  int fenced_bounces = 0;        ///< fenced re-routes this command consumed
   SimDuration barrier_wait = 0;  ///< first green -> last green (cross-shard)
 };
 using RouteReplyFn = std::function<void(const RouteReply&)>;
@@ -85,6 +92,7 @@ struct RouterStats {
   std::uint64_t routed_cross = 0;
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
+  std::uint64_t aborted_checks = 0;         ///< aborts whose cause was a failed kCheck
   std::uint64_t rejected_cross_checks = 0;  ///< kCheck in a cross-shard command
   std::uint64_t failovers = 0;              ///< sub-requests needing > 1 attempt
   std::uint64_t cross_partial_aborts = 0;   ///< some shard aborted, others committed
@@ -132,6 +140,7 @@ class Router {
     bool all_committed = true;
     bool any_committed = false;
     bool fenced_exhausted = false;
+    bool check_aborted = false;
     int attempts = 0;
     SimTime first_green = -1;
     SimTime last_green = -1;

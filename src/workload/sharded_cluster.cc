@@ -261,6 +261,8 @@ void ShardedCluster::sample_metrics() {
   metrics_->gauge("sim.queue_depth").set(static_cast<std::int64_t>(sim_.queue_depth()));
   metrics_->gauge("sim.peak_queue_depth").set(static_cast<std::int64_t>(sim_.peak_queue_depth()));
   metrics_->counter("router.committed").set_total(router_->stats().committed);
+  metrics_->counter("router.aborted").set_total(router_->stats().aborted);
+  metrics_->counter("router.aborted_checks").set_total(router_->stats().aborted_checks);
   metrics_->counter("router.cross").set_total(router_->stats().routed_cross);
   metrics_->counter("router.failovers").set_total(router_->stats().failovers);
   metrics_->counter("router.fenced_bounces").set_total(router_->stats().fenced_bounces);

@@ -1,0 +1,122 @@
+#include "workload/tpcc/schema.h"
+
+#include <stdexcept>
+
+namespace tordb::workload::tpcc {
+
+namespace {
+
+/// Append `v` zero-padded to `width` digits (keys must sort numerically).
+void pad(std::string& out, int v, int width) {
+  char buf[12];
+  int len = 0;
+  for (int x = v; x > 0; x /= 10) buf[len++] = static_cast<char>('0' + x % 10);
+  for (int i = len; i < width; ++i) out.push_back('0');
+  while (len > 0) out.push_back(buf[--len]);
+}
+
+std::string district_prefix(int w, int d) {
+  std::string k = warehouse_prefix(w);
+  k.push_back('d');
+  pad(k, d, 2);
+  k.push_back('/');
+  return k;
+}
+
+void order_id(std::string& out, std::int64_t client, std::int64_t n) {
+  out += std::to_string(client);
+  out.push_back('-');
+  out += std::to_string(n);
+}
+
+}  // namespace
+
+std::string warehouse_prefix(int w) {
+  std::string k;
+  k.reserve(8);
+  k.push_back('w');
+  pad(k, w, 4);
+  k.push_back('/');
+  return k;
+}
+
+std::string item_key(int w, int item) {
+  std::string k = warehouse_prefix(w);
+  k.push_back('i');
+  pad(k, item, 4);
+  return k;
+}
+
+std::string stock_key(int w, int item) {
+  std::string k = warehouse_prefix(w);
+  k.push_back('s');
+  pad(k, item, 4);
+  return k;
+}
+
+std::string warehouse_ytd_key(int w) { return warehouse_prefix(w) + "ytd"; }
+
+std::string district_ytd_key(int w, int d) { return district_prefix(w, d) + "ytd"; }
+
+std::string district_order_count_key(int w, int d) { return district_prefix(w, d) + "nord"; }
+
+std::string customer_balance_key(int w, int d, int c) {
+  std::string k = district_prefix(w, d);
+  k.push_back('c');
+  pad(k, c, 4);
+  k += "/bal";
+  return k;
+}
+
+std::string customer_last_order_key(int w, int d, int c) {
+  std::string k = district_prefix(w, d);
+  k.push_back('c');
+  pad(k, c, 4);
+  k += "/last";
+  return k;
+}
+
+std::string order_key(int w, int d, std::int64_t client, std::int64_t n) {
+  std::string k = district_prefix(w, d);
+  k.push_back('o');
+  order_id(k, client, n);
+  return k;
+}
+
+std::string order_line_key(int w, int d, std::int64_t client, std::int64_t n, int line) {
+  std::string k = district_prefix(w, d);
+  k += "ol";
+  order_id(k, client, n);
+  k.push_back('-');
+  k += std::to_string(line);
+  return k;
+}
+
+std::string delivery_key(int w, int d, std::int64_t client, std::int64_t n) {
+  std::string k = district_prefix(w, d);
+  k.push_back('q');
+  order_id(k, client, n);
+  return k;
+}
+
+std::vector<std::string> warehouse_splits(int warehouses, int shards) {
+  if (shards < 1 || warehouses < shards) {
+    throw std::invalid_argument("warehouse_splits needs warehouses >= shards >= 1");
+  }
+  std::vector<std::string> splits;
+  for (int s = 1; s < shards; ++s) {
+    splits.push_back(warehouse_prefix(shard_warehouses(warehouses, shards, s).first));
+  }
+  return splits;
+}
+
+std::pair<int, int> shard_warehouses(int warehouses, int shards, int shard) {
+  // Contiguous blocks of floor(W/S), the first W mod S shards one wider —
+  // the same dealing as the split points, kept in one place.
+  const int base = warehouses / shards;
+  const int extra = warehouses % shards;
+  const int lo = shard * base + (shard < extra ? shard : extra);
+  return {lo, lo + base + (shard < extra ? 1 : 0)};
+}
+
+}  // namespace tordb::workload::tpcc

@@ -1,0 +1,58 @@
+// TPC-C-style schema laid out on the ordered key space (DESIGN.md §12).
+//
+// Six tables — warehouse, district, customer, order, order-line, stock —
+// become key families under one fixed-width, zero-padded warehouse prefix
+// `w<0000>/`, so every row of warehouse w is lexicographically contiguous:
+//
+//   w0007/d03/c0012/bal     customer balance            (kAdd, commutative)
+//   w0007/d03/c0012/last    customer's latest order id  (kPut)
+//   w0007/d03/nord          admitted new-order count    (kAdd, commutative)
+//   w0007/d03/o5-17         order row                   (kPut)
+//   w0007/d03/ol5-17-2      order line 2 of that order  (kPut)
+//   w0007/d03/q5-17         order delivery stamp        (kTimestampPut)
+//   w0007/d03/ytd           district year-to-date       (kAdd, commutative)
+//   w0007/i0042             item validity row, "1"      (loaded once; kCheck target)
+//   w0007/s0042             stock quantity              (kAdd, commutative)
+//   w0007/ytd               warehouse year-to-date      (kAdd, commutative)
+//
+// Contiguity is the point: `warehouse_splits` carves the key space at
+// warehouse boundaries, so a range-sharded shard::Directory maps whole
+// warehouses to groups, directory split/merge refines *within* the TPC-C
+// data (split a hot warehouse block off), and the rebalancer's fenced
+// range moves relocate warehouses with the generic machinery unmodified.
+// The TPC-C ITEM table is global and read-only; like production partial
+// replication would, we replicate a per-warehouse copy so new-order's item
+// precondition checks are evaluated at the shard that orders the action.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tordb::workload::tpcc {
+
+/// `w<0000>/` — the warehouse prefix every row of warehouse `w` shares.
+/// Four digits bound the model at 10k warehouses, far past simulation scale.
+std::string warehouse_prefix(int w);
+
+std::string item_key(int w, int item);          ///< validity row, value "1"
+std::string stock_key(int w, int item);         ///< quantity (numeric)
+std::string warehouse_ytd_key(int w);           ///< numeric
+std::string district_ytd_key(int w, int d);     ///< numeric
+std::string district_order_count_key(int w, int d);  ///< admitted new-orders
+std::string customer_balance_key(int w, int d, int c);
+std::string customer_last_order_key(int w, int d, int c);
+/// Order ids are (creating client, per-client sequence) — globally unique
+/// without a read-modify-write on a district counter.
+std::string order_key(int w, int d, std::int64_t client, std::int64_t n);
+std::string order_line_key(int w, int d, std::int64_t client, std::int64_t n, int line);
+std::string delivery_key(int w, int d, std::int64_t client, std::int64_t n);
+
+/// Range-sharding split points that deal `warehouses` out to `shards` in
+/// contiguous blocks (shard 0 gets the remainder): `shards - 1` ascending
+/// warehouse-prefix bounds, ready for ShardedClusterOptions::range_splits.
+std::vector<std::string> warehouse_splits(int warehouses, int shards);
+
+/// The warehouse block [lo, hi) that `warehouse_splits` assigns to `shard`.
+std::pair<int, int> shard_warehouses(int warehouses, int shards, int shard);
+
+}  // namespace tordb::workload::tpcc

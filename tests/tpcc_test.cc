@@ -1,0 +1,245 @@
+// TPC-C workload subsystem (DESIGN.md §12): schema layout, determinism,
+// abort-cause surfacing, and ledger consistency under churn + rebalancing
+// with the online safety checker forced on (obs_enable.h).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs_enable.h"
+#include "shard/directory.h"
+#include "workload/sharded_cluster.h"
+#include "workload/tpcc/driver.h"
+
+namespace tordb::workload::tpcc {
+namespace {
+
+std::int64_t stored_num(ShardedCluster& cluster, const std::string& key) {
+  const int shard = cluster.directory().shard_of(key);
+  for (int i = 0; i < cluster.replicas_per_shard(); ++i) {
+    const auto& node = cluster.node(shard, i);
+    if (node.running() && !node.has_left()) {
+      const std::string v = node.engine().database().get(key);
+      return v.empty() ? 0 : std::stoll(v);
+    }
+  }
+  ADD_FAILURE() << "no running replica for shard " << shard;
+  return -1;
+}
+
+TEST(TpccSchema, KeysAreWarehouseContiguous) {
+  // Every row of warehouse w must sort inside [prefix(w), prefix(w+1)) so a
+  // range directory maps whole warehouses — the property the shardable
+  // layout exists for.
+  for (const int w : {0, 7, 42}) {
+    const std::string lo = warehouse_prefix(w);
+    const std::string hi = warehouse_prefix(w + 1);
+    const std::vector<std::string> keys = {
+        item_key(w, 3),       stock_key(w, 3),           warehouse_ytd_key(w),
+        district_ytd_key(w, 1), district_order_count_key(w, 1),
+        customer_balance_key(w, 1, 2), customer_last_order_key(w, 1, 2),
+        order_key(w, 1, 5, 17), order_line_key(w, 1, 5, 17, 2), delivery_key(w, 1, 5, 17),
+    };
+    for (const std::string& k : keys) {
+      EXPECT_GE(k, lo) << k;
+      EXPECT_LT(k, hi) << k;
+    }
+  }
+}
+
+TEST(TpccSchema, SplitsDealContiguousBlocks) {
+  for (const int warehouses : {4, 8, 10}) {
+    for (const int shards : {1, 2, 4}) {
+      const auto splits = warehouse_splits(warehouses, shards);
+      ASSERT_EQ(static_cast<int>(splits.size()), shards - 1);
+      for (std::size_t i = 1; i < splits.size(); ++i) EXPECT_LT(splits[i - 1], splits[i]);
+      auto dir = shard::Directory::ranged(splits);
+      if (shards == 1) dir = shard::Directory::ranged({});
+      int covered = 0;
+      for (int s = 0; s < shards; ++s) {
+        const auto [lo, hi] = shard_warehouses(warehouses, shards, s);
+        EXPECT_EQ(lo, covered);  // blocks tile [0, warehouses) in order
+        covered = hi;
+        for (int w = lo; w < hi; ++w) {
+          if (shards > 1) {
+            EXPECT_EQ(dir.shard_of(stock_key(w, 0)), s) << "w" << w;
+            EXPECT_EQ(dir.shard_of(district_ytd_key(w, 0)), s) << "w" << w;
+          }
+        }
+      }
+      EXPECT_EQ(covered, warehouses);
+    }
+  }
+}
+
+struct RunResult {
+  std::uint64_t digest = 0;
+  std::uint64_t committed[kTxnTypes] = {};
+  std::uint64_t aborted_check[kTxnTypes] = {};
+};
+
+RunResult run_once(std::uint64_t seed) {
+  TpccOptions topt;
+  topt.warehouses = 4;
+  topt.clients = 6;
+  topt.zipf_theta = 0.9;
+  topt.remote_fraction = 0.2;
+  topt.invalid_item_fraction = 0.05;
+  topt.hotspot_shift_after = seconds(1);
+  topt.seed = seed;
+
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.replicas_per_shard = 3;
+  options.seed = seed;
+  options.range_splits = warehouse_splits(topt.warehouses, options.shards);
+  ShardedCluster cluster(options);
+  cluster.run_for(seconds(1));
+  TpccDriver driver(cluster, topt);
+  driver.load();
+  const SimTime start = cluster.sim().now();
+  driver.start(start, start + seconds(3));
+  int guard = 0;
+  while (!driver.idle()) {
+    if (++guard > 600) {
+      ADD_FAILURE() << "run did not drain";
+      break;
+    }
+    cluster.run_for(millis(100));
+  }
+  RunResult out;
+  out.digest = driver.state_digest();
+  for (int t = 0; t < kTxnTypes; ++t) {
+    out.committed[t] = driver.total(static_cast<TxnType>(t)).committed;
+    out.aborted_check[t] = driver.total(static_cast<TxnType>(t)).aborted_check;
+  }
+  return out;
+}
+
+// Helper wrappers because ASSERT_* needs a void-returning context.
+void run_once_into(std::uint64_t seed, RunResult* out) { *out = run_once(seed); }
+
+TEST(TpccDriver, SameSeedBitIdentical) {
+  RunResult a, b, c;
+  run_once_into(7, &a);
+  run_once_into(7, &b);
+  run_once_into(8, &c);
+  EXPECT_EQ(a.digest, b.digest);
+  for (int t = 0; t < kTxnTypes; ++t) {
+    EXPECT_EQ(a.committed[t], b.committed[t]) << to_string(static_cast<TxnType>(t));
+    EXPECT_EQ(a.aborted_check[t], b.aborted_check[t]) << to_string(static_cast<TxnType>(t));
+  }
+  // A different seed must actually change the run (guards against a digest
+  // that ignores its inputs).
+  EXPECT_NE(a.digest, c.digest);
+}
+
+TEST(TpccDriver, CheckAbortsAreSurfacedAsCause) {
+  // All-local orders with a heavy invalid-item rate: the aborts must be
+  // classified as failed checks (the application abort), not "other", and
+  // the same cause must be visible in the router's stats.
+  TpccOptions topt;
+  topt.warehouses = 2;
+  topt.clients = 6;
+  topt.remote_fraction = 0.0;
+  topt.invalid_item_fraction = 0.3;
+
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.replicas_per_shard = 3;
+  options.range_splits = warehouse_splits(topt.warehouses, options.shards);
+  ShardedCluster cluster(options);
+  cluster.run_for(seconds(1));
+  TpccDriver driver(cluster, topt);
+  driver.load();
+  const SimTime start = cluster.sim().now();
+  driver.start(start, start + seconds(3));
+  int guard = 0;
+  while (!driver.idle()) {
+    ASSERT_LT(++guard, 600);
+    cluster.run_for(millis(100));
+  }
+
+  const TxnStats& no = driver.total(TxnType::kNewOrder);
+  EXPECT_GT(no.aborted_check, 0u);
+  EXPECT_EQ(no.aborted_other, 0u);
+  EXPECT_EQ(no.aborted_fenced, 0u);
+  EXPECT_GE(cluster.router().stats().aborted_checks, no.aborted_check);
+  // An aborted order must leave no trace: the district order counts equal
+  // the admitted ledger exactly.
+  for (int w = 0; w < topt.warehouses; ++w) {
+    for (int d = 0; d < topt.districts; ++d) {
+      EXPECT_EQ(stored_num(cluster, district_order_count_key(w, d)),
+                driver.admitted_new_orders(w, d))
+          << "w" << w << "/d" << d;
+    }
+  }
+}
+
+TEST(TpccDriver, LedgersConsistentUnderChurnAndRebalance) {
+  // Full mix with skew, a replica crash + recovery, and a fenced range move
+  // of one warehouse block — all mid-run, with the safety checker live.
+  // Afterwards the replicated counters must equal the driver's ledgers
+  // exactly: district ytd == sum of admitted payments, district order count
+  // == admitted new-orders (exactly-once sessions + commutative adds).
+  TpccOptions topt;
+  topt.warehouses = 4;
+  topt.clients = 8;
+  topt.zipf_theta = 0.9;
+  topt.remote_fraction = 0.15;
+  topt.invalid_item_fraction = 0.05;
+
+  ShardedClusterOptions options;
+  options.shards = 2;
+  options.replicas_per_shard = 3;
+  options.range_splits = warehouse_splits(topt.warehouses, options.shards);
+  ShardedCluster cluster(options);
+  cluster.run_for(seconds(1));
+  TpccDriver driver(cluster, topt);
+  driver.load();
+
+  const SimTime start = cluster.sim().now();
+  driver.start(start, start + seconds(6));
+  cluster.run_for(millis(1500));
+  cluster.crash(1, 0);
+  cluster.run_for(millis(1500));
+  cluster.recover(1, 0);
+  // Carve warehouse 1 out of shard 0's block and move it to shard 1 while
+  // terminals keep issuing — commands hitting the fence bounce and retry.
+  ASSERT_TRUE(cluster.split_at(warehouse_prefix(1)));
+  bool move_ok = false;
+  ASSERT_TRUE(cluster.move_range(warehouse_prefix(1), warehouse_prefix(2), 1,
+                                 [&](const shard::MoveReport& r) { move_ok = r.ok; }));
+  int guard = 0;
+  while (!driver.idle() || !cluster.rebalancer().idle()) {
+    ASSERT_LT(++guard, 900) << "run did not drain";
+    cluster.run_for(millis(100));
+  }
+  ASSERT_TRUE(move_ok);
+  EXPECT_EQ(cluster.directory().shard_of(stock_key(1, 0)), 1);  // cutover happened
+
+  // Let the recovered replica finish converging, then check everything.
+  for (int i = 0; i < 100 && !(cluster.converged(0) && cluster.converged(1)); ++i) {
+    cluster.run_for(millis(200));
+  }
+  EXPECT_EQ(cluster.check_all(), std::nullopt);
+
+  std::uint64_t committed_total = 0;
+  for (int t = 0; t < kTxnTypes; ++t) {
+    committed_total += driver.total(static_cast<TxnType>(t)).committed;
+  }
+  EXPECT_GT(committed_total, 100u);
+  EXPECT_GT(driver.deliveries_stamped(), 0u);
+  for (int w = 0; w < topt.warehouses; ++w) {
+    for (int d = 0; d < topt.districts; ++d) {
+      EXPECT_EQ(stored_num(cluster, district_ytd_key(w, d)), driver.payment_sum(w, d))
+          << "ytd w" << w << "/d" << d;
+      EXPECT_EQ(stored_num(cluster, district_order_count_key(w, d)),
+                driver.admitted_new_orders(w, d))
+          << "nord w" << w << "/d" << d;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tordb::workload::tpcc

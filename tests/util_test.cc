@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <vector>
 
 #include "util/rng.h"
 #include "util/serde.h"
 #include "util/types.h"
+#include "util/zipf.h"
 
 namespace tordb {
 namespace {
@@ -148,6 +150,64 @@ TEST(Serde, StringUnderrunThrows) {
   Bytes b = w.take();
   BufReader r(b);
   EXPECT_THROW(r.str(), SerdeError);
+}
+
+TEST(Zipf, Deterministic) {
+  util::ZipfGenerator za(100, 0.99);
+  util::ZipfGenerator zb(100, 0.99);
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(za.next(a), zb.next(b));
+}
+
+TEST(Zipf, BoundsRespected) {
+  for (const double theta : {0.0, 0.5, 0.99, 1.2}) {
+    util::ZipfGenerator z(17, theta);
+    Rng r(7);
+    for (int i = 0; i < 5000; ++i) EXPECT_LT(z.next(r), 17u) << "theta=" << theta;
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  util::ZipfGenerator z(1, 1.1);
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(z.next(r), 0u);
+}
+
+TEST(Zipf, ThetaZeroIsUniform) {
+  // theta == 0 degenerates to next_below: every rank roughly equally likely.
+  util::ZipfGenerator z(10, 0.0);
+  Rng r(11);
+  std::vector<int> counts(10, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) ++counts[static_cast<std::size_t>(z.next(r))];
+  for (const int c : counts) {
+    EXPECT_GT(c, draws / 10 / 2);
+    EXPECT_LT(c, draws / 10 * 2);
+  }
+}
+
+TEST(Zipf, SkewConcentratesOnLowRanks) {
+  // With theta near 1 the head ranks dominate; heavier theta dominates more.
+  const int draws = 20000;
+  auto head_share = [&](double theta) {
+    util::ZipfGenerator z(1000, theta);
+    Rng r(5);
+    int head = 0;
+    for (int i = 0; i < draws; ++i) {
+      if (z.next(r) < 10) ++head;
+    }
+    return static_cast<double>(head) / draws;
+  };
+  const double mild = head_share(0.5);
+  const double heavy = head_share(1.2);
+  EXPECT_GT(mild, 0.05);   // far above uniform's 1%
+  EXPECT_GT(heavy, mild);  // skew grows with theta
+  EXPECT_GT(heavy, 0.5);   // rank 0..9 of 1000 dominates at theta 1.2
+}
+
+TEST(Zipf, InvalidArgsThrow) {
+  EXPECT_THROW(util::ZipfGenerator(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(util::ZipfGenerator(10, -0.1), std::invalid_argument);
 }
 
 }  // namespace
