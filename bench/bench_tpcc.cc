@@ -1,4 +1,5 @@
-// Ablation A9 (DESIGN.md §12): a TPC-C-style transaction mix over shards.
+// Ablations A9 + A10 (DESIGN.md §12, §13): a TPC-C-style transaction mix
+// over shards.
 //
 // The five-transaction mix (new-order / payment / delivery / order-status /
 // stock-level) maps TPC-C onto the paper's §6 semantics family: checked
@@ -8,11 +9,14 @@
 //
 // Reported per configuration: tpmC-style throughput (new-order commits per
 // simulated minute), abort rate split by cause (failed kCheck vs fenced vs
-// other), cross-shard fraction, and per-type p50/p99. Two extra checks run
-// every time: a determinism pass (same seed twice -> identical state digest
-// and counts) and a hotspot-shift pass (Zipf-skewed warehouse choice whose
-// rank->warehouse mapping rotates mid-run — the per-shard green-count skew
-// must move to a different shard).
+// other), cross-shard fraction, and per-type p50/p99. Remote new-orders
+// keep their item preconditions via the prepared-check coordinator — every
+// default run asserts remote_unchecked == 0. Extra passes every time: A10
+// compares checked remote orders against the `unchecked_remote` downgrade
+// (strip the checks, apply unconditionally); a determinism pass (same seed
+// twice -> identical state digest and counts); a hotspot-shift pass
+// (Zipf-skewed warehouse choice whose rank->warehouse mapping rotates
+// mid-run — the per-shard green-count skew must move to a different shard).
 //
 // Pass --quick (or set TORDB_BENCH_FAST=1) for the reduced CI smoke sweep.
 // TORDB_TPCC_BUDGET_MS (default 240000) bounds the total wall clock.
@@ -47,6 +51,7 @@ struct RunOut {
   std::uint64_t aborted = 0;
   std::uint64_t cross = 0;
   std::uint64_t remote_unchecked = 0;
+  std::uint64_t remote_checked = 0;
   std::uint64_t bounces = 0;
   std::uint64_t digest = 0;
   double tpmc = 0;
@@ -135,6 +140,14 @@ RunOut run_tpcc(int shards, tpcc::TpccOptions topt, SimDuration measure, bool wa
   }
   out.cross = driver.cross_shard_committed();
   out.remote_unchecked = driver.remote_unchecked();
+  out.remote_checked = driver.remote_checked();
+  // Remote preconditions are enforced by default: the only unchecked remote
+  // orders are the ones the A10 ablation explicitly asks for.
+  if (!topt.unchecked_remote && out.remote_unchecked != 0) {
+    std::fprintf(stderr, "FAIL: %llu remote new-orders ran unchecked\n",
+                 static_cast<unsigned long long>(out.remote_unchecked));
+    std::exit(1);
+  }
   out.bounces = driver.fenced_bounces();
   out.digest = driver.state_digest();
   const double minutes = to_millis(measure) / 60'000.0;
@@ -150,12 +163,13 @@ RunOut run_tpcc(int shards, tpcc::TpccOptions topt, SimDuration measure, bool wa
 }
 
 void print_run(const RunOut& r) {
-  std::printf("  tpmC %7.0f | abort %5.2f%% | cross-shard %llu (unchecked %llu) | "
+  std::printf("  tpmC %7.0f | abort %5.2f%% | cross-shard %llu (checked %llu, unchecked %llu) | "
               "fence bounces %llu\n",
               r.tpmc,
               100.0 * static_cast<double>(r.aborted) /
                   static_cast<double>(r.committed + r.aborted ? r.committed + r.aborted : 1),
               static_cast<unsigned long long>(r.cross),
+              static_cast<unsigned long long>(r.remote_checked),
               static_cast<unsigned long long>(r.remote_unchecked),
               static_cast<unsigned long long>(r.bounces));
   std::printf("  %-12s | %9s | %19s | %8s | %8s\n", "type", "committed",
@@ -207,7 +221,53 @@ int main(int argc, char** argv) {
     topt.clients = quick ? 8 : 16;
     std::printf("shards=%d warehouses=%d zipf_theta=%.2f remote=%.2f\n", c.shards,
                 c.warehouses, c.theta, c.remote);
-    print_run(run_tpcc(c.shards, topt, measure, /*want_table=*/false));
+    const RunOut r = run_tpcc(c.shards, topt, measure, /*want_table=*/false);
+    print_run(r);
+    if (c.remote > 0 && c.shards > 1 && r.remote_checked == 0) {
+      std::fprintf(stderr, "FAIL: no remote new-order went through the coordinator\n");
+      return 1;
+    }
+    bench::row_sep();
+  }
+
+  // Ablation A10: checked remote new-orders (the prepared-check coordinator,
+  // default) vs the unchecked downgrade (strip the preconditions, apply
+  // unconditionally). The downgrade buys latency but silently admits orders
+  // carrying invalid remote items; checked mode aborts them atomically.
+  {
+    tpcc::TpccOptions topt;
+    topt.warehouses = 8;
+    topt.remote_fraction = 0.25;
+    topt.invalid_item_fraction = 0.05;
+    topt.clients = 8;
+    std::printf("A10: remote new-order preconditions, checked vs unchecked "
+                "(remote=0.25, invalid=0.05)\n");
+    std::printf("checked (coordinator):\n");
+    const RunOut checked = run_tpcc(4, topt, measure, false);
+    print_run(checked);
+    topt.unchecked_remote = true;
+    std::printf("unchecked (A10 downgrade):\n");
+    const RunOut unchecked = run_tpcc(4, topt, measure, false);
+    print_run(unchecked);
+    if (checked.remote_checked == 0 || checked.remote_unchecked != 0) {
+      std::fprintf(stderr, "FAIL: checked run did not route remote orders via the coordinator\n");
+      return 1;
+    }
+    if (unchecked.remote_unchecked == 0 || unchecked.remote_checked != 0) {
+      std::fprintf(stderr, "FAIL: A10 downgrade did not strip remote checks\n");
+      return 1;
+    }
+    // The downgrade cannot see a remote invalid item: its new-order check
+    // aborts come from local orders only, so checked mode must abort more.
+    const std::uint64_t no = static_cast<std::size_t>(tpcc::TxnType::kNewOrder);
+    if (checked.types[no].aborted_check <= unchecked.types[no].aborted_check) {
+      std::fprintf(stderr,
+                   "FAIL: checked mode (%llu check-aborts) should catch more invalid "
+                   "remote items than the downgrade (%llu)\n",
+                   static_cast<unsigned long long>(checked.types[no].aborted_check),
+                   static_cast<unsigned long long>(unchecked.types[no].aborted_check));
+      return 1;
+    }
     bench::row_sep();
   }
 

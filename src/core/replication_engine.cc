@@ -1210,6 +1210,21 @@ void ReplicationEngine::apply_green(const Action& a) {
           }
         }
       }
+      if (tracer_ && !res.txn_events.empty()) {
+        // Same discipline as range events: stamp each transaction-state
+        // transition with the green position so the checker can dedup
+        // lagging-replica replays and order prepare/confirm/cancel within
+        // the group's own history (DESIGN.md §13).
+        const std::int64_t pos = log_.green_count();
+        for (const db::TxnEvent& ev : res.txn_events) {
+          const obs::EventKind kind = ev.kind == db::TxnEvent::Kind::kPrepare
+                                          ? obs::EventKind::kTxnPrepare
+                                      : ev.kind == db::TxnEvent::Kind::kConfirm
+                                          ? obs::EventKind::kTxnConfirm
+                                          : obs::EventKind::kTxnCancel;
+          tracer_.emit(kind, static_cast<std::int64_t>(ev.txn), pos);
+        }
+      }
       if (a.semantics == Semantics::kStrict) reply_green(a, res);
       break;
     }

@@ -35,7 +35,9 @@ bool mutates(OpType t) {
 }
 
 /// Reserved infrastructure keys (session guards `__session/`, cross-shard
-/// markers `__xs/`) are pinned to their group: never fenced, never moved.
+/// markers `__xs/`, transaction intent/pending/decision records `__txn/`,
+/// `__txnp/`, `__txnd/`) are pinned to their group: never fenced, never
+/// moved.
 bool reserved_key(std::string_view key) { return key.size() >= 2 && key[0] == '_' && key[1] == '_'; }
 }  // namespace
 
@@ -79,6 +81,25 @@ RangeSnapshot RangeSnapshot::decode(const Bytes& b) {
     return row;
   });
   return s;
+}
+
+Bytes TxnPending::encode() const {
+  BufWriter w;
+  w.i64(client);
+  w.i64(seq);
+  w.u32(static_cast<std::uint32_t>(home));
+  update.encode(w);
+  return w.take();
+}
+
+TxnPending TxnPending::decode(const Bytes& b) {
+  BufReader r(b);
+  TxnPending p;
+  p.client = r.i64();
+  p.seq = r.i64();
+  p.home = static_cast<int>(r.u32());
+  p.update = Command::decode(r);
+  return p;
 }
 
 void Command::encode(BufWriter& w) const {
@@ -141,6 +162,20 @@ Command Command::install_range(const RangeSnapshot& snap) {
 
 Command Command::unfence_range(std::string lo, std::string hi) {
   return Command{{Op{OpType::kUnfenceRange, std::move(lo), std::move(hi), 0}}};
+}
+
+Command Command::txn_prepare(std::string pending_key, const TxnPending& pending) {
+  const Bytes blob = pending.encode();
+  return Command{{Op{OpType::kTxnPrepare, std::move(pending_key),
+                     std::string(blob.begin(), blob.end()), 0}}};
+}
+
+Command Command::txn_confirm(std::string pending_key) {
+  return Command{{Op{OpType::kTxnConfirm, std::move(pending_key), "", 0}}};
+}
+
+Command Command::txn_cancel(std::string pending_key) {
+  return Command{{Op{OpType::kTxnCancel, std::move(pending_key), "", 0}}};
 }
 
 const Database::TrackedRange* Database::range_of(std::string_view key) const {
@@ -231,14 +266,30 @@ ApplyResult Database::apply(const Command& query, const Command& update) {
     }
   }
   if (!ranges_.empty()) {
+    std::size_t n = 0;
     for (const auto* ops : lists) {
       for (const Op& op : *ops) {
-        if (!mutates(op.type) || reserved_key(op.key)) continue;
-        const TrackedRange* r = range_of(op.key);
-        if (r != nullptr && r->fenced) {
-          res.aborted = true;
-          res.fenced = true;
-          return res;
+        const util::KeyId id = ids[n++];
+        if (mutates(op.type) && !reserved_key(op.key)) {
+          const TrackedRange* r = range_of(op.key);
+          if (r != nullptr && r->fenced) {
+            res.aborted = true;
+            res.fenced = true;
+            return res;
+          }
+        } else if (op.type == OpType::kTxnPrepare || op.type == OpType::kTxnConfirm) {
+          // A buffered transaction update must respect fences like any plain
+          // write: decode the blob (the op's own value for a prepare, the
+          // stored pending cell for a confirm) and pre-scan its ops. The
+          // fenced abort has no effects, so the coordinator can cancel the
+          // stranded prepare and re-route the slice to the range's new owner.
+          const std::string& blob = op.type == OpType::kTxnPrepare ? op.value : value_at(id);
+          if (!blob.empty() &&
+              update_hits_fence(TxnPending::decode(Bytes(blob.begin(), blob.end())).update)) {
+            res.aborted = true;
+            res.fenced = true;
+            return res;
+          }
         }
       }
     }
@@ -273,17 +324,9 @@ ApplyResult Database::apply(const Command& query, const Command& update) {
         }
         break;
       }
-      case OpType::kDelete: {
-        Cell& cell = cells_[id];
-        if (cell.live) {
-          cell.live = false;
-          cell.value.clear();
-          cell.value.shrink_to_fit();
-          cell.ts = -1;
-          --live_;
-        }
+      case OpType::kDelete:
+        erase_cell(id);
         break;
-      }
       case OpType::kFenceRange: {
         carve_tracked(op.key, op.value);
         ranges_.push_back(TrackedRange{op.key, op.value, true});
@@ -331,6 +374,34 @@ ApplyResult Database::apply(const Command& query, const Command& update) {
                                               range_fingerprint(op.key, op.value), 0});
         break;
       }
+      case OpType::kTxnPrepare: {
+        // Plant the buffered update in the reserved pending cell. A
+        // session-duplicate re-prepare overwrites with the same bytes —
+        // identical state, but still a fresh transition event (the replay
+        // dedup happens positionally in the checker).
+        upsert(id).value = op.value;
+        res.txn_events.push_back(
+            TxnEvent{TxnEvent::Kind::kPrepare, range_fingerprint(op.key, "")});
+        break;
+      }
+      case OpType::kTxnConfirm: {
+        // Copy, not reference: applying the buffered ops below may grow the
+        // cell table and invalidate cell storage.
+        const std::string pending = value_at(id);
+        if (pending.empty()) break;  // already confirmed or cancelled: idempotent
+        erase_cell(id);              // erase first; buffered ops cannot resurrect it
+        apply_buffered(TxnPending::decode(Bytes(pending.begin(), pending.end())).update, res);
+        res.txn_events.push_back(
+            TxnEvent{TxnEvent::Kind::kConfirm, range_fingerprint(op.key, "")});
+        break;
+      }
+      case OpType::kTxnCancel: {
+        if (value_at(id).empty()) break;  // already resolved: idempotent
+        erase_cell(id);
+        res.txn_events.push_back(
+            TxnEvent{TxnEvent::Kind::kCancel, range_fingerprint(op.key, "")});
+        break;
+      }
     }
     // Surface green-applied user writes into tracked ranges so the checker
     // can assert single-shard ownership; deduped per command.
@@ -374,6 +445,71 @@ const std::string& Database::value_at(util::KeyId id) const {
   static const std::string kEmpty;
   if (id == util::kNoKeyId || id >= cells_.size() || !cells_[id].live) return kEmpty;
   return cells_[id].value;
+}
+
+void Database::erase_cell(util::KeyId id) {
+  if (id == util::kNoKeyId || id >= cells_.size()) return;
+  Cell& cell = cells_[id];
+  if (!cell.live) return;
+  cell.live = false;
+  cell.value.clear();
+  cell.value.shrink_to_fit();
+  cell.ts = -1;
+  --live_;
+}
+
+bool Database::update_hits_fence(const Command& cmd) const {
+  for (const Op& op : cmd.ops) {
+    if (!mutates(op.type) || reserved_key(op.key)) continue;
+    const TrackedRange* r = range_of(op.key);
+    if (r != nullptr && r->fenced) return true;
+  }
+  return false;
+}
+
+void Database::apply_buffered(const Command& cmd, ApplyResult& res) {
+  for (const Op& op : cmd.ops) {
+    const util::KeyId id = keys_.intern(op.key);
+    switch (op.type) {
+      case OpType::kPut:
+        upsert(id).value = op.value;
+        break;
+      case OpType::kAdd: {
+        const std::int64_t cur = to_num(value_at(id));
+        assign_num(upsert(id).value, cur + op.num);
+        break;
+      }
+      case OpType::kAppend:
+        upsert(id).value += op.value;
+        break;
+      case OpType::kTimestampPut: {
+        Cell& cell = upsert(id);
+        if (op.num > cell.ts) {
+          cell.ts = op.num;
+          cell.value = op.value;
+        }
+        break;
+      }
+      case OpType::kDelete:
+        erase_cell(id);
+        break;
+      default:
+        break;  // checks were consumed at prepare time; reads/range/txn ops are never buffered
+    }
+    // Same kWrite surfacing as the main apply loop: a confirmed buffered
+    // write into a tracked range is a green-applied user write the checker's
+    // ownership invariant must see.
+    if (!ranges_.empty() && mutates(op.type) && !reserved_key(op.key)) {
+      if (const TrackedRange* r = range_of(op.key)) {
+        const std::uint64_t h = range_fingerprint(r->lo, r->hi);
+        bool seen = false;
+        for (const RangeEvent& e : res.range_events) {
+          seen = seen || (e.kind == RangeEvent::Kind::kWrite && e.range == h);
+        }
+        if (!seen) res.range_events.push_back(RangeEvent{RangeEvent::Kind::kWrite, h, 0});
+      }
+    }
+  }
 }
 
 Database::Cell& Database::upsert(util::KeyId id) {
@@ -439,6 +575,20 @@ RangeSnapshot Database::extract_range(const std::string& lo, const std::string& 
     snap.rows.push_back(RangeRow{std::string(key), cell.value, cell.ts});
   }
   return snap;
+}
+
+std::vector<std::pair<std::string, std::string>> Database::scan_prefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  ensure_ordered();
+  for (std::size_t i = ordered_lower_bound(prefix); i < ordered_.size(); ++i) {
+    const std::string_view key = keys_.key(ordered_[i]);
+    if (key.substr(0, prefix.size()) != prefix) break;
+    const Cell& cell = cells_[ordered_[i]];
+    if (!cell.live) continue;
+    out.emplace_back(std::string(key), cell.value);
+  }
+  return out;
 }
 
 Bytes Database::snapshot() const {

@@ -45,6 +45,14 @@ enum class OpType : std::uint8_t {
   kFenceRange = 7,   ///< fence [key, value): subsequent updates there abort
   kInstallRange = 8, ///< install a RangeSnapshot (value = encoded blob); clears the fence
   kUnfenceRange = 9, ///< lift the fence on [key, value): an abandoned move's rollback
+  // Cross-shard prepared-check transactions (src/txn; DESIGN.md §13). All
+  // three ride a shard's green order like any other op, so every replica of
+  // the group takes the same prepare/confirm/cancel transition at the same
+  // green position. The pending update lives in an ordinary reserved-key
+  // cell, so snapshot/restore, state transfer and digest carry it for free.
+  kTxnPrepare = 10,  ///< key = reserved pending cell, value = encoded TxnPending
+  kTxnConfirm = 11,  ///< apply the pending's buffered update, erase the cell
+  kTxnCancel = 12,   ///< erase the pending cell without applying
 };
 
 struct Op {
@@ -57,6 +65,7 @@ struct Op {
 };
 
 struct RangeSnapshot;  // defined below
+struct TxnPending;     // defined below
 
 /// One action's update and/or query program. Empty `ops` is a pure no-op.
 struct Command {
@@ -75,6 +84,24 @@ struct Command {
   static Command fence_range(std::string lo, std::string hi);
   static Command install_range(const RangeSnapshot& snap);
   static Command unfence_range(std::string lo, std::string hi);
+  static Command txn_prepare(std::string pending_key, const TxnPending& pending);
+  static Command txn_confirm(std::string pending_key);
+  static Command txn_cancel(std::string pending_key);
+};
+
+/// One shard's slice of a cross-shard prepared-check transaction, buffered
+/// at a reserved `__txnp/` cell between the prepare and the decision
+/// (DESIGN.md §13). The header (client, seq, home) is enough for a recovery
+/// pass to find the coordinator's intent record and drive the transaction
+/// to the same confirm-xor-cancel outcome on every shard.
+struct TxnPending {
+  std::int64_t client = 0;
+  std::int64_t seq = 0;
+  int home = 0;     ///< shard holding the coordinator's `__txn/` intent record
+  Command update;   ///< the buffered non-check ops owned by this shard
+
+  Bytes encode() const;
+  static TxnPending decode(const Bytes& b);
 };
 
 /// Half-open key range [lo, hi); hi == "" means +infinity (lo == "" already
@@ -118,11 +145,23 @@ struct RangeEvent {
   std::int64_t rows = 0;    ///< rows installed (kInstall only)
 };
 
+/// Transaction-state transition observed while applying a command — the
+/// engine turns these into kTxnPrepare / kTxnConfirm / kTxnCancel trace
+/// events stamped with the green position, which invariant 9 consumes.
+/// Emitted only on real transitions: a confirm or cancel of an
+/// already-resolved pending is an idempotent no-op with no event.
+struct TxnEvent {
+  enum class Kind : std::uint8_t { kPrepare, kConfirm, kCancel };
+  Kind kind = Kind::kPrepare;
+  std::uint64_t txn = 0;  ///< range_fingerprint(pending key, "")
+};
+
 struct ApplyResult {
   bool aborted = false;            ///< a kCheck precondition failed, or fenced
   bool fenced = false;             ///< aborted because an update hit a fenced range
   std::vector<std::string> reads;  ///< one entry per kGet, in program order
   std::vector<RangeEvent> range_events;  ///< only populated once ranges are tracked
+  std::vector<TxnEvent> txn_events;      ///< only populated by kTxn* ops
 };
 
 /// Flat-table accounting, sampled into the metrics registry by the cluster
@@ -180,6 +219,12 @@ class Database {
   /// Reserved "__" keys are infrastructure and are skipped.
   RangeSnapshot extract_range(const std::string& lo, const std::string& hi) const;
 
+  /// Every live (key, value) whose key starts with `prefix`, in key order.
+  /// Unlike extract_range this INCLUDES reserved "__" keys — it is the
+  /// recovery scan a replacement transaction coordinator runs over `__txn/`
+  /// intent records and `__txnp/` pending cells (DESIGN.md §13).
+  std::vector<std::pair<std::string, std::string>> scan_prefix(const std::string& prefix) const;
+
   /// Number of ranges this database tracks (fenced or installed).
   std::size_t tracked_ranges() const { return ranges_.size(); }
 
@@ -207,6 +252,15 @@ class Database {
   };
   const TrackedRange* range_of(std::string_view key) const;
   void carve_tracked(std::string_view lo, std::string_view hi);
+  /// True when any mutating non-reserved op of `cmd` lands in a fenced
+  /// range — the fence pre-scan for a buffered transaction update, whose
+  /// ops are hidden inside a kTxnPrepare blob / pending cell.
+  bool update_hits_fence(const Command& cmd) const;
+  /// Apply a pending transaction's buffered update during kTxnConfirm.
+  /// Mutating ops only (checks were evaluated at prepare time); interns on
+  /// the fly and surfaces kWrite range events exactly like the main loop.
+  void apply_buffered(const Command& cmd, ApplyResult& res);
+  void erase_cell(util::KeyId id);
   /// get() without the return-by-value copy, for the apply hot path.
   const std::string& value_of(std::string_view key) const;
   const std::string& value_at(util::KeyId id) const;

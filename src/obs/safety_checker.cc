@@ -128,6 +128,11 @@ void SafetyChecker::on_event(const TraceEvent& e) {
     case EventKind::kRangeUnfence:
       on_range_event(e);
       break;
+    case EventKind::kTxnPrepare:
+    case EventKind::kTxnConfirm:
+    case EventKind::kTxnCancel:
+      on_txn_event(e);
+      break;
     default:
       break;  // observed for export/metrics only
   }
@@ -322,6 +327,93 @@ void SafetyChecker::on_range_event(const TraceEvent& e) {
     default:
       break;
   }
+}
+
+void SafetyChecker::on_txn_event(const TraceEvent& e) {
+  // Invariant 9. Events carry (a = txn fingerprint, b = green position in
+  // the emitting group's history). Like invariant 8, lagging replicas
+  // replay the same green order, so transitions at positions <= the
+  // recorded maximum are no-ops; a fresh transition must obey
+  // prepare-before-decision and confirm-xor-cancel within the group.
+  const std::int64_t grp = group_id(e.node);
+  TxnState& t = txns_[e.a];
+  const std::int64_t pos = e.b;
+  const auto at = [](const std::map<std::int64_t, std::int64_t>& m, std::int64_t k) {
+    auto it = m.find(k);
+    return it == m.end() ? 0 : it->second;
+  };
+  std::ostringstream os;
+  switch (e.kind) {
+    case EventKind::kTxnPrepare: {
+      auto [it, inserted] = t.prepare_pos.emplace(grp, pos);
+      if (!inserted && pos > it->second) it->second = pos;
+      break;
+    }
+    case EventKind::kTxnConfirm: {
+      if (pos <= at(t.confirm_pos, grp)) break;  // replica replay
+      const std::int64_t pp = at(t.prepare_pos, grp);
+      if (pp == 0 || pp >= pos) {
+        os << "t=" << e.time << " TXN CONFIRM WITHOUT PREPARE: group " << grp << " (node "
+           << e.node << ") confirmed transaction " << static_cast<std::uint64_t>(e.a)
+           << " at green position " << pos << " with no earlier prepare (prepare pos " << pp
+           << ")";
+        violation(os.str());
+        break;
+      }
+      if (at(t.cancel_pos, grp) != 0) {
+        os << "t=" << e.time << " TXN DOUBLE DECISION: group " << grp << " (node " << e.node
+           << ") confirmed transaction " << static_cast<std::uint64_t>(e.a)
+           << " at green position " << pos << " after cancelling it at position "
+           << at(t.cancel_pos, grp);
+        violation(os.str());
+        break;
+      }
+      t.confirm_pos[grp] = pos;
+      break;
+    }
+    case EventKind::kTxnCancel: {
+      if (pos <= at(t.cancel_pos, grp)) break;  // replica replay
+      const std::int64_t pp = at(t.prepare_pos, grp);
+      if (pp == 0 || pp >= pos) {
+        os << "t=" << e.time << " TXN CANCEL WITHOUT PREPARE: group " << grp << " (node "
+           << e.node << ") cancelled transaction " << static_cast<std::uint64_t>(e.a)
+           << " at green position " << pos << " with no earlier prepare (prepare pos " << pp
+           << ")";
+        violation(os.str());
+        break;
+      }
+      if (at(t.confirm_pos, grp) != 0) {
+        os << "t=" << e.time << " TXN DOUBLE DECISION: group " << grp << " (node " << e.node
+           << ") cancelled transaction " << static_cast<std::uint64_t>(e.a)
+           << " at green position " << pos << " after confirming it at position "
+           << at(t.confirm_pos, grp);
+        violation(os.str());
+        break;
+      }
+      t.cancel_pos[grp] = pos;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+std::int64_t SafetyChecker::txn_unresolved() const {
+  std::int64_t open = 0;
+  for (const auto& [fp, t] : txns_) {
+    for (const auto& [grp, pp] : t.prepare_pos) {
+      const bool confirmed = t.confirm_pos.find(grp) != t.confirm_pos.end();
+      const bool cancelled = t.cancel_pos.find(grp) != t.cancel_pos.end();
+      if (!confirmed && !cancelled) ++open;
+    }
+  }
+  return open;
+}
+
+std::int64_t SafetyChecker::txn_prepared() const {
+  std::int64_t n = 0;
+  for (const auto& [fp, t] : txns_) n += static_cast<std::int64_t>(t.prepare_pos.size());
+  return n;
 }
 
 void SafetyChecker::on_safe_deliver(const TraceEvent& e) {

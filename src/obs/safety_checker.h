@@ -25,6 +25,11 @@
 //      range is never installed while another group still owns it, and an
 //      install is always preceded by a fence somewhere — i.e. no key is
 //      green-applied by two shards for overlapping post-fence indices.
+//   9. Transaction resolution (cross-shard prepared checks, DESIGN.md §13):
+//      per transaction and per group, a confirm or cancel is only ever
+//      green after a prepare, and the two decisions are mutually exclusive
+//      — a group that confirmed never cancels and vice versa, so every
+//      replica of a shard resolves each prepare the same single way.
 //
 // Violations fail fast: the checker prints a report — including a diff of
 // the divergent histories around the offending position — and aborts the
@@ -76,6 +81,14 @@ class SafetyChecker {
   std::int64_t canonical_green_count(std::int64_t group = 0) const;
   /// Canonical green length summed over every group.
   std::int64_t total_green_count() const;
+  /// Invariant 9 quiescence accounting: (transaction, group) pairs that
+  /// prepared but were neither confirmed nor cancelled yet. Tests assert 0
+  /// once the coordinator drains — nonzero mid-run is normal in-flight
+  /// state, so this is NOT folded into ok().
+  std::int64_t txn_unresolved() const;
+  /// Distinct (transaction, group) prepares observed — a sanity floor for
+  /// tests that must prove the prepared-check protocol actually ran.
+  std::int64_t txn_prepared() const;
 
   /// "checker: ok (N events)" or "checker: K violation(s): first..."
   std::string verdict() const;
@@ -113,6 +126,16 @@ class SafetyChecker {
     std::map<std::int64_t, std::int64_t> write_pos;    ///< group -> last write green pos
   };
 
+  /// Invariant 9 state, per transaction fingerprint (the reserved pending
+  /// key). Same position-dedup discipline as RangeState: replicas of a
+  /// group replay the same transitions at the same green positions, so only
+  /// a strictly higher position is a new transition.
+  struct TxnState {
+    std::map<std::int64_t, std::int64_t> prepare_pos;  ///< group -> prepare green pos
+    std::map<std::int64_t, std::int64_t> confirm_pos;  ///< group -> confirm green pos
+    std::map<std::int64_t, std::int64_t> cancel_pos;   ///< group -> cancel green pos
+  };
+
   struct SafeKey {
     std::int64_t counter;
     NodeId coordinator;
@@ -146,6 +169,7 @@ class SafetyChecker {
   void on_white_trim(const TraceEvent& e);
   void on_safe_deliver(const TraceEvent& e);
   void on_range_event(const TraceEvent& e);
+  void on_txn_event(const TraceEvent& e);
 
   CheckerOptions options_;
   std::uint64_t events_checked_ = 0;
@@ -154,6 +178,7 @@ class SafetyChecker {
   std::map<std::int64_t, GroupState> groups_;
   std::map<NodeId, std::int64_t> node_group_;  ///< absent = group 0
   std::map<std::int64_t, RangeState> ranges_;  ///< range fingerprint -> state
+  std::map<std::int64_t, TxnState> txns_;      ///< txn fingerprint -> state
 
   std::map<NodeId, NodeView> nodes_;
 };

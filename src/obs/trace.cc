@@ -40,6 +40,12 @@ const char* to_string(EventKind k) {
     case EventKind::kRangeWrite: return "range_write";
     case EventKind::kRangeUnfence: return "range_unfence";
     case EventKind::kDirectoryEpoch: return "directory_epoch";
+    case EventKind::kTxnPrepare: return "txn_prepare";
+    case EventKind::kTxnConfirm: return "txn_confirm";
+    case EventKind::kTxnCancel: return "txn_cancel";
+    case EventKind::kTxnBegin: return "txn_begin";
+    case EventKind::kTxnDecide: return "txn_decide";
+    case EventKind::kTxnSnapshotRead: return "txn_snapshot_read";
   }
   return "?";
 }

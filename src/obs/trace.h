@@ -65,6 +65,16 @@ enum class EventKind : std::uint8_t {
   kRangeWrite,           ///< a=range fingerprint, b=green position of the write
   kRangeUnfence,         ///< a=range fingerprint, b=green position (abandoned-move rollback)
   kDirectoryEpoch,       ///< a=new epoch, b=new owner shard, c=range fingerprint
+  // Cross-shard prepared-check transactions (DESIGN.md §13). The first
+  // three are emitted by each replica as the marker goes green there — the
+  // per-group evidence invariant 9 consumes; the last three come from the
+  // txn::TxnCoordinator (node = kNoNode).
+  kTxnPrepare,           ///< a=txn fingerprint, b=green position of the prepare
+  kTxnConfirm,           ///< a=txn fingerprint, b=green position of the confirm
+  kTxnCancel,            ///< a=txn fingerprint, b=green position of the cancel
+  kTxnBegin,             ///< a=txn fingerprint, b=involved shard count
+  kTxnDecide,            ///< a=txn fingerprint, b=commit (1/0), c=prepare->decide ns
+  kTxnSnapshotRead,      ///< a=involved shard count, b=drain wait ns
 };
 
 const char* to_string(EventKind k);

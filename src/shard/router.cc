@@ -50,7 +50,20 @@ bool Router::idle() const {
   sessions_.for_each([&](std::uint64_t, const std::unique_ptr<core::ClientSession>& s) {
     if (!s->idle()) all_idle = false;
   });
-  return all_idle && cross_inflight_.empty() && pending_bounces_ == 0;
+  return all_idle && cross_inflight_.empty() && pending_bounces_ == 0 &&
+         deferred_cross_.empty();
+}
+
+void Router::hold_cross() { ++cross_hold_; }
+
+void Router::release_cross() {
+  if (--cross_hold_ > 0) return;
+  // Flush in FIFO order. Each re-entry re-consults the directory (it may
+  // have changed while the gate was held); a concurrent re-hold during the
+  // flush re-defers the remainder into the fresh queue.
+  std::deque<Deferred> q;
+  q.swap(deferred_cross_);
+  for (Deferred& d : q) route(d.client, std::move(d.update), std::move(d.reply), d.bounces);
 }
 
 std::int64_t Router::green_watermark(int shard) const {
@@ -115,21 +128,62 @@ void Router::route(std::int64_t client, db::Command update, RouteReplyFn reply, 
     return;
   }
 
-  // Cross-shard path. A per-shard kCheck cannot be evaluated atomically
-  // across groups (shard A's check may pass while B's fails), so commands
-  // carrying user checks are rejected up front — applied at no shard.
+  // Cross-shard path. Classify the op mix first: range administration and
+  // raw txn markers are pinned to one group by construction and can never
+  // span a barrier — a precise unsupported_mix rejection, applied at no
+  // shard. User kCheck preconditions span groups only through the
+  // prepared-check coordinator (DESIGN.md §13), which evaluates each check
+  // at its owning shard and decides through durable markers; without a
+  // wired coordinator they keep the legacy up-front rejection.
+  bool has_check = false;
   for (const db::Op& op : update.ops) {
-    if (op.type == db::OpType::kCheck) {
-      ++stats_.rejected_cross_checks;
-      ++stats_.aborted;
-      if (reply) {
-        RouteReply out;
-        out.committed = false;
-        out.shards_involved = static_cast<int>(shards.size());
-        reply(out);
+    switch (op.type) {
+      case db::OpType::kCheck:
+        has_check = true;
+        break;
+      case db::OpType::kFenceRange:
+      case db::OpType::kInstallRange:
+      case db::OpType::kUnfenceRange:
+      case db::OpType::kTxnPrepare:
+      case db::OpType::kTxnConfirm:
+      case db::OpType::kTxnCancel: {
+        ++stats_.rejected_unsupported;
+        ++stats_.aborted;
+        if (reply) {
+          RouteReply out;
+          out.committed = false;
+          out.unsupported_mix = true;
+          out.shards_involved = static_cast<int>(shards.size());
+          reply(out);
+        }
+        return;
       }
+      default:
+        break;
+    }
+  }
+  if (has_check) {
+    if (cross_check_handler_) {
+      ++stats_.txn_handoffs;
+      cross_check_handler_(client, std::move(update), std::move(reply));
       return;
     }
+    ++stats_.rejected_cross_checks;
+    ++stats_.aborted;
+    if (reply) {
+      RouteReply out;
+      out.committed = false;
+      out.shards_involved = static_cast<int>(shards.size());
+      reply(out);
+    }
+    return;
+  }
+  if (cross_hold_ > 0) {
+    // A snapshot read is pinning its watermark vector: defer the submission
+    // (FIFO) until the gate releases. The command is not in flight yet, so
+    // the drain the reader waits for cannot deadlock on it.
+    deferred_cross_.push_back(Deferred{client, std::move(update), std::move(reply), bounces});
+    return;
   }
 
   ++stats_.routed_cross;

@@ -20,16 +20,23 @@
 //    The gap between the first and last green is the barrier wait — the
 //    cross-shard tax the sharding bench quantifies.
 //
-// Atomicity model: sub-commands are unconditional (the router rejects
-// cross-shard commands carrying user kCheck ops — a per-shard check cannot
-// be evaluated atomically across groups), and each session retries through
-// crashes, partitions and whole-group outages (retry_when_unavailable), so
-// a cross-shard action is eventually applied at every involved shard
-// exactly once, or — when rejected up front — at none. Within one shard
-// the effects are atomic and 1SR as in the paper; a reader consulting two
-// shards between the first and last green may observe the action partially
-// applied, the same relaxation genuine partial replication accepts in
-// exchange for independent per-shard total orders.
+// Atomicity model: sub-commands are unconditional, and each session retries
+// through crashes, partitions and whole-group outages
+// (retry_when_unavailable), so a cross-shard action is eventually applied at
+// every involved shard exactly once, or — when rejected up front — at none.
+// Cross-shard commands carrying user kCheck ops (a per-shard check cannot be
+// evaluated atomically across independent green orders) are handed to the
+// deployment's prepared-check transaction coordinator when one is wired
+// (set_cross_check_handler; src/txn, DESIGN.md §13), which buffers each
+// shard's updates behind a prepare marker and confirms or cancels them
+// identically everywhere; without a coordinator they keep the legacy
+// up-front rejection. Genuinely unroutable mixes (range administration or
+// raw txn markers spanning shards) abort with a precise `unsupported_mix`
+// error. Within one shard the effects are atomic and 1SR as in the paper; a
+// reader consulting two shards between the first and last green may observe
+// the action partially applied — unless it goes through the coordinator's
+// barrier-stamped snapshot reads, which drain the barrier and pin a vector
+// of per-shard green watermarks first.
 //
 // Rebalancing (DESIGN.md §9): the router holds the *shared* Directory that
 // the Rebalancer mutates. A command that lands on a shard which has fenced
@@ -43,6 +50,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -80,6 +88,10 @@ struct RouteReply {
   /// SessionReply so workload drivers count real aborts separately from
   /// rebalance retries.
   bool check_aborted = false;
+  /// Rejected up front: the op mix is genuinely unroutable across shards
+  /// (range administration or raw txn markers are pinned to one group by
+  /// construction). Applied at no shard.
+  bool unsupported_mix = false;
   int shards_involved = 1;
   int attempts = 0;              ///< summed over sub-requests
   int fenced_bounces = 0;        ///< fenced re-routes this command consumed
@@ -93,7 +105,9 @@ struct RouterStats {
   std::uint64_t committed = 0;
   std::uint64_t aborted = 0;
   std::uint64_t aborted_checks = 0;         ///< aborts whose cause was a failed kCheck
-  std::uint64_t rejected_cross_checks = 0;  ///< kCheck in a cross-shard command
+  std::uint64_t rejected_cross_checks = 0;  ///< cross-shard kCheck with no coordinator wired
+  std::uint64_t rejected_unsupported = 0;   ///< genuinely unroutable op mix (unsupported_mix)
+  std::uint64_t txn_handoffs = 0;           ///< cross-shard kCheck commands handed to the coordinator
   std::uint64_t failovers = 0;              ///< sub-requests needing > 1 attempt
   std::uint64_t cross_partial_aborts = 0;   ///< some shard aborted, others committed
   std::uint64_t fenced_bounces = 0;         ///< re-routes after a fenced abort
@@ -128,6 +142,29 @@ class Router {
   /// Highest green count over the shard's currently running replicas — the
   /// per-shard green watermark the commit barrier is tracked against.
   std::int64_t green_watermark(int shard) const;
+
+  /// Handler for cross-shard commands carrying user kCheck preconditions:
+  /// the deployment wires this to txn::TxnCoordinator::submit (DESIGN.md
+  /// §13). Unset, such commands keep the legacy up-front rejection.
+  using CrossCheckHandler = std::function<void(std::int64_t client, db::Command, RouteReplyFn)>;
+  void set_cross_check_handler(CrossCheckHandler handler) {
+    cross_check_handler_ = std::move(handler);
+  }
+
+  /// Snapshot-read gate (DESIGN.md §13): while held, NEW cross-shard
+  /// submissions are deferred in FIFO order (single-shard traffic is
+  /// unaffected — it can never straddle a barrier); release flushes them.
+  /// Held by the coordinator while a barrier-stamped snapshot read drains
+  /// the in-flight barriers and pins its watermark vector. Nests.
+  void hold_cross();
+  void release_cross();
+  /// Cross-shard actions currently inside the commit barrier — what a
+  /// snapshot read drains to zero before stamping its watermark vector.
+  /// (Single-shard traffic, bounced or not, is irrelevant: it cannot
+  /// straddle a barrier.)
+  std::int64_t cross_in_flight() const {
+    return static_cast<std::int64_t>(cross_inflight_.size());
+  }
 
  private:
   struct CrossState {
@@ -176,6 +213,17 @@ class Router {
   std::int64_t next_cross_token_ = 0;
   util::FlatMap64<CrossState> cross_inflight_;  ///< token -> state
   std::int64_t pending_bounces_ = 0;  ///< single-shard re-routes waiting out the delay
+  CrossCheckHandler cross_check_handler_;
+  /// Snapshot-read gate: depth of nested holds, plus the deferred
+  /// cross-shard submissions flushed (FIFO) when the last hold releases.
+  int cross_hold_ = 0;
+  struct Deferred {
+    std::int64_t client = 0;
+    db::Command update;
+    RouteReplyFn reply;
+    int bounces = 0;
+  };
+  std::deque<Deferred> deferred_cross_;
   obs::Histogram* barrier_hist_ = nullptr;
   RouterStats stats_;
 };

@@ -73,6 +73,14 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
   }
   router_ = std::make_unique<shard::Router>(sim_, dir, groups, std::move(ropts));
 
+  make_txn_coordinator(options_.txn_halt_at_stage);
+  // The handler dereferences txn_ at call time, so it survives coordinator
+  // restarts without rewiring.
+  router_->set_cross_check_handler(
+      [this](std::int64_t client, db::Command update, shard::RouteReplyFn reply) {
+        txn_->submit(client, std::move(update), std::move(reply));
+      });
+
   shard::RebalancerOptions bopts = options_.rebalance;
   bopts.session = options_.session;
   bopts.metrics = metrics_;
@@ -81,6 +89,30 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
                                                     std::move(bopts));
 
   if (metrics_) schedule_metrics_roll();
+}
+
+void ShardedCluster::make_txn_coordinator(int halt_at_stage) {
+  txn::TxnOptions topts;
+  topts.session = options_.session;
+  topts.metrics = metrics_;
+  if (trace_bus_) topts.tracer = obs::Tracer(trace_bus_, kNoNode);
+  topts.halt_at_stage = halt_at_stage;
+  topts.session_epoch = txn_session_epoch_;
+  std::vector<std::vector<core::ReplicaNode*>> groups;
+  for (int s = 0; s < options_.shards; ++s) {
+    std::vector<core::ReplicaNode*> g;
+    for (int i = 0; i < options_.replicas_per_shard; ++i) {
+      g.push_back(nodes_[static_cast<std::size_t>(node_id(s, i))].get());
+    }
+    groups.push_back(std::move(g));
+  }
+  txn_ = std::make_unique<txn::TxnCoordinator>(sim_, *router_, std::move(groups),
+                                               std::move(topts));
+}
+
+void ShardedCluster::restart_txn_coordinator(int halt_at_stage) {
+  ++txn_session_epoch_;
+  make_txn_coordinator(halt_at_stage);
 }
 
 std::vector<NodeId> ShardedCluster::shard_ids(int shard) const {
@@ -266,6 +298,17 @@ void ShardedCluster::sample_metrics() {
   metrics_->counter("router.cross").set_total(router_->stats().routed_cross);
   metrics_->counter("router.failovers").set_total(router_->stats().failovers);
   metrics_->counter("router.fenced_bounces").set_total(router_->stats().fenced_bounces);
+  metrics_->counter("router.txn.handoffs").set_total(router_->stats().txn_handoffs);
+  metrics_->counter("router.txn.prepares").set_total(txn_->stats().prepares);
+  metrics_->counter("router.txn.confirms").set_total(txn_->stats().confirms);
+  metrics_->counter("router.txn.cancels").set_total(txn_->stats().cancels);
+  metrics_->counter("router.rejected_unsupported").set_total(router_->stats().rejected_unsupported);
+  metrics_->counter("txn.committed").set_total(txn_->stats().committed);
+  metrics_->counter("txn.aborted.check").set_total(txn_->stats().aborted_check);
+  metrics_->counter("txn.aborted.fenced").set_total(txn_->stats().aborted_fenced);
+  metrics_->counter("txn.restarts").set_total(txn_->stats().restarts);
+  metrics_->counter("txn.confirm_rerouted").set_total(txn_->stats().confirm_rerouted);
+  metrics_->counter("txn.snapshot_reads").set_total(txn_->stats().snapshot_reads);
   metrics_->gauge("directory.epoch").set(router_->directory().epoch());
   // Flat-layout accounting (DESIGN.md §11), summed over running replicas.
   metrics_->counter("db.intern.keys").set_total(intern_keys);

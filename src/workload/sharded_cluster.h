@@ -29,6 +29,7 @@
 
 #include "shard/rebalancer.h"
 #include "shard/router.h"
+#include "txn/coordinator.h"
 #include "workload/cluster.h"
 
 namespace tordb::workload {
@@ -48,6 +49,9 @@ struct ShardedClusterOptions {
   core::SessionOptions session;
   /// Rebalancer knobs (its fence/install sessions always use `session`).
   shard::RebalancerOptions rebalance;
+  /// Forwarded to the transaction coordinator's crash-model test hook
+  /// (txn::TxnOptions::halt_at_stage); 0 in every production configuration.
+  int txn_halt_at_stage = 0;
   ObsOptions obs;
 };
 
@@ -59,6 +63,12 @@ class ShardedCluster {
   Network& net() { return net_; }
   shard::Router& router() { return *router_; }
   shard::Rebalancer& rebalancer() { return *rebalancer_; }
+  txn::TxnCoordinator& txn() { return *txn_; }
+  /// Model a coordinator crash + replacement (DESIGN.md §13): the old
+  /// instance's in-flight state dies with it; the new incarnation claims a
+  /// fresh session-id epoch (its predecessor consumed the per-id guards)
+  /// and is expected to call txn().adopt_orphans() at quiescence.
+  void restart_txn_coordinator(int halt_at_stage = 0);
   const shard::Directory& directory() const { return router_->directory(); }
   std::int64_t directory_epoch() const { return router_->directory().epoch(); }
   int shards() const { return options_.shards; }
@@ -123,6 +133,7 @@ class ShardedCluster {
  private:
   void schedule_metrics_roll();
   void apply_components();
+  void make_txn_coordinator(int halt_at_stage);
 
   ShardedClusterOptions options_;
   Simulator sim_;
@@ -132,6 +143,10 @@ class ShardedCluster {
   std::shared_ptr<obs::MetricsRegistry> metrics_;
   std::vector<std::unique_ptr<core::ReplicaNode>> nodes_;  ///< indexed by global id
   std::unique_ptr<shard::Router> router_;
+  /// Declared after router_ (the coordinator holds a Router&): destruction
+  /// runs in reverse order, so the coordinator dies first.
+  std::unique_ptr<txn::TxnCoordinator> txn_;
+  std::int64_t txn_session_epoch_ = 0;
   std::unique_ptr<shard::Rebalancer> rebalancer_;
   /// Per-shard component layout (local indices); global layout is rebuilt
   /// from these on every change.

@@ -120,6 +120,7 @@ void TpccDriver::start(SimTime window_start, SimTime window_end) {
     m_aborted_fenced_ = &metrics->counter("tpcc.aborted.fenced");
     m_cross_ = &metrics->counter("tpcc.cross.committed");
     m_remote_unchecked_ = &metrics->counter("tpcc.new_order.remote_unchecked");
+    m_remote_checked_ = &metrics->counter("tpcc.new_order.remote_checked");
     m_bounces_ = &metrics->counter("tpcc.fenced_bounces");
   }
   if (options_.hotspot_shift_after > 0) {
@@ -134,7 +135,8 @@ void TpccDriver::start(SimTime window_start, SimTime window_end) {
 }
 
 bool TpccDriver::idle() const {
-  return window_end_ > 0 && sim_.now() >= window_end_ && cluster_.router().idle();
+  return window_end_ > 0 && sim_.now() >= window_end_ && cluster_.router().idle() &&
+         cluster_.txn().idle();
 }
 
 std::uint64_t TpccDriver::committed_in_window() const {
@@ -167,6 +169,7 @@ std::uint64_t TpccDriver::state_digest() const {
   }
   h = mix(h, cross_committed_);
   h = mix(h, remote_unchecked_);
+  h = mix(h, remote_checked_);
   h = mix(h, deliveries_stamped_);
   for (std::size_t i = 0; i < payment_sum_.size(); ++i) {
     h = mix(h, static_cast<std::uint64_t>(payment_sum_[i]));
@@ -302,17 +305,25 @@ void TpccDriver::do_new_order(std::size_t t) {
                            std::to_string(term.id) + "-" + std::to_string(n), 0});
   cmd.ops.push_back(db::Op{db::OpType::kAdd, district_order_count_key(w, d), "", 1});
   // TPC-C §2.4.1.5: ~1% of orders carry an invalid item; the kCheck against
-  // the out-of-catalog row fails and the whole order aborts atomically.
-  if (supply == w && rng.chance(options_.invalid_item_fraction)) {
-    cmd.ops.push_back(db::Op{db::OpType::kCheck, item_key(w, options_.items), "1", 0});
+  // the out-of-catalog row fails and the whole order aborts atomically — for
+  // a remote supplier that abort spans shards through the coordinator.
+  if (rng.chance(options_.invalid_item_fraction)) {
+    cmd.ops.push_back(db::Op{db::OpType::kCheck, item_key(supply, options_.items), "1", 0});
   }
   if (cluster_.directory().shards_of(cmd).size() > 1) {
-    // Cross-shard: per-shard preconditions cannot be evaluated atomically
-    // across groups (DESIGN.md §8), so the router would reject the checks.
-    // Apply the remote order unconditionally and count the downgrade.
-    std::erase_if(cmd.ops, [](const db::Op& op) { return op.type == db::OpType::kCheck; });
-    ++remote_unchecked_;
-    if (m_remote_unchecked_ != nullptr) m_remote_unchecked_->inc();
+    if (options_.unchecked_remote) {
+      // A10 ablation: the pre-coordinator downgrade. Strip the per-shard
+      // preconditions and apply the remote order unconditionally.
+      std::erase_if(cmd.ops, [](const db::Op& op) { return op.type == db::OpType::kCheck; });
+      ++remote_unchecked_;
+      if (m_remote_unchecked_ != nullptr) m_remote_unchecked_->inc();
+    } else {
+      // Checks kept: the router hands the command to the prepared-check
+      // transaction coordinator (DESIGN.md §13), which evaluates each kCheck
+      // at its owning shard and confirms or cancels atomically everywhere.
+      ++remote_checked_;
+      if (m_remote_checked_ != nullptr) m_remote_checked_->inc();
+    }
   }
 
   cluster_.router().submit(

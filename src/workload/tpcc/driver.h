@@ -18,14 +18,16 @@
 //   stock-level   dirty query: reads recent items' stock through the red
 //                 overlay — the freshest local information.
 //
-// Cross-shard atomicity model: the router rejects cross-shard commands
-// carrying kCheck (DESIGN.md §8 — a per-shard precondition cannot be
-// evaluated atomically across independent green orders), so a new-order
-// whose supplier warehouse lives on a foreign shard drops its item checks
-// and applies unconditionally, exactly like its commutative cousins. Those
-// orders are counted (`remote_unchecked`) — they are the measured gap the
-// ROADMAP's cross-shard interactive-transaction item exists to close, and
-// this driver is the evaluation harness waiting for it.
+// Cross-shard atomicity model: a new-order whose supplier warehouse lives
+// on a foreign shard keeps its kCheck item preconditions — the router hands
+// the command to the prepared-check transaction coordinator (src/txn,
+// DESIGN.md §13), which evaluates each check at its owning shard and
+// confirms or cancels the buffered updates identically everywhere. Checked
+// remote orders are counted (`remote_checked`); an injected invalid item on
+// a remote order aborts the whole order atomically at every involved shard.
+// The `unchecked_remote` ablation knob restores the historical downgrade
+// (strip the checks, apply unconditionally, count `remote_unchecked`) so
+// the A10 experiment can quantify what the coordinator buys and costs.
 //
 // Skew: warehouses are picked through a util::ZipfGenerator rank stream; a
 // configurable mid-run hotspot shift rotates rank→warehouse assignment so
@@ -78,9 +80,15 @@ struct TpccOptions {
   double remote_fraction = 0.10;
   /// New-orders carrying a deliberately invalid item id: the kCheck
   /// precondition fails and the whole command aborts deterministically
-  /// (TPC-C §2.4.1.5 mandates 1%). Applied to local orders only — remote
-  /// orders run unchecked (see the header comment).
+  /// (TPC-C §2.4.1.5 mandates 1%). Applies to local AND remote orders —
+  /// a remote invalid item exercises the coordinator's atomic cross-shard
+  /// abort (unless `unchecked_remote` strips the checks).
   double invalid_item_fraction = 0.01;
+  /// Ablation (experiment A10): strip kChecks from cross-shard new-orders
+  /// and apply them unconditionally — the pre-coordinator downgrade. Off by
+  /// default: remote preconditions are enforced via the prepared-check
+  /// transaction coordinator and remote_unchecked stays 0.
+  bool unchecked_remote = false;
   int max_order_lines = 6;  ///< lines per order, uniform in [1, max] (TPC-C: 5..15)
   int delivery_batch = 10;  ///< orders stamped per delivery (TPC-C: one per district)
   /// Zipf exponent for warehouse choice; 0 = uniform (no hotspot).
@@ -135,6 +143,9 @@ class TpccDriver {
   std::int64_t admitted_new_orders(int w, int d) const;
   std::uint64_t cross_shard_committed() const { return cross_committed_; }
   std::uint64_t remote_unchecked() const { return remote_unchecked_; }
+  /// Cross-shard new-orders issued WITH their item preconditions — routed
+  /// through the prepared-check coordinator. Zero iff unchecked_remote.
+  std::uint64_t remote_checked() const { return remote_checked_; }
   std::uint64_t fenced_bounces() const { return fenced_bounces_; }
   std::uint64_t deliveries_stamped() const { return deliveries_stamped_; }
 
@@ -191,6 +202,7 @@ class TpccDriver {
   TxnStats total_[kTxnTypes];
   std::uint64_t cross_committed_ = 0;
   std::uint64_t remote_unchecked_ = 0;
+  std::uint64_t remote_checked_ = 0;
   std::uint64_t fenced_bounces_ = 0;
   std::uint64_t deliveries_stamped_ = 0;
   std::uint64_t delivery_empty_ = 0;  ///< delivery draws with nothing to stamp
@@ -204,6 +216,7 @@ class TpccDriver {
   obs::Counter* m_aborted_fenced_ = nullptr;
   obs::Counter* m_cross_ = nullptr;
   obs::Counter* m_remote_unchecked_ = nullptr;
+  obs::Counter* m_remote_checked_ = nullptr;
   obs::Counter* m_bounces_ = nullptr;
 };
 

@@ -14,12 +14,14 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "obs_enable.h"  // run every cluster under the online safety checker
 #include "db/database.h"
 #include "shard/router.h"
+#include "txn/coordinator.h"
 #include "util/rng.h"
 #include "workload/sharded_cluster.h"
 
@@ -368,6 +370,233 @@ std::vector<Scenario> move_scenarios() {
 }
 
 INSTANTIATE_TEST_SUITE_P(RangedMoves, RangedMoveSchedule, ::testing::ValuesIn(move_scenarios()),
+                         [](const ::testing::TestParamInfo<Scenario>& info) {
+                           return "seed" + std::to_string(info.param.seed) + "_s" +
+                                  std::to_string(info.param.shards);
+                         });
+
+// ---------------------------------------------------------------------------
+// Prepared-check transactions under the same churn (partitions, crashes,
+// recoveries, random range moves/splits/merges), interleaved with plain
+// cross-shard adds and barrier-stamped snapshot reads. Checked transfers go
+// through the router's coordinator handoff (DESIGN.md §13); moves can land
+// BETWEEN a transaction's prepare and confirm, exercising the fenced-confirm
+// reroute. Oracles at quiescence:
+//  - checked atomicity: a transfer's two kAdds both applied (committed) or
+//    neither (check-aborted) — per-key counters equal the committed tally;
+//  - deterministic votes: a transfer checking the never-written flag against
+//    "" always commits, against a bogus value always check-aborts;
+//  - no residue: every reserved `__txn*` cell erased at every replica;
+//  - checker invariant 9 (prepare before confirm/cancel, never both) holds
+//    event-by-event throughout — the online checker runs on every schedule.
+// ---------------------------------------------------------------------------
+
+class TxnSchedule : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(TxnSchedule, PreparedChecksStayAtomicUnderChurnAndMoves) {
+  const Scenario sc = GetParam();
+  Rng rng(sc.seed * 92821 + 5);
+  ShardedClusterOptions o;
+  o.shards = sc.shards;
+  o.replicas_per_shard = 3;
+  o.seed = sc.seed;
+  o.session.max_attempts_per_request = 100000;
+  o.range_splits = sc.shards == 2 ? std::vector<std::string>{"k5"}
+                                  : std::vector<std::string>{"k3", "k7"};
+  ShardedCluster c(o);
+  c.run_for(seconds(2));
+
+  const auto key = [](int i) { return "k" + std::to_string(i); };
+  struct TxnOutcome {
+    bool bogus = false;
+    bool replied = false;
+    bool committed = false;
+    bool check_aborted = false;
+  };
+  struct SnapOutcome {
+    bool replied = false;
+    bool ok = false;
+  };
+  std::map<std::string, std::int64_t> committed_adds;
+  std::vector<std::unique_ptr<TxnOutcome>> transfers;
+  std::vector<std::unique_ptr<SnapOutcome>> snaps;
+  std::vector<std::vector<bool>> down(
+      static_cast<std::size_t>(sc.shards), std::vector<bool>(3, false));
+  std::int64_t next_client = 0;
+
+  // A checked transfer: precondition on the never-written flag key (true
+  // against "", deterministically false against "no"), one kAdd per key.
+  auto submit_transfer = [&](bool bogus) {
+    const int a = static_cast<int>(rng.next_below(10));
+    const int b = (a + 1 + static_cast<int>(rng.next_below(9))) % 10;
+    const std::int64_t client = 200 + next_client++ % 8;
+    Command cmd;
+    cmd.ops.push_back(db::Op{db::OpType::kCheck, "flag", bogus ? "no" : "", 0});
+    cmd.ops.push_back(db::Op{db::OpType::kAdd, key(a), "", 1});
+    cmd.ops.push_back(db::Op{db::OpType::kAdd, key(b), "", 1});
+    transfers.push_back(std::make_unique<TxnOutcome>());
+    TxnOutcome* out = transfers.back().get();
+    out->bogus = bogus;
+    c.router().submit(client, cmd,
+                      [out, &committed_adds, ka = key(a), kb = key(b)](const RouteReply& r) {
+                        out->replied = true;
+                        out->committed = r.committed;
+                        out->check_aborted = r.check_aborted;
+                        if (r.committed) {
+                          ++committed_adds[ka];
+                          ++committed_adds[kb];
+                        }
+                      });
+  };
+
+  for (int step = 0; step < sc.steps; ++step) {
+    const int what = static_cast<int>(rng.next_below(12));
+    if (what < 4) {
+      const int burst = static_cast<int>(rng.next_range(1, 3));
+      for (int i = 0; i < burst; ++i) submit_transfer(rng.next_below(6) == 0);
+    } else if (what == 4) {
+      // Plain unchecked cross add: rides the router's commit barrier and
+      // shares keys (and green positions) with the coordinator's markers.
+      const int a = static_cast<int>(rng.next_below(10));
+      const int b = (a + 1 + static_cast<int>(rng.next_below(9))) % 10;
+      Command cmd;
+      cmd.ops.push_back(db::Op{db::OpType::kAdd, key(a), "", 1});
+      cmd.ops.push_back(db::Op{db::OpType::kAdd, key(b), "", 1});
+      c.router().submit(next_client++ % 8, cmd,
+                        [&committed_adds, ka = key(a), kb = key(b)](const RouteReply& r) {
+                          if (r.committed) {
+                            ++committed_adds[ka];
+                            ++committed_adds[kb];
+                          }
+                        });
+    } else if (what == 5) {
+      // Barrier-stamped snapshot read of two random keys mid-churn.
+      Command q;
+      q.ops.push_back(db::Op{db::OpType::kGet, key(static_cast<int>(rng.next_below(10))), "", 0});
+      q.ops.push_back(db::Op{db::OpType::kGet, key(static_cast<int>(rng.next_below(10))), "", 0});
+      snaps.push_back(std::make_unique<SnapOutcome>());
+      SnapOutcome* out = snaps.back().get();
+      c.txn().snapshot_read(std::move(q), [out](const txn::SnapshotReadReply& r) {
+        out->replied = true;
+        out->ok = r.ok;
+      });
+    } else if (what == 6) {
+      const int s = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(sc.shards)));
+      const int lone = static_cast<int>(rng.next_below(3));
+      std::vector<int> rest;
+      for (int i = 0; i < 3; ++i) {
+        if (i != lone) rest.push_back(i);
+      }
+      c.partition_shard(s, {{lone}, rest});
+    } else if (what == 7) {
+      c.heal();
+    } else if (what == 8) {
+      const int s = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(sc.shards)));
+      const int i = static_cast<int>(rng.next_below(3));
+      if (!down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]) {
+        down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] = true;
+        c.crash(s, i);
+      }
+    } else if (what == 9) {
+      for (int s = 0; s < sc.shards; ++s) {
+        for (int i = 0; i < 3; ++i) {
+          if (down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]) {
+            down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)] = false;
+            c.recover(s, i);
+            break;
+          }
+        }
+      }
+    } else if (what == 10) {
+      // Random range move: can land between a prepare and its confirm, in
+      // which case the coordinator must reroute the decided slice.
+      const int r = static_cast<int>(
+          rng.next_below(static_cast<std::uint64_t>(c.directory().range_count())));
+      const auto [lo, hi] = c.directory().range_bounds(r);
+      const int owner = c.directory().range_owner(r);
+      const int to = (owner + 1 +
+                      static_cast<int>(rng.next_below(
+                          static_cast<std::uint64_t>(sc.shards - 1)))) %
+                     sc.shards;
+      c.move_range(lo, hi, to);
+    } else {
+      if (rng.next_below(2) == 0) {
+        c.split_at(key(static_cast<int>(rng.next_below(10))) + "~");
+      } else if (c.directory().range_count() > 1) {
+        const int r = 1 + static_cast<int>(rng.next_below(
+                              static_cast<std::uint64_t>(c.directory().range_count() - 1)));
+        c.merge_at(c.directory().range_bounds(r).first);
+      }
+    }
+    c.run_for(millis(static_cast<std::int64_t>(rng.next_range(10, 200))));
+    ASSERT_EQ(c.check_green_prefix_consistency(), std::nullopt) << "seed " << sc.seed;
+  }
+
+  // Quiesce: heal, recover everyone, drain router + rebalancer + coordinator.
+  for (int s = 0; s < sc.shards; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      if (down[static_cast<std::size_t>(s)][static_cast<std::size_t>(i)]) c.recover(s, i);
+    }
+  }
+  c.heal();
+  for (int rounds = 0;
+       !(c.router().idle() && c.rebalancer().idle() && c.txn().idle()) && rounds < 120;
+       ++rounds) {
+    c.run_for(seconds(1));
+  }
+  ASSERT_TRUE(c.router().idle()) << "router never drained, seed " << sc.seed;
+  ASSERT_TRUE(c.rebalancer().idle()) << "rebalancer never drained, seed " << sc.seed;
+  ASSERT_TRUE(c.txn().idle()) << "coordinator never drained, seed " << sc.seed;
+  c.run_for(seconds(15));  // every shard converges to one primary
+
+  // Deterministic votes: the flag key is never written.
+  for (const auto& t : transfers) {
+    ASSERT_TRUE(t->replied) << "seed " << sc.seed;
+    if (t->bogus) {
+      EXPECT_FALSE(t->committed) << "seed " << sc.seed;
+      EXPECT_TRUE(t->check_aborted) << "seed " << sc.seed;
+    } else {
+      EXPECT_TRUE(t->committed) << "seed " << sc.seed;
+    }
+  }
+  for (const auto& s : snaps) {
+    ASSERT_TRUE(s->replied) << "snapshot read never replied, seed " << sc.seed;
+    EXPECT_TRUE(s->ok) << "seed " << sc.seed;
+  }
+
+  for (int s = 0; s < sc.shards; ++s) {
+    ASSERT_TRUE(c.converged(s)) << "shard " << s << " not converged, seed " << sc.seed;
+  }
+  // Checked atomicity: each key's counter equals the committed tally — an
+  // aborted transfer that half-applied, or a lost/duplicated confirm across
+  // a move, breaks this equality.
+  for (const auto& [k, want] : committed_adds) {
+    const int owner = c.directory().shard_of(k);
+    EXPECT_EQ(c.node(owner, 0).engine().database().get(k),
+              want ? std::to_string(want) : "")
+        << "key " << k << " owner " << owner << " seed " << sc.seed;
+  }
+  // No reserved-key residue at any running replica.
+  for (int s = 0; s < sc.shards; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      if (!c.node(s, i).running()) continue;
+      EXPECT_TRUE(c.node(s, i).engine().database().scan_prefix("__txn").empty())
+          << "shard " << s << " replica " << i << " seed " << sc.seed;
+    }
+  }
+  ASSERT_NE(c.checker(), nullptr);
+  EXPECT_EQ(c.checker()->txn_unresolved(), 0) << "seed " << sc.seed;
+  EXPECT_EQ(c.check_all(), std::nullopt) << "seed " << sc.seed;
+}
+
+std::vector<Scenario> txn_scenarios() {
+  std::vector<Scenario> v;
+  for (std::uint64_t s = 1; s <= 12; ++s) v.push_back({s, 2, 22});
+  for (std::uint64_t s = 13; s <= 20; ++s) v.push_back({s, 3, 18});
+  return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(TxnChurn, TxnSchedule, ::testing::ValuesIn(txn_scenarios()),
                          [](const ::testing::TestParamInfo<Scenario>& info) {
                            return "seed" + std::to_string(info.param.seed) + "_s" +
                                   std::to_string(info.param.shards);

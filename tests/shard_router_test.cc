@@ -146,19 +146,25 @@ TEST_F(RouterTest, CrossShardAppliesAtEveryInvolvedShard) {
   EXPECT_EQ(c_.check_all(), std::nullopt);
 }
 
-TEST_F(RouterTest, CrossShardChecksAreRejectedUpFront) {
+TEST_F(RouterTest, CrossShardChecksHandOffToCoordinatorAndAbortAtomically) {
+  // A cross-shard command carrying a kCheck is handed to the wired
+  // prepared-check coordinator (DESIGN.md §13). Here the precondition is
+  // false, so the transaction check-aborts — atomically: nothing applied.
   Command cmd;
   cmd.ops.push_back(db::Op{db::OpType::kCheck, key_in(0), "whatever", 0});
   cmd.ops.push_back(db::Op{db::OpType::kPut, key_in(1), "x1", 0});
-  bool replied = false, committed = true;
+  bool replied = false, committed = true, check_aborted = false;
   c_.router().submit(3, cmd, [&](const RouteReply& r) {
     replied = true;
     committed = r.committed;
+    check_aborted = r.check_aborted;
   });
-  c_.run_for(millis(300));
+  c_.run_for(millis(500));
   EXPECT_TRUE(replied);
   EXPECT_FALSE(committed);
-  EXPECT_EQ(c_.router().stats().rejected_cross_checks, 1u);
+  EXPECT_TRUE(check_aborted);
+  EXPECT_EQ(c_.router().stats().txn_handoffs, 1u);
+  EXPECT_EQ(c_.router().stats().rejected_cross_checks, 0u);
   // Applied at NO shard.
   EXPECT_EQ(db_at(1, 0, key_in(1)), "");
   // Single-shard commands still carry checks (evaluated inside one group).
@@ -167,6 +173,27 @@ TEST_F(RouterTest, CrossShardChecksAreRejectedUpFront) {
                      [&](const RouteReply& r) { ok = r.committed; });
   c_.run_for(millis(300));
   EXPECT_TRUE(ok);
+}
+
+TEST_F(RouterTest, GenuinelyUnroutableMixesRejectWithUnsupportedMix) {
+  // Range administration pinned to one group can never span shards: the
+  // router rejects the mix up front, applied at no shard, with the precise
+  // unsupported_mix cause (not the generic abort).
+  Command cmd;
+  cmd.ops.push_back(db::Op{db::OpType::kFenceRange, key_in(0), "", 0});
+  cmd.ops.push_back(db::Op{db::OpType::kPut, key_in(1), "x1", 0});
+  bool replied = false;
+  RouteReply reply;
+  c_.router().submit(4, cmd, [&](const RouteReply& r) {
+    replied = true;
+    reply = r;
+  });
+  c_.run_for(millis(300));
+  EXPECT_TRUE(replied);
+  EXPECT_FALSE(reply.committed);
+  EXPECT_TRUE(reply.unsupported_mix);
+  EXPECT_EQ(c_.router().stats().rejected_unsupported, 1u);
+  EXPECT_EQ(db_at(1, 0, key_in(1)), "");
 }
 
 TEST_F(RouterTest, FailoverUnderPartitionCommitsInMajority) {
