@@ -35,7 +35,12 @@ std::span<const Action* const> ActionLog::mark_red(Action&& a) {
     // Fetch-or-create (not overwrite) so a body re-admitted after a
     // green-during-gap keeps the green position it already earned.
     auto& slot = store_[pack_action_id(cid)];
-    if (!slot) slot = alloc_stored();
+    if (!slot) {
+      slot = alloc_stored();
+    } else {
+      body_bytes_ -= static_cast<std::int64_t>(slot->body.wire_size());
+    }
+    body_bytes_ += static_cast<std::int64_t>(current.wire_size());
     slot->body = std::move(current);
     admitted_.push_back(&slot->body);
     const std::uint64_t next_key = pack_action_id(ActionId{aid.server_id, cs.red_cut + 1});
@@ -66,6 +71,7 @@ ActionLog::GreenResult ActionLog::mark_green(Action&& a) {
   } else if (const Action* parked = red_waiting_.find(key)) {
     auto& fresh = store_[key];
     fresh = std::make_unique<StoredAction>(StoredAction{*parked, 0});
+    body_bytes_ += static_cast<std::int64_t>(parked->wire_size());
     cell = fresh.get();
   }
   if (cell != nullptr) {
@@ -159,6 +165,7 @@ std::size_t ActionLog::trim_white_to(std::int64_t white_line) {
     ++white_count_;
     const std::uint64_t key = pack_action_id(aid);
     if (auto* slot = store_.find(key)) {
+      body_bytes_ -= static_cast<std::int64_t>((*slot)->body.wire_size());
       recycle(std::move(*slot));
       store_.erase(key);
     }
@@ -184,12 +191,13 @@ void ActionLog::reset(std::int64_t green_count,
   green_seq_.clear();
   green_head_ = 0;
   store_.clear();
+  body_bytes_ = 0;
   red_waiting_.clear();
   creators_.clear();
   for (const auto& [c, v] : green_red_cut) creators_[c] = CreatorState{v, v};
 }
 
-void ActionLog::adopt_green_prefix(
+std::span<const Action* const> ActionLog::adopt_green_prefix(
     std::int64_t green_count,
     const std::vector<std::pair<NodeId, std::int64_t>>& green_red_cut) {
   green_count_ = green_count;
@@ -207,8 +215,11 @@ void ActionLog::adopt_green_prefix(
   // can never be pending reds again. Collect first, then erase — the flat
   // tables must not shrink under their own iteration.
   std::vector<std::uint64_t> dead;
-  store_.for_each([&](std::uint64_t key, const std::unique_ptr<StoredAction>&) {
-    if (is_green(unpack_action_id(key))) dead.push_back(key);
+  store_.for_each([&](std::uint64_t key, const std::unique_ptr<StoredAction>& s) {
+    if (is_green(unpack_action_id(key))) {
+      body_bytes_ -= static_cast<std::int64_t>(s->body.wire_size());
+      dead.push_back(key);
+    }
   });
   for (const std::uint64_t key : dead) store_.erase(key);
   dead.clear();
@@ -216,6 +227,35 @@ void ActionLog::adopt_green_prefix(
     if (is_green(unpack_action_id(key))) dead.push_back(key);
   });
   for (const std::uint64_t key : dead) red_waiting_.erase(key);
+
+  // The raised cuts may have filled the creator-FIFO gaps that surviving
+  // parked retransmissions were waiting on; admit the now-contiguous
+  // chains, or they stay stranded (never pending, never promoted) and
+  // members that received them directly diverge at the next Install.
+  admitted_.clear();
+  std::vector<NodeId> ids;
+  ids.reserve(creators_.size());
+  for (const auto& [c, cs] : creators_) ids.push_back(c);
+  for (const NodeId c : ids) {
+    CreatorState& cs = creators_[c];
+    for (;;) {
+      const std::uint64_t key = pack_action_id(ActionId{c, cs.red_cut + 1});
+      Action* w = red_waiting_.find(key);
+      if (w == nullptr) break;
+      ++cs.red_cut;
+      auto& slot = store_[key];
+      if (!slot) {
+        slot = alloc_stored();
+      } else {
+        body_bytes_ -= static_cast<std::int64_t>(slot->body.wire_size());
+      }
+      body_bytes_ += static_cast<std::int64_t>(w->wire_size());
+      slot->body = std::move(*w);
+      red_waiting_.erase(key);
+      admitted_.push_back(&slot->body);
+    }
+  }
+  return admitted_;
 }
 
 bool ActionLog::replay_green(std::int64_t position, const Action& a) {
@@ -226,9 +266,14 @@ bool ActionLog::replay_green(std::int64_t position, const Action& a) {
   cs.green_red_cut = std::max(cs.green_red_cut, a.id.index);
   cs.red_cut = std::max(cs.red_cut, a.id.index);
   auto& slot = store_[pack_action_id(a.id)];
-  if (!slot) slot = alloc_stored();
+  if (!slot) {
+    slot = alloc_stored();
+  } else {
+    body_bytes_ -= static_cast<std::int64_t>(slot->body.wire_size());
+  }
   slot->body = a;
   slot->green_pos = green_count_;
+  body_bytes_ += static_cast<std::int64_t>(a.wire_size());
   return true;
 }
 

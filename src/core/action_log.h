@@ -113,6 +113,10 @@ class ActionLog {
   std::size_t waiting_count() const { return red_waiting_.size(); }
   /// Bodies currently stored (pending reds + untrimmed greens).
   std::size_t stored_bodies() const { return store_.size(); }
+  /// Logical bytes of the stored bodies (sum of wire sizes) — the memory
+  /// curve bench_memory plots and the gc.bodies.bytes gauge samples.
+  /// Maintained incrementally at every store insert/overwrite/erase.
+  std::int64_t body_bytes() const { return body_bytes_; }
 
   std::int64_t red_cut(NodeId creator) const;
   std::int64_t green_red_cut(NodeId creator) const;
@@ -147,9 +151,14 @@ class ActionLog {
   /// exchange catch-up): the green count jumps to `green_count`, the
   /// adopted prefix is entirely white (no bodies), per-creator cuts are
   /// raised, and bodies the prefix covers are released. Pending reds the
-  /// prefix does not cover survive.
-  void adopt_green_prefix(std::int64_t green_count,
-                          const std::vector<std::pair<NodeId, std::int64_t>>& green_red_cut);
+  /// prefix does not cover survive. Raising the cuts may fill creator-FIFO
+  /// gaps that parked retransmissions were waiting on (an exchange's red
+  /// retransmissions from one member can be delivered before the catch-up
+  /// transfer from another); those chains are drained and returned exactly
+  /// like mark_red's admissions — same scratch-buffer lifetime.
+  std::span<const Action* const> adopt_green_prefix(
+      std::int64_t green_count,
+      const std::vector<std::pair<NodeId, std::int64_t>>& green_red_cut);
 
   /// Recovery replay of a persisted green record: append iff `position`
   /// extends the green sequence. Returns false on duplicates / gaps.
@@ -173,6 +182,7 @@ class ActionLog {
 
   std::int64_t green_count_ = 0;
   std::int64_t white_count_ = 0;  ///< greens trimmed as white
+  std::int64_t body_bytes_ = 0;   ///< wire bytes of the bodies in store_
   /// Positions white+1..green live at indexes [green_head_, size).
   std::vector<ActionId> green_seq_;
   std::size_t green_head_ = 0;

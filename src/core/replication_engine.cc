@@ -113,6 +113,9 @@ void ReplicationEngine::init_obs() {
     metric_green_ = &params_.metrics->counter("engine.actions_green");
     metric_red_ = &params_.metrics->counter("engine.actions_red");
     metric_installs_ = &params_.metrics->counter("engine.primaries_installed");
+    metric_announce_sent_ = &params_.metrics->counter("engine.announce.sent");
+    metric_announce_recv_ = &params_.metrics->counter("engine.announce.received");
+    metric_announce_supp_ = &params_.metrics->counter("engine.announce.suppressed");
   }
 }
 
@@ -263,8 +266,11 @@ void ReplicationEngine::adopt_snapshot(const SnapshotMessage& s, bool set_prim) 
     }
   }
   // The log adopts the green prefix wholesale; pending reds the prefix
-  // swallowed (now green) drop out of the pending set automatically.
-  log_.adopt_green_prefix(s.green_count, s.green_red_cut);
+  // swallowed (now green) drop out of the pending set automatically, and
+  // parked retransmissions the prefix unblocks are admitted red here.
+  for (const Action* r : log_.adopt_green_prefix(s.green_count, s.green_red_cut)) {
+    on_newly_red(*r);
+  }
   server_set_ = s.server_set;
   for (const auto& [n, g] : s.green_lines) {
     std::int64_t& v = green_lines_[n];
@@ -304,6 +310,9 @@ Action ReplicationEngine::make_action(ActionType type, db::Command query, db::Co
   a.type = type;
   a.id = ActionId{id_, ++action_index_};
   a.green_line = log_.green_count();
+  // The action piggybacks our green line to the whole component, so a
+  // pending announcement token for the same (or an older) line is moot.
+  last_announced_green_ = std::max(last_announced_green_, a.green_line);
   a.client = client;
   a.semantics = semantics;
   a.query = std::move(query);
@@ -607,6 +616,9 @@ void ReplicationEngine::on_deliver(const gc::Delivery& d) {
     case EngineMsgType::kCatchup:
       handle_catchup(decode_snapshot(r));
       break;
+    case EngineMsgType::kAnnounce:
+      handle_announce(decode_announce(r));
+      break;
   }
 }
 
@@ -829,6 +841,7 @@ void ReplicationEngine::handle_catchup(const SnapshotMessage& s) {
     rec.ongoing_actions = sorted_ongoing();
     storage_.append(encode_log_db_snapshot(rec));
     green_lines_[id_] = log_.green_count();
+    maybe_arm_announce();
   }
   maybe_end_of_retrans();
 }
@@ -1080,6 +1093,7 @@ void ReplicationEngine::install() {
     }
   }
   green_lines_[id_] = log_.green_count();
+  maybe_arm_announce();
   append_meta();
   storage_.sync([] {});
 }
@@ -1142,6 +1156,7 @@ void ReplicationEngine::mark_green(const Action& a) {
   for (const Action* r : res.newly_red) on_newly_red(*r);
   if (res.position == 0) return;  // duplicate: already green
   green_lines_[id_] = log_.green_count();
+  maybe_arm_announce();
   append_log_green(res.position, encoded_body(a));
   ++stats_.actions_green;
   if (tracer_) tracer_.emit_action(obs::EventKind::kActionGreen, a.id, res.position);
@@ -1166,6 +1181,7 @@ void ReplicationEngine::mark_green(Action&& a) {
   // carries the stored pointer, versus the deep copy the lvalue path pays.
   const Action& g = res.body != nullptr ? *res.body : *log_.body_of(aid);
   green_lines_[id_] = log_.green_count();
+  maybe_arm_announce();
   append_log_green(res.position, encoded_body(g));
   ++stats_.actions_green;
   if (tracer_) tracer_.emit_action(obs::EventKind::kActionGreen, aid, res.position);
@@ -1380,6 +1396,88 @@ void ReplicationEngine::trim_white() {
   stats_.actions_white_trimmed += trimmed;
   if (trimmed > 0 && tracer_) {
     tracer_.emit(obs::EventKind::kWhiteTrim, line, static_cast<std::int64_t>(trimmed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Green-line announcements (DESIGN.md §14)
+// ---------------------------------------------------------------------------
+
+void ReplicationEngine::maybe_arm_announce() {
+  // Lazy one-shot token: arm only when there is something new to say, and
+  // let piggybacking (make_action advancing last_announced_green_) win the
+  // race. A recurring timer would never let run-until-idle sims quiesce.
+  if (params_.announce_interval <= 0 || announce_armed_) return;
+  if (log_.green_count() <= last_announced_green_) return;
+  announce_armed_ = true;
+  sim_.after(params_.announce_interval, [this, alive = alive_] {
+    if (!*alive) return;
+    announce_armed_ = false;
+    fire_announce();
+  });
+}
+
+void ReplicationEngine::fire_announce() {
+  if (state_ == EngineState::kLeft) return;
+  if (log_.green_count() <= last_announced_green_) {
+    // An originated action carried our line since arming; stay quiet. The
+    // next mark_green past the announced line re-arms.
+    ++stats_.announces_suppressed;
+    if (metric_announce_supp_ != nullptr) metric_announce_supp_->inc();
+    return;
+  }
+  if (state_ != EngineState::kRegPrim && state_ != EngineState::kNonPrim) {
+    // Mid-exchange: the membership is in flux and a multicast would land in
+    // an unsettled configuration; defer one interval and retry.
+    maybe_arm_announce();
+    return;
+  }
+  send_announce();
+}
+
+void ReplicationEngine::send_announce() {
+  AnnounceMessage m;
+  m.server_id = id_;
+  m.known = green_lines_.entries();
+  last_announced_green_ = log_.green_count();
+  ++stats_.announces_sent;
+  if (metric_announce_sent_ != nullptr) metric_announce_sent_->inc();
+  if (tracer_) {
+    tracer_.emit(obs::EventKind::kAnnounceSend, last_announced_green_,
+                 static_cast<std::int64_t>(m.known.size()));
+  }
+  gc_->multicast(encode_announce(m), gc::Service::kAgreed);
+}
+
+void ReplicationEngine::handle_announce(const AnnounceMessage& m) {
+  ++stats_.announces_received;
+  if (metric_announce_recv_ != nullptr) metric_announce_recv_->inc();
+  if (tracer_) {
+    const std::int64_t* own = nullptr;
+    for (const auto& [n, g] : m.known) {
+      if (n == m.server_id) own = &g;
+    }
+    tracer_.emit(obs::EventKind::kAnnounceRecv, static_cast<std::int64_t>(m.server_id),
+                 own != nullptr ? *own : 0);
+  }
+  // Announced lines are lower-bound claims, so merging is a per-entry max.
+  // Entries for servers outside our current server set are dropped: a stale
+  // announcement must not resurrect a departed member's green line (which
+  // on_leave erased) and pin the white line forever.
+  bool advanced = false;
+  for (const auto& [n, g] : m.known) {
+    if (!contains(server_set_, n)) continue;
+    std::int64_t& v = green_lines_[n];
+    if (g > v) {
+      v = g;
+      advanced = true;
+    }
+  }
+  // Trim only in settled states: mid-exchange the retransmission plan
+  // assumes the bodies it promised to resend are still in the log.
+  if (advanced &&
+      (state_ == EngineState::kRegPrim || state_ == EngineState::kNonPrim)) {
+    trim_white();
   }
 }
 

@@ -133,6 +133,9 @@ void SafetyChecker::on_event(const TraceEvent& e) {
     case EventKind::kTxnCancel:
       on_txn_event(e);
       break;
+    case EventKind::kAnnounceSend:
+      on_announce(e);
+      break;
     default:
       break;  // observed for export/metrics only
   }
@@ -151,6 +154,7 @@ void SafetyChecker::on_green(const TraceEvent& e) {
     return;
   }
   v.green_count = pos;
+  v.green_highwater = std::max(v.green_highwater, pos);
   v.recent.push_back(e.action);
   if (v.recent.size() > 2 * options_.diff_context) v.recent.erase(v.recent.begin());
 
@@ -202,7 +206,34 @@ void SafetyChecker::on_adopt(NodeId node, std::int64_t green_count, const char* 
     violation(os.str());
   }
   v.green_count = green_count;
+  v.green_highwater = std::max(v.green_highwater, green_count);
   v.recent.clear();
+  // Invariant 10 baseline resets: a recovered or snapshot-adopting node may
+  // legitimately announce a line below its pre-crash maximum.
+  v.last_announced = -1;
+}
+
+void SafetyChecker::on_announce(const TraceEvent& e) {
+  // Invariant 10: announcements (a = announced own green line) are
+  // lower-bound claims, so they must be honest (<= true green count) and
+  // monotone per node between adoption resets.
+  NodeView& v = view(e.node);
+  const std::int64_t line = e.a;
+  std::ostringstream os;
+  if (line > v.green_count) {
+    os << "t=" << e.time << " ANNOUNCED GREEN LINE BEYOND TRUE GREEN COUNT: node " << e.node
+       << " announced line " << line << " but has only " << v.green_count
+       << " greens (peers would trim history the announcer does not hold)";
+    violation(os.str());
+    return;
+  }
+  if (line < v.last_announced) {
+    os << "t=" << e.time << " NON-MONOTONE GREEN-LINE ANNOUNCEMENT: node " << e.node
+       << " announced line " << line << " after announcing " << v.last_announced;
+    violation(os.str());
+    return;
+  }
+  v.last_announced = line;
 }
 
 void SafetyChecker::on_primary_install(const TraceEvent& e) {
@@ -246,11 +277,14 @@ void SafetyChecker::on_white_trim(const TraceEvent& e) {
   for (NodeId m : v.members) {
     auto it = nodes_.find(m);
     if (it == nodes_.end() || !it->second.seen) continue;  // engine not started yet
-    if (line > it->second.green_count) {
+    // Compare against the member's high-water green count, not its current
+    // one: a crash-recovered member may sit below knowledge it emitted
+    // before the crash (see invariant 6 notes in the header).
+    if (line > it->second.green_highwater) {
       os << "t=" << e.time << " WHITE TRIM PASSES UNSTABLE ACTION: node " << e.node
-         << " trimmed to line " << line << " but member " << m << " has only "
-         << it->second.green_count << " greens (position " << it->second.green_count + 1
-         << ".." << line << " not yet stable)";
+         << " trimmed to line " << line << " but member " << m << " never marked more than "
+         << it->second.green_highwater << " greens (position "
+         << it->second.green_highwater + 1 << ".." << line << " not yet stable)";
       violation(os.str());
       return;
     }

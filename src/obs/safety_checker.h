@@ -17,7 +17,17 @@
 //   5. At most one primary component per generation: two installs of the
 //      same prim_index must agree on attempt and membership.
 //   6. White-trim stability: a node may only trim up to a line that every
-//      member of its current server-set view has already marked green.
+//      member of its current server-set view has already marked green at
+//      some point (its high-water green count). The high-water mark — not
+//      the current count — is the bound because green knowledge is logged
+//      asynchronously: a member can crash and recover *below* its pre-crash
+//      green line, while peers legitimately still hold (and re-propagate)
+//      the knowledge it emitted before the crash. Trimming past such a
+//      retreated member stays safe — the next exchange detects the member
+//      below the white line and falls back to a catch-up state transfer
+//      instead of per-position body retransmission (DESIGN.md §14).
+//      Trimming past a line no member ever reached is still a violation:
+//      that knowledge could only be fabricated.
 //   7. Safe-delivery agreement (EVS): all nodes delivering (config, seq)
 //      as safe saw the same payload.
 //   8. Range ownership (shard rebalancing, DESIGN.md §9): per key range,
@@ -30,6 +40,12 @@
 //      green after a prepare, and the two decisions are mutually exclusive
 //      — a group that confirmed never cancels and vice versa, so every
 //      replica of a shard resolves each prepare the same single way.
+//  10. Honest announcements (DESIGN.md §14): a green-line announcement is a
+//      lower-bound claim, so per node it must be monotone non-decreasing
+//      and must never exceed the announcer's true green count — a "lying"
+//      announcement would let peers trim white past history the announcer
+//      does not actually hold. Crash recovery and snapshot adoption reset
+//      the baseline (a recovered node may legitimately re-announce lower).
 //
 // Violations fail fast: the checker prints a report — including a diff of
 // the divergent histories around the offending position — and aborts the
@@ -103,8 +119,13 @@ class SafetyChecker {
   struct NodeView {
     bool seen = false;
     std::int64_t green_count = 0;
+    /// Highest green count the node ever reached — never lowered by crash
+    /// recovery. Invariant 6 bounds peers' white trims by this, because
+    /// pre-crash knowledge legitimately outlives a recovery retreat.
+    std::int64_t green_highwater = 0;
     std::set<NodeId> members;
     std::vector<ActionId> recent;  ///< trailing green ids, for diffs
+    std::int64_t last_announced = -1;  ///< invariant 10; -1 = no announcement yet
   };
   struct PrimInfo {
     std::int64_t attempt = 0;
@@ -170,6 +191,7 @@ class SafetyChecker {
   void on_safe_deliver(const TraceEvent& e);
   void on_range_event(const TraceEvent& e);
   void on_txn_event(const TraceEvent& e);
+  void on_announce(const TraceEvent& e);
 
   CheckerOptions options_;
   std::uint64_t events_checked_ = 0;

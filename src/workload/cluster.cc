@@ -45,6 +45,9 @@ void EngineCluster::sample_metrics() {
   std::uint64_t green = 0, red = 0, installs = 0, exchanges = 0;
   std::uint64_t forces = 0, appends = 0;
   std::uint64_t safe_deliveries = 0, configs = 0;
+  std::uint64_t announces_sent = 0, announces_received = 0;
+  std::int64_t min_white = -1, max_green = 0;
+  std::int64_t stored_bodies = 0, body_bytes = 0;
   for (const auto& n : nodes_) {
     const auto& st = n->storage().stats();
     forces += st.forces;
@@ -55,6 +58,13 @@ void EngineCluster::sample_metrics() {
     red += es.actions_red;
     installs += es.primaries_installed;
     exchanges += es.exchanges;
+    announces_sent += es.announces_sent;
+    announces_received += es.announces_received;
+    const std::int64_t wl = n->engine().white_line();
+    min_white = min_white < 0 ? wl : std::min(min_white, wl);
+    max_green = std::max(max_green, n->engine().green_count());
+    stored_bodies += static_cast<std::int64_t>(n->engine().action_log().stored_bodies());
+    body_bytes += n->engine().action_log().body_bytes();
     const auto& gs = n->engine().group_comm().stats();
     safe_deliveries += gs.safe_deliveries;
     configs += gs.regular_configs;
@@ -69,6 +79,15 @@ void EngineCluster::sample_metrics() {
   metrics_->counter("storage.appends").set_total(appends);
   metrics_->counter("gc.safe_deliveries").set_total(safe_deliveries);
   metrics_->counter("gc.regular_configs").set_total(configs);
+  metrics_->counter("cluster.announces_sent").set_total(announces_sent);
+  metrics_->counter("cluster.announces_received").set_total(announces_received);
+  // White-line / body-store health (DESIGN.md §14): `lag` is how far the
+  // slowest white line trails the fastest green count — growing lag means
+  // trimming is starving and body stores are pinned.
+  metrics_->gauge("gc.whiteline.min").set(std::max<std::int64_t>(min_white, 0));
+  metrics_->gauge("gc.whiteline.lag").set(max_green - std::max<std::int64_t>(min_white, 0));
+  metrics_->gauge("gc.bodies.stored").set(stored_bodies);
+  metrics_->gauge("gc.bodies.bytes").set(body_bytes);
   metrics_->counter("net.messages").set_total(net_.stats().messages_sent);
   metrics_->counter("net.bytes").set_total(net_.stats().bytes_sent);
   metrics_->counter("net.payload_bytes_copied").set_total(net_.stats().payload_bytes_copied);

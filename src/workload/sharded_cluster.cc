@@ -256,8 +256,12 @@ void ShardedCluster::sample_metrics() {
   if (!metrics_) return;
   std::uint64_t total_green = 0, total_red = 0, total_installs = 0;
   std::uint64_t intern_keys = 0, intern_bytes = 0, table_slots = 0, table_rehashes = 0;
+  std::uint64_t total_announces_sent = 0, total_announces_received = 0;
+  std::int64_t total_bodies = 0, total_body_bytes = 0, total_lag = 0;
   for (int s = 0; s < options_.shards; ++s) {
     std::uint64_t green = 0, red = 0, installs = 0, forces = 0;
+    std::uint64_t announces_sent = 0, announces_received = 0;
+    std::int64_t min_white = -1, max_green = 0, bodies = 0, body_bytes = 0;
     for (int i = 0; i < options_.replicas_per_shard; ++i) {
       auto& n = node(s, i);
       forces += n.storage().stats().forces;
@@ -266,6 +270,13 @@ void ShardedCluster::sample_metrics() {
       green += es.actions_green;
       red += es.actions_red;
       installs += es.primaries_installed;
+      announces_sent += es.announces_sent;
+      announces_received += es.announces_received;
+      const std::int64_t wl = n.engine().white_line();
+      min_white = min_white < 0 ? wl : std::min(min_white, wl);
+      max_green = std::max(max_green, n.engine().green_count());
+      bodies += static_cast<std::int64_t>(n.engine().action_log().stored_bodies());
+      body_bytes += n.engine().action_log().body_bytes();
       const db::DbStats ds = n.engine().database().stats();
       intern_keys += ds.interned_keys;
       intern_bytes += ds.interned_bytes;
@@ -277,13 +288,28 @@ void ShardedCluster::sample_metrics() {
     metrics_->counter(prefix + "actions_red").set_total(red);
     metrics_->counter(prefix + "primaries_installed").set_total(installs);
     metrics_->counter(prefix + "storage_forces").set_total(forces);
+    metrics_->gauge(prefix + "whiteline.min").set(std::max<std::int64_t>(min_white, 0));
+    metrics_->gauge(prefix + "whiteline.lag")
+        .set(max_green - std::max<std::int64_t>(min_white, 0));
     total_green += green;
     total_red += red;
     total_installs += installs;
+    total_announces_sent += announces_sent;
+    total_announces_received += announces_received;
+    total_bodies += bodies;
+    total_body_bytes += body_bytes;
+    total_lag += max_green - std::max<std::int64_t>(min_white, 0);
   }
   metrics_->counter("cluster.actions_green").set_total(total_green);
   metrics_->counter("cluster.actions_red").set_total(total_red);
   metrics_->counter("cluster.primaries_installed").set_total(total_installs);
+  metrics_->counter("cluster.announces_sent").set_total(total_announces_sent);
+  metrics_->counter("cluster.announces_received").set_total(total_announces_received);
+  // White-line / body-store health across the deployment (DESIGN.md §14):
+  // lag summed over shards — growing lag means trimming is starving.
+  metrics_->gauge("gc.whiteline.lag").set(total_lag);
+  metrics_->gauge("gc.bodies.stored").set(total_bodies);
+  metrics_->gauge("gc.bodies.bytes").set(total_body_bytes);
   metrics_->counter("net.messages").set_total(net_.stats().messages_sent);
   metrics_->counter("net.bytes").set_total(net_.stats().bytes_sent);
   metrics_->counter("net.payload_bytes_copied").set_total(net_.stats().payload_bytes_copied);

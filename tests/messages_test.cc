@@ -307,6 +307,19 @@ TEST(CoreMessages, GreenAndRedRetransEncodings) {
   EXPECT_EQ(core::peek_engine_type(rr), core::EngineMsgType::kRedRetrans);
 }
 
+TEST(CoreMessages, AnnounceRoundTrip) {
+  core::AnnounceMessage m;
+  m.server_id = 3;
+  m.known = {{0, 12}, {1, 7}, {3, 12}};
+  Bytes wire = core::encode_announce(m);
+  EXPECT_EQ(core::peek_engine_type(wire), core::EngineMsgType::kAnnounce);
+  BufReader r(wire);
+  r.u8();
+  const core::AnnounceMessage back = core::decode_announce(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back, m);
+}
+
 TEST(CoreMessages, JoinRequestRoundTrip) {
   Bytes wire = core::encode_join_request(core::JoinRequest{42});
   EXPECT_EQ(core::peek_direct_type(wire), core::DirectMsgType::kJoinRequest);

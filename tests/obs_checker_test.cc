@@ -109,12 +109,71 @@ TEST(ObsChecker, CatchesWhiteTrimPastUnstableAction) {
             std::string::npos);
 }
 
+TEST(ObsChecker, WhiteTrimMayPassARecoveryRetreat) {
+  Forge f;
+  // Node 1 marks two greens, then crash-recovers with only one (greens are
+  // logged asynchronously). Node 0 trimming to 2 leans on knowledge node 1
+  // emitted before the crash — invariant 6 bounds trims by the member's
+  // high-water mark, so this is legal (the next exchange state-transfers
+  // node 1 past the trimmed bodies).
+  f.node(0).emit(EventKind::kEngineStart, 0, 0);
+  f.node(0).emit(EventKind::kMemberAdd, 0);
+  f.node(0).emit(EventKind::kMemberAdd, 1);
+  f.green(0, {0, 1}, 1);
+  f.green(0, {0, 2}, 2);
+  f.green(1, {0, 1}, 1);
+  f.green(1, {0, 2}, 2);
+  f.node(1).emit(EventKind::kEngineStart, /*green=*/1, /*how=*/1);  // recovery retreat
+  f.node(0).emit(EventKind::kWhiteTrim, /*line=*/2, /*trimmed=*/2);
+  EXPECT_TRUE(f.checker.ok()) << f.checker.report();
+  // Past the high-water mark is still a violation: nobody ever held 3.
+  f.green(0, {0, 3}, 3);
+  f.node(0).emit(EventKind::kWhiteTrim, /*line=*/3, /*trimmed=*/1);
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("WHITE TRIM PASSES UNSTABLE ACTION"),
+            std::string::npos);
+}
+
 TEST(ObsChecker, CatchesTrimBeyondOwnGreens) {
   Forge f;
   f.green(0, {0, 1}, 1);
   f.node(0).emit(EventKind::kWhiteTrim, /*line=*/5, /*trimmed=*/1);
   ASSERT_FALSE(f.checker.ok());
   EXPECT_NE(f.checker.violations()[0].find("beyond its own green count"), std::string::npos);
+}
+
+TEST(ObsChecker, CatchesLyingAnnouncement) {
+  Forge f;
+  // Invariant 10: announcing a green line beyond the sender's true green
+  // count would let peers trim history the announcer does not hold.
+  f.green(0, {0, 1}, 1);
+  f.node(0).emit(EventKind::kAnnounceSend, /*line=*/3, /*vec=*/1);
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("ANNOUNCED GREEN LINE BEYOND TRUE GREEN COUNT"),
+            std::string::npos);
+}
+
+TEST(ObsChecker, CatchesNonMonotoneAnnouncement) {
+  Forge f;
+  f.green(0, {0, 1}, 1);
+  f.green(0, {0, 2}, 2);
+  f.node(0).emit(EventKind::kAnnounceSend, /*line=*/2, /*vec=*/1);
+  f.node(0).emit(EventKind::kAnnounceSend, /*line=*/1, /*vec=*/1);
+  ASSERT_FALSE(f.checker.ok());
+  EXPECT_NE(f.checker.violations()[0].find("NON-MONOTONE GREEN-LINE ANNOUNCEMENT"),
+            std::string::npos);
+}
+
+TEST(ObsChecker, AnnouncementMayRelowerAfterRecovery) {
+  Forge f;
+  // A recovered node legitimately re-announces below its pre-crash line:
+  // kEngineStart resets the invariant-10 monotonicity baseline.
+  f.green(0, {0, 1}, 1);
+  f.green(0, {0, 2}, 2);
+  f.node(0).emit(EventKind::kAnnounceSend, /*line=*/2, /*vec=*/1);
+  f.node(0).emit(EventKind::kEngineStart, /*green=*/1, /*how=*/1);
+  f.node(0).emit(EventKind::kAnnounceSend, /*line=*/1, /*vec=*/1);
+  EXPECT_TRUE(f.checker.ok()) << f.checker.report();
 }
 
 TEST(ObsChecker, CatchesSafeDeliveryDivergence) {
