@@ -28,9 +28,10 @@ int main() {
     const auto e = measure_latency(Algorithm::kEngine, n, actions, 1);
     const auto k = measure_latency(Algorithm::kCorel, n, actions, 1);
     const auto t = measure_latency(Algorithm::kTwoPc, n, actions, 1);
-    std::printf("%9d | %8.2f /%7.2f /%7.2f | %8.2f /%7.2f /%7.2f | %8.2f /%7.2f /%7.2f\n",
-                n, e.mean_ms, e.p99_ms, e.p999_ms, k.mean_ms, k.p99_ms, k.p999_ms,
-                t.mean_ms, t.p99_ms, t.p999_ms);
+    std::printf("%9d | %s | %s | %s\n", n,
+                bench::lat_triple(e.mean_ms, e.p99_ms, e.p999_ms).c_str(),
+                bench::lat_triple(k.mean_ms, k.p99_ms, k.p999_ms).c_str(),
+                bench::lat_triple(t.mean_ms, t.p99_ms, t.p999_ms).c_str());
   }
   std::printf("\n(%d actions per cell)\n", actions);
   return 0;

@@ -47,9 +47,10 @@ int main(int argc, char** argv) {
   for (const Config& c : configs) {
     const auto p =
         measure_rebalance(c.shards, c.replicas_per_shard, clients, c.moves, warmup, measure);
-    std::printf("%6d | %2llu/%-2d | %8.2fms | %8.2fms | %8.2fms | %8.2fms | %7llu | %8lld | %7.0f\n",
+    std::printf("%6d | %2llu/%-2d | %s | %s | %7llu | %8lld | %7.0f\n",
                 p.shards, static_cast<unsigned long long>(p.moves_completed), p.moves_requested,
-                p.steady_p50_ms, p.steady_p99_ms, p.move_window_p50_ms, p.move_window_p99_ms,
+                bench::lat_pair_ms(p.steady_p50_ms, p.steady_p99_ms).c_str(),
+                bench::lat_pair_ms(p.move_window_p50_ms, p.move_window_p99_ms).c_str(),
                 static_cast<unsigned long long>(p.fenced_bounces),
                 p.moves_completed ? p.bytes_moved / static_cast<std::int64_t>(p.moves_completed)
                                   : 0,

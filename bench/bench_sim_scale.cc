@@ -5,11 +5,21 @@
 // shape can be pushed (ROADMAP "Scale sweeps"). This bench drives the same
 // closed-loop put workload the throughput figures use — over one engine
 // group at 12/48/100 replicas (the single-group EVS run) and over sharded
-// deployments up to 8 shards x 96 total replicas — and reports the host-side
-// numbers: events/sec, wall-clock per simulated second, peak event-queue
-// depth, payload bytes deep-copied, and reachability-cache hit rate.
-// Identical seeds produce identical virtual-time results across builds, so
-// deltas between binaries measure only the simulator hot path.
+// deployments up to 100 shards x 1000 total replicas — and reports the
+// host-side numbers: events/sec, wall-clock per simulated second, peak
+// event-queue depth, payload bytes deep-copied, and reachability-cache hit
+// rate. Identical seeds produce identical virtual-time results across
+// builds, so deltas between binaries measure only the simulator hot path.
+//
+// Sharded configurations run the threads dimension too (DESIGN.md §15):
+// each is repeated at 1, 2 and 8 worker threads in lane mode. The
+// simulated results (green/s, events) are bit-identical across the thread
+// counts — asserted here — so the wall-clock column is a pure measurement
+// of the worker pool, and the speedup column is wall(1 thread)/wall(N).
+//
+// The whole sweep lands in BENCH_simscale.json (one row per run:
+// shards, replicas, threads, wall_ms, events/sec, green throughput) so the
+// perf trajectory is recorded run-over-run.
 //
 // --smoke (or TORDB_BENCH_FAST=1) runs a reduced sweep and enforces a
 // wall-clock budget (default 90 s, TORDB_SIM_SCALE_BUDGET_MS to override):
@@ -17,10 +27,11 @@
 // magnitude. The budget is deliberately loose — it tolerates sanitizers and
 // slow runners, not a return of per-target payload copies and red-black-tree
 // lookups per send.
-#include <chrono>
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -37,7 +48,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  bench::header("Simulator scale sweep: harness cost at 12-100 replicas",
+  bench::header("Simulator scale sweep: harness cost at 12-1000 replicas",
                 "not a paper figure: profiles the simulation kernel itself so the "
                 "paper's relative results can be evaluated at partial-replication "
                 "scale (dozens of shards, hundreds of replicas)");
@@ -45,59 +56,130 @@ int main(int argc, char** argv) {
   struct Config {
     int shards;
     int replicas_per_shard;
+    bool threads_sweep;  ///< repeat at 2 and 8 worker threads (sharded only)
   };
   // Single-group rows exercise the pure EVS path (sequencer + group-wide
   // multicast + acks); sharded rows exercise N groups on one network behind
-  // the router. Clients: one closed-loop writer per replica.
-  std::vector<Config> sweep = {{1, 12}, {1, 48}, {1, 100}, {4, 12}, {8, 12}};
+  // the router, and additionally sweep the lane-mode worker pool.
+  std::vector<Config> sweep = {{1, 12, false}, {1, 48, false}, {1, 100, false},
+                               {4, 12, false}, {8, 12, false}, {16, 6, true},
+                               {32, 6, true},  {100, 10, true}};
+  std::vector<int> threads = {1, 2, 8};
   SimDuration warmup = millis(500);
   SimDuration measure = seconds(2);
   if (smoke) {
-    sweep = {{1, 12}, {2, 6}};
+    sweep = {{1, 12, false}, {2, 6, false}, {4, 3, true}};
+    threads = {1, 4};
     measure = seconds(1);
   }
 
-  std::printf("%14s | %8s | %9s | %10s | %9s | %10s | %6s | %7s | %6s\n", "config",
-              "green/s", "events", "ev/wall-s", "wall", "ms/sim-s", "peakQ", "copyMB",
-              "cache%");
-  bench::row_sep(104);
+  std::printf("%14s | %3s | %8s | %9s | %10s | %9s | %10s | %6s | %7s | %6s | %7s\n",
+              "config", "thr", "green/s", "events", "ev/wall-s", "wall", "ms/sim-s", "peakQ",
+              "copyMB", "cache%", "speedup");
+  bench::row_sep(118);
 
-  const auto t0 = std::chrono::steady_clock::now();
+  bench::Stopwatch total;
+  bench::JsonRows json;
+  bool identical = true;
+  double speedup_at_16 = 0;  // best 8-thread speedup at >= 16 shards
   for (const Config& c : sweep) {
-    const int total = c.shards * c.replicas_per_shard;
-    const auto p = measure_sim_scale(c.shards, c.replicas_per_shard, total, warmup, measure);
-    const std::uint64_t lookups = p.reachable_cache_hits + p.reachable_cache_misses;
-    char label[32];
-    std::snprintf(label, sizeof(label), "%dx%d (%d)", c.shards, c.replicas_per_shard, total);
-    std::printf("%14s | %8.0f | %9llu | %10.0f | %7.0fms | %10.1f | %6zu | %7.2f | %5.0f%%\n",
-                label, p.green_per_second, static_cast<unsigned long long>(p.events),
-                p.events_per_wall_second, p.wall_ms, p.wall_ms_per_sim_second,
-                p.peak_queue_depth,
-                static_cast<double>(p.payload_bytes_copied) / (1024.0 * 1024.0),
-                lookups ? 100.0 * static_cast<double>(p.reachable_cache_hits) /
-                              static_cast<double>(lookups)
-                        : 0.0);
+    const int total_replicas = c.shards * c.replicas_per_shard;
+    // Clients: one closed-loop writer per replica, capped so the 100-shard
+    // row measures simulator scaling rather than client-queue buildup.
+    const int clients = std::min(total_replicas, 256);
+    double wall_1t = 0;
+    std::uint64_t events_1t = 0, completed_1t = 0;
+    for (int t : threads) {
+      if (!c.threads_sweep && t != threads.front()) continue;
+      // Non-sweep rows run the classic loop (sim_threads = 0): they track
+      // the historical harness-cost trajectory. Sweep rows run lane mode at
+      // every thread count, including the 1-worker lane baseline.
+      const int t_arg = c.threads_sweep ? t : 0;
+      const auto p =
+          measure_sim_scale(c.shards, c.replicas_per_shard, clients, warmup, measure, 1, t_arg);
+      const std::uint64_t lookups = p.reachable_cache_hits + p.reachable_cache_misses;
+      if (t == threads.front()) {
+        wall_1t = p.wall_ms;
+        events_1t = p.events;
+        completed_1t = p.completed;
+      } else if (p.events != events_1t || p.completed != completed_1t) {
+        // Lane mode is deterministic across worker counts: any divergence
+        // in the simulated results is a correctness bug, not noise.
+        std::fprintf(stderr,
+                     "FAIL: %dx%d at %d threads diverged from 1 thread "
+                     "(events %llu vs %llu, completed %llu vs %llu)\n",
+                     c.shards, c.replicas_per_shard, t,
+                     static_cast<unsigned long long>(p.events),
+                     static_cast<unsigned long long>(events_1t),
+                     static_cast<unsigned long long>(p.completed),
+                     static_cast<unsigned long long>(completed_1t));
+        identical = false;
+      }
+      const double speedup = (t != threads.front() && p.wall_ms > 0) ? wall_1t / p.wall_ms : 1.0;
+      if (c.threads_sweep && c.shards >= 16 && t == 8) {
+        speedup_at_16 = std::max(speedup_at_16, speedup);
+      }
+      char label[32];
+      std::snprintf(label, sizeof(label), "%dx%d (%d)", c.shards, c.replicas_per_shard,
+                    total_replicas);
+      std::printf("%14s | %3d | %8.0f | %9llu | %10.0f | %7.0fms | %10.1f | %6zu | %7.2f | "
+                  "%5.0f%% | %6.2fx\n",
+                  label, p.sim_threads, p.green_per_second,
+                  static_cast<unsigned long long>(p.events), p.events_per_wall_second, p.wall_ms,
+                  p.wall_ms_per_sim_second, p.peak_queue_depth,
+                  static_cast<double>(p.payload_bytes_copied) / (1024.0 * 1024.0),
+                  lookups ? 100.0 * static_cast<double>(p.reachable_cache_hits) /
+                                static_cast<double>(lookups)
+                          : 0.0,
+                  speedup);
+      json.begin_row();
+      json.field("shards", p.shards);
+      json.field("replicas_per_shard", p.replicas_per_shard);
+      json.field("total_replicas", p.total_replicas);
+      json.field("clients", p.clients);
+      json.field("threads", p.sim_threads);
+      json.field("wall_ms", p.wall_ms);
+      json.field("events", p.events);
+      json.field("events_per_sec", p.events_per_wall_second);
+      json.field("green_per_sec", p.green_per_second);
+      json.field("completed", p.completed);
+      json.field("messages", p.messages);
+      json.field("peak_queue_depth", p.peak_queue_depth);
+      json.field("lane_windows", p.lane_windows);
+      json.field("lane_handoffs", p.lane_handoffs);
+      json.field("speedup_vs_1t", speedup);
+    }
   }
-  const double total_wall_ms =
-      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0).count();
-  std::printf("\n(ev/wall-s: simulator events executed per host second; ms/sim-s: host "
-              "milliseconds per simulated second; copyMB: payload bytes deep-copied on the "
-              "send path; cache%%: reachable_set cache hit rate)\n");
+  const double total_wall_ms = total.ms();
+  std::printf("\n(thr: lane-mode worker threads, 0 = classic event loop; ev/wall-s: "
+              "simulator events executed per host second; ms/sim-s: host milliseconds per "
+              "simulated second; copyMB: payload bytes deep-copied on the send path; cache%%: "
+              "reachable_set cache hit rate; speedup: wall(1 lane thread) / wall(N), simulated "
+              "results bit-identical across lane rows)\n");
   std::printf("total wall clock: %.0f ms\n", total_wall_ms);
+  json.write("BENCH_simscale.json");
 
-  if (smoke) {
-    double budget_ms = 90'000;
-    if (const char* b = std::getenv("TORDB_SIM_SCALE_BUDGET_MS")) {
-      budget_ms = std::atof(b);
-    }
-    if (total_wall_ms > budget_ms) {
-      std::fprintf(stderr,
-                   "FAIL: smoke sweep took %.0f ms, over the %.0f ms budget — the "
-                   "simulator hot path regressed\n",
-                   total_wall_ms, budget_ms);
-      return 1;
-    }
-    std::printf("smoke budget: %.0f ms <= %.0f ms OK\n", total_wall_ms, budget_ms);
+  if (!identical) return 1;
+  // The scaling criterion needs hardware to scale onto: enforce it only
+  // when the host can give every pool thread a core. Smaller hosts (1-core
+  // CI containers) still verify determinism above; there the parallel rows
+  // measure rendezvous overhead, not speedup.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (!smoke && hw >= 8 && speedup_at_16 < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: best 8-thread speedup at >= 16 shards was %.2fx (< 3x) — the "
+                 "worker pool is not scaling\n",
+                 speedup_at_16);
+    return 1;
+  }
+  if (hw < 8) {
+    std::printf("note: host has %u hardware thread(s); the >= 3x speedup criterion needs 8 "
+                "cores and was not enforced\n",
+                hw);
+  }
+  if (smoke && !bench::check_budget(total_wall_ms, "TORDB_SIM_SCALE_BUDGET_MS", 90'000,
+                                    "smoke sweep")) {
+    return 1;
   }
   return 0;
 }

@@ -19,8 +19,8 @@
 // mid-run — the per-shard green-count skew must move to a different shard).
 //
 // Pass --quick (or set TORDB_BENCH_FAST=1) for the reduced CI smoke sweep.
-// TORDB_TPCC_BUDGET_MS (default 240000) bounds the total wall clock.
-#include <chrono>
+// TORDB_TPCC_BUDGET_MS (default 240000) bounds the total wall clock. The A9
+// sweep and A10 pair land in BENCH_tpcc.json for run-over-run tracking.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -176,13 +176,36 @@ void print_run(const RunOut& r) {
               "aborts chk/fen/oth", "p50", "p99");
   for (int t = 0; t < tpcc::kTxnTypes; ++t) {
     const TypeRow& row = r.types[t];
-    std::printf("  %-12s | %9llu | %6llu/%5llu/%5llu | %6.2fms | %6.2fms\n",
+    std::printf("  %-12s | %9llu | %6llu/%5llu/%5llu | %s\n",
                 tpcc::to_string(static_cast<tpcc::TxnType>(t)),
                 static_cast<unsigned long long>(row.committed),
                 static_cast<unsigned long long>(row.aborted_check),
                 static_cast<unsigned long long>(row.aborted_fenced),
-                static_cast<unsigned long long>(row.aborted_other), row.p50_ms, row.p99_ms);
+                static_cast<unsigned long long>(row.aborted_other),
+                bench::lat_pair_ms(row.p50_ms, row.p99_ms, 6).c_str());
   }
+}
+
+/// One BENCH_tpcc.json row: the run's headline numbers plus the new-order
+/// latency pair, labeled with the pass that produced it.
+void json_run(tordb::bench::JsonRows& json, const char* pass, int shards, int warehouses,
+              double theta, double remote, const RunOut& r) {
+  const auto no = static_cast<std::size_t>(tpcc::TxnType::kNewOrder);
+  json.begin_row();
+  json.field("pass", std::string(pass));
+  json.field("shards", shards);
+  json.field("warehouses", warehouses);
+  json.field("zipf_theta", theta);
+  json.field("remote_fraction", remote);
+  json.field("tpmc", r.tpmc);
+  json.field("committed", r.committed);
+  json.field("aborted", r.aborted);
+  json.field("cross_shard", r.cross);
+  json.field("remote_checked", r.remote_checked);
+  json.field("remote_unchecked", r.remote_unchecked);
+  json.field("fence_bounces", r.bounces);
+  json.field("new_order_p50_ms", r.types[no].p50_ms);
+  json.field("new_order_p99_ms", r.types[no].p99_ms);
 }
 
 }  // namespace
@@ -201,7 +224,8 @@ int main(int argc, char** argv) {
       "new-orders abort atomically, commutative payments cross shards through "
       "the commit barrier, deliveries stamp timestamps, queries read weak/dirty");
 
-  const auto t0 = std::chrono::steady_clock::now();
+  bench::Stopwatch total;
+  bench::JsonRows json;
   const SimDuration measure = quick ? seconds(4) : seconds(10);
 
   struct Config {
@@ -223,6 +247,7 @@ int main(int argc, char** argv) {
                 c.warehouses, c.theta, c.remote);
     const RunOut r = run_tpcc(c.shards, topt, measure, /*want_table=*/false);
     print_run(r);
+    json_run(json, "a9", c.shards, c.warehouses, c.theta, c.remote, r);
     if (c.remote > 0 && c.shards > 1 && r.remote_checked == 0) {
       std::fprintf(stderr, "FAIL: no remote new-order went through the coordinator\n");
       return 1;
@@ -245,10 +270,14 @@ int main(int argc, char** argv) {
     std::printf("checked (coordinator):\n");
     const RunOut checked = run_tpcc(4, topt, measure, false);
     print_run(checked);
+    json_run(json, "a10_checked", 4, topt.warehouses, topt.zipf_theta, topt.remote_fraction,
+             checked);
     topt.unchecked_remote = true;
     std::printf("unchecked (A10 downgrade):\n");
     const RunOut unchecked = run_tpcc(4, topt, measure, false);
     print_run(unchecked);
+    json_run(json, "a10_unchecked", 4, topt.warehouses, topt.zipf_theta, topt.remote_fraction,
+             unchecked);
     if (checked.remote_checked == 0 || checked.remote_unchecked != 0) {
       std::fprintf(stderr, "FAIL: checked run did not route remote orders via the coordinator\n");
       return 1;
@@ -289,7 +318,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: hotspot shift did not move the per-shard load skew\n");
       return 1;
     }
-    std::printf("\nwindow series (500ms windows):\n%s", r.window_table.c_str());
+    bench::print_window_series("window series (500ms windows)", r.window_table);
+    json_run(json, "hotspot_shift", 4, topt.warehouses, topt.zipf_theta, topt.remote_fraction,
+             r);
     bench::row_sep();
   }
 
@@ -312,16 +343,9 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(a.committed));
   }
 
-  const double wall_ms = std::chrono::duration<double, std::milli>(
-                             std::chrono::steady_clock::now() - t0)
-                             .count();
-  double budget_ms = 240'000;
-  if (const char* b = std::getenv("TORDB_TPCC_BUDGET_MS")) budget_ms = std::atof(b);
-  if (wall_ms > budget_ms) {
-    std::fprintf(stderr, "FAIL: tpcc bench took %.0f ms, over the %.0f ms budget\n", wall_ms,
-                 budget_ms);
+  json.write("BENCH_tpcc.json");
+  if (!bench::check_budget(total.ms(), "TORDB_TPCC_BUDGET_MS", 240'000, "tpcc bench")) {
     return 1;
   }
-  std::printf("wall clock: %.0f ms <= %.0f ms budget OK\n", wall_ms, budget_ms);
   return 0;
 }

@@ -4,11 +4,19 @@
 // paper's §7 evaluation (or a DESIGN.md ablation), plus the paper's
 // reference values where applicable. Set TORDB_BENCH_FAST=1 for a reduced
 // sweep (used in CI smoke runs).
+//
+// Beyond the table furniture, this hoists the bits every bench used to
+// re-implement: percentile cell formatting, the metrics window-series
+// print, the wall-clock budget guard, and a minimal JSON emitter for the
+// machine-readable BENCH_*.json summaries the perf trajectory is tracked
+// with run-over-run.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -28,5 +36,117 @@ inline void row_sep(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// "   11.43 /  12.10 /  14.77" — the mean/p99/p999 latency cell the
+/// per-algorithm comparison tables use.
+inline std::string lat_triple(double mean, double p99, double p999) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%8.2f /%7.2f /%7.2f", mean, p99, p999);
+  return buf;
+}
+
+/// "   3.10ms |    9.84ms" — the p50/p99 pair cell; `width` matches the
+/// caller's column layout.
+inline std::string lat_pair_ms(double p50, double p99, int width = 8) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%*.2fms | %*.2fms", width, p50, width, p99);
+  return buf;
+}
+
+/// Print a MetricsRegistry::window_table() with the standard caption.
+inline void print_window_series(const std::string& caption, const std::string& table) {
+  if (table.empty()) return;
+  std::printf("\n%s:\n%s", caption.c_str(), table.c_str());
+}
+
+/// Wall-clock stopwatch for whole-bench budgets.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// The CI smoke guard: fail loudly when the sweep exceeds its wall budget
+/// (`env_var` overrides `default_ms`). Returns false — and prints the FAIL
+/// line — on overrun; prints the OK line otherwise. The budgets are
+/// deliberately loose: they tolerate sanitizers and slow runners, not an
+/// order-of-magnitude hot-path regression.
+inline bool check_budget(double wall_ms, const char* env_var, double default_ms,
+                         const char* what) {
+  double budget_ms = default_ms;
+  if (const char* b = std::getenv(env_var)) budget_ms = std::atof(b);
+  if (wall_ms > budget_ms) {
+    std::fprintf(stderr, "FAIL: %s took %.0f ms, over the %.0f ms budget\n", what, wall_ms,
+                 budget_ms);
+    return false;
+  }
+  std::printf("%s wall clock: %.0f ms <= %.0f ms budget OK\n", what, wall_ms, budget_ms);
+  return true;
+}
+
+/// Minimal JSON emitter for the BENCH_*.json machine-readable summaries:
+/// an array of flat objects, one per sweep row, written in one shot.
+/// Numbers print with enough precision to round-trip; strings are assumed
+/// printable ASCII (bench labels).
+class JsonRows {
+ public:
+  void begin_row() {
+    rows_.emplace_back();
+    first_field_ = true;
+  }
+  void field(const char* key, double v) {
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    raw(key, buf);
+  }
+  void field(const char* key, std::int64_t v) { raw(key, std::to_string(v)); }
+  void field(const char* key, std::uint64_t v) { raw(key, std::to_string(v)); }
+  void field(const char* key, int v) { raw(key, std::to_string(v)); }
+  void field(const char* key, bool v) { raw(key, v ? "true" : "false"); }
+  void field(const char* key, const std::string& v) { raw(key, "\"" + v + "\""); }
+
+  std::string str() const {
+    std::string out = "[\n";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      out += "  {" + rows_[i] + "}";
+      if (i + 1 < rows_.size()) out += ",";
+      out += "\n";
+    }
+    out += "]\n";
+    return out;
+  }
+
+  /// Write the array to `path`; prints where it went (or a warning).
+  bool write(const std::string& path) const {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    if (f) f << str();
+    if (!f) {
+      std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+      return false;
+    }
+    std::printf("machine-readable summary: %s (%zu rows)\n", path.c_str(), rows_.size());
+    return true;
+  }
+
+ private:
+  void raw(const char* key, const std::string& value) {
+    std::string& row = rows_.back();
+    if (!first_field_) row += ", ";
+    first_field_ = false;
+    row += "\"";
+    row += key;
+    row += "\": ";
+    row += value;
+  }
+
+  std::vector<std::string> rows_;
+  bool first_field_ = true;
+};
 
 }  // namespace tordb::bench

@@ -20,6 +20,7 @@ ClientSession::ClientSession(Simulator& sim, std::vector<ReplicaNode*> replicas,
                              std::int64_t client_id, SessionOptions options)
     : sim_(sim),
       replicas_(std::move(replicas)),
+      home_lane_(sim.current_lane()),
       client_id_(client_id),
       guard_key_(guard_key(client_id)),
       options_(options),
@@ -99,11 +100,26 @@ void ClientSession::issue() {
   fenced.ops.push_back(db::Op{db::OpType::kPut, guard_key_, seq_str_, 0});
   fenced.ops.insert(fenced.ops.end(), current_.update.ops.begin(), current_.update.ops.end());
 
-  node->engine().submit({}, std::move(fenced), client_id_, Semantics::kStrict,
-                        [this, alive = alive_, seq, epoch](const Reply& r) {
-                          if (!*alive) return;
-                          on_reply(seq, epoch, r.aborted, r.fenced);
-                        });
+  // The submit itself runs on the replica's lane (inline in classic mode);
+  // the reply hops back to the session's home lane. If the node dies while
+  // the handoff is in flight, drop it — the retry timer below recovers.
+  sim_.call_in_lane(
+      node->sim_lane(),
+      [this, alive = alive_, node, seq, epoch, fenced = std::move(fenced)]() mutable {
+        if (!*alive) return;
+        if (!node->running() || node->has_left()) return;
+        node->engine().submit(
+            {}, std::move(fenced), client_id_, Semantics::kStrict,
+            [this, alive, seq, epoch](const Reply& r) {
+              if (!*alive) return;
+              const bool aborted = r.aborted;
+              const bool rfenced = r.fenced;
+              sim_.call_in_lane(home_lane_, [this, alive, seq, epoch, aborted, rfenced] {
+                if (!*alive) return;
+                on_reply(seq, epoch, aborted, rfenced);
+              });
+            });
+      });
   sim_.after(options_.retry_timeout, [this, alive = alive_, seq, epoch] {
     if (!*alive) return;
     on_timeout(seq, epoch);
@@ -143,22 +159,47 @@ void ClientSession::resolve_ambiguous_abort(std::int64_t seq, std::uint64_t atte
     finish(false);
     return;
   }
-  node->engine().submit_query(
-      db::Command::get(guard_key_), QueryMode::kStrict,
-      [this, alive = alive_, seq, attempt_epoch](const Reply& r) {
+  // The strict guard read-back may enqueue engine work, so it runs on the
+  // replica's lane; the read value is carried back to the home lane and
+  // compared there (session state must not be read from a worker lane). A
+  // node that died mid-handoff re-dispatches against the next replica.
+  sim_.call_in_lane(node->sim_lane(), [this, alive = alive_, node, seq, attempt_epoch] {
+    if (!*alive) return;
+    if (!node->running() || node->has_left()) {
+      sim_.call_in_lane(home_lane_, [this, alive, seq, attempt_epoch] {
         if (!*alive) return;
         if (!in_flight_ || current_.seq != seq || attempt_epoch != attempt_epoch_) return;
-        if (!r.reads.empty() && r.reads[0] == seq_str_) {
-          // An earlier attempt committed; the retry was the duplicate.
-          ++stats_.duplicates_suppressed;
-          last_committed_guard_ = seq_str_;
-          finish(true);
-        } else {
-          // No attempt committed, so the guard check held everywhere the
-          // command was evaluated — the user's own precondition aborted it.
-          finish(false, /*fenced=*/false, /*check_aborted=*/true);
-        }
+        advance_replica();
+        resolve_ambiguous_abort(seq, attempt_epoch);
       });
+      return;
+    }
+    node->engine().submit_query(
+        db::Command::get(guard_key_), QueryMode::kStrict,
+        [this, alive, seq, attempt_epoch](const Reply& r) {
+          if (!*alive) return;
+          std::string got = r.reads.empty() ? std::string() : r.reads[0];
+          const bool have = !r.reads.empty();
+          sim_.call_in_lane(
+              home_lane_, [this, alive, seq, attempt_epoch, have, got = std::move(got)] {
+                if (!*alive) return;
+                if (!in_flight_ || current_.seq != seq || attempt_epoch != attempt_epoch_) {
+                  return;
+                }
+                if (have && got == seq_str_) {
+                  // An earlier attempt committed; the retry was the duplicate.
+                  ++stats_.duplicates_suppressed;
+                  last_committed_guard_ = seq_str_;
+                  finish(true);
+                } else {
+                  // No attempt committed, so the guard check held everywhere
+                  // the command was evaluated — the user's own precondition
+                  // aborted it.
+                  finish(false, /*fenced=*/false, /*check_aborted=*/true);
+                }
+              });
+        });
+  });
 }
 
 void ClientSession::on_timeout(std::int64_t seq, std::uint64_t attempt_epoch) {

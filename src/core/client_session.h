@@ -114,6 +114,12 @@ class ClientSession {
   Simulator& sim_;
   std::vector<ReplicaNode*> replicas_;
   std::size_t replica_idx_ = 0;
+  /// The lane this session's state machine runs on (captured at
+  /// construction; the control lane in a lane-partitioned cluster). Every
+  /// submit hops to the target replica's lane via Simulator::call_in_lane
+  /// and every reply hops back here — in classic mode both are plain
+  /// inline calls, so the classic schedule is untouched.
+  int home_lane_;
   std::int64_t client_id_;
   /// guard_key(client_id_), built once — every attempt fences with it twice.
   std::string guard_key_;

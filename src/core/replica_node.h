@@ -49,6 +49,9 @@ class ReplicaNode {
   void recover();
 
   NodeId id() const { return id_; }
+  /// The simulator event lane this node lives on (0 unless the owning
+  /// harness partitioned the simulation; see Network::set_lane).
+  int sim_lane() const { return net_.lane(id_); }
   bool running() const { return engine_ != nullptr; }
   bool crashed() const { return crashed_; }
   bool has_left() const { return left_; }

@@ -21,9 +21,19 @@ double bucket_high(int b) {
 }  // namespace
 
 void Histogram::record(std::int64_t v) {
-  ++buckets_[bucket_of(v)];
-  ++count_;
-  sum_ += static_cast<double>(v);
+  buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+void Histogram::snapshot(std::uint64_t out[kBuckets]) const {
+  for (int b = 0; b < kBuckets; ++b) out[b] = buckets_[b].load(std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  std::uint64_t buckets[kBuckets];
+  snapshot(buckets);
+  return quantile_from(buckets, count(), q);
 }
 
 double Histogram::quantile_from(const std::uint64_t* buckets, std::uint64_t total, double q) {
@@ -45,24 +55,28 @@ double Histogram::quantile_from(const std::uint64_t* buckets, std::uint64_t tota
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 void MetricsRegistry::roll(SimTime now) {
+  std::lock_guard<std::mutex> lock(mu_);
   MetricsWindow w;
   w.start = window_start_;
   w.end = now;
@@ -74,12 +88,14 @@ void MetricsRegistry::roll(SimTime now) {
   for (const auto& [name, g] : gauges_) w.gauge_values[name] = g->value();
   for (const auto& [name, h] : histograms_) {
     HistShadow& prev = last_hist_[name];
+    std::uint64_t cur_buckets[Histogram::kBuckets];
+    h->snapshot(cur_buckets);
     std::uint64_t delta_buckets[Histogram::kBuckets];
     std::uint64_t delta_count = 0;
     for (int b = 0; b < Histogram::kBuckets; ++b) {
-      delta_buckets[b] = h->buckets()[b] - prev.buckets[b];
+      delta_buckets[b] = cur_buckets[b] - prev.buckets[b];
       delta_count += delta_buckets[b];
-      prev.buckets[b] = h->buckets()[b];
+      prev.buckets[b] = cur_buckets[b];
     }
     MetricsWindow::HistDelta d;
     d.count = delta_count;
@@ -97,6 +113,7 @@ void MetricsRegistry::roll(SimTime now) {
 }
 
 std::string MetricsRegistry::totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, c] : counters_) out += name + " " + std::to_string(c->value()) + "\n";
   for (const auto& [name, g] : gauges_) out += name + " " + std::to_string(g->value()) + "\n";

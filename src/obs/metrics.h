@@ -15,11 +15,24 @@
 // `roll(now)` closes the current window: each metric's delta since the
 // previous roll is captured into a `MetricsWindow`. Benches print the
 // window list as a time series instead of a single end-of-run number.
+//
+// Thread-safety (lane mode, DESIGN.md §15): metric cells are plain
+// relaxed atomics — engines on different worker lanes increment disjoint
+// logical streams, but they may share a cell name, and nothing here
+// orders anything, so relaxed is exactly right. Histogram sums accumulate
+// in integers so the total is independent of the order lanes interleave
+// (floating-point addition is not associative; integer addition is).
+// Lookup-or-create is mutex-guarded (a replica joining on a worker lane
+// can create metrics mid-run); the returned references stay stable.
+// roll()/totals()/window_table() are read-side and run only from the
+// control lane or between runs.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,24 +42,27 @@ namespace tordb::obs {
 
 class Counter {
  public:
-  void inc(std::uint64_t by = 1) { value_ += by; }
+  void inc(std::uint64_t by = 1) { value_.fetch_add(by, std::memory_order_relaxed); }
   /// Adopt a cumulative total sampled from elsewhere (monotonic).
   void set_total(std::uint64_t total) {
-    if (total > value_) value_ = total;
+    std::uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (total > cur &&
+           !value_.compare_exchange_weak(cur, total, std::memory_order_relaxed)) {
+    }
   }
-  std::uint64_t value() const { return value_; }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
-  std::int64_t value() const { return value_; }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 class Histogram {
@@ -54,21 +70,25 @@ class Histogram {
   static constexpr int kBuckets = 64;
 
   void record(std::int64_t v);
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0; }
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return static_cast<double>(sum_.load(std::memory_order_relaxed)); }
+  double mean() const {
+    const std::uint64_t n = count();
+    return n ? sum() / static_cast<double>(n) : 0;
+  }
   /// Quantile estimate over all recorded values (0 <= q <= 1).
-  double quantile(double q) const { return quantile_from(buckets_, count_, q); }
+  double quantile(double q) const;
 
-  const std::uint64_t* buckets() const { return buckets_; }
+  /// Copy the bucket array out (relaxed loads).
+  void snapshot(std::uint64_t out[kBuckets]) const;
 
   /// Quantile over an explicit bucket array (used for window deltas).
   static double quantile_from(const std::uint64_t* buckets, std::uint64_t total, double q);
 
  private:
-  std::uint64_t buckets_[kBuckets] = {};
-  std::uint64_t count_ = 0;
-  double sum_ = 0;
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};  ///< integer: order-independent total
 };
 
 /// One closed virtual-time window: metric deltas between two rolls.
@@ -113,6 +133,7 @@ class MetricsRegistry {
     double sum = 0;
   };
 
+  mutable std::mutex mu_;  ///< guards map structure, not metric cells
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -64,14 +65,45 @@ std::uint64_t fingerprint(const std::uint8_t* data, std::size_t size) {
 TraceBus::TraceBus(Simulator& sim, TraceBusOptions options)
     : sim_(sim), options_(options) {
   ring_.reserve(options_.ring_capacity);
+  if (sim_.lanes_enabled()) {
+    lane_buf_.resize(static_cast<std::size_t>(sim_.lane_count()));
+    sim_.set_barrier_hook([this] { flush_lanes(); });
+    hook_installed_ = true;
+  }
 }
 
 TraceBus::~TraceBus() {
+  flush_lanes();
+  if (hook_installed_) sim_.set_barrier_hook({});
   if (log_capture_installed_) Log::sink() = nullptr;
 }
 
 void TraceBus::emit(TraceEvent e) {
   e.time = sim_.now();
+  if (!lane_buf_.empty() && sim_.running()) {
+    // Defer to the barrier; per-lane buffers make this thread-safe without
+    // any locking (each lane only ever appends to its own buffer).
+    lane_buf_[static_cast<std::size_t>(sim_.current_lane())].push_back(e);
+    return;
+  }
+  dispatch(e);
+}
+
+void TraceBus::flush_lanes() {
+  flush_buf_.clear();
+  for (auto& buf : lane_buf_) {
+    flush_buf_.insert(flush_buf_.end(), buf.begin(), buf.end());
+    buf.clear();
+  }
+  // Stable sort on time alone: the lane-order append above breaks ties by
+  // lane, and per-lane emission order is already chronological — the same
+  // total order every run, whatever the worker count.
+  std::stable_sort(flush_buf_.begin(), flush_buf_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.time < b.time; });
+  for (const TraceEvent& e : flush_buf_) dispatch(e);
+}
+
+void TraceBus::dispatch(const TraceEvent& e) {
   ++emitted_;
   if (options_.ring_capacity > 0) {
     if (ring_.size() < options_.ring_capacity) {
@@ -105,11 +137,17 @@ void TraceBus::capture_logs() {
   if (log_capture_installed_) return;
   log_capture_installed_ = true;
   Log::sink() = [this](LogLevel lvl, const std::string& tag, const std::string& msg) {
-    const std::int64_t idx = next_string_++;
-    const std::size_t slot =
-        static_cast<std::size_t>(idx) % std::max<std::size_t>(options_.string_ring_capacity, 1);
-    if (strings_.size() <= slot) strings_.resize(slot + 1);
-    strings_[slot] = tag + ": " + msg;
+    std::int64_t idx;
+    {
+      // Worker-lane components log too; the string ring is the one piece
+      // of bus state written at emit time rather than at the barrier.
+      std::lock_guard<std::mutex> lock(log_mu_);
+      idx = next_string_++;
+      const std::size_t slot =
+          static_cast<std::size_t>(idx) % std::max<std::size_t>(options_.string_ring_capacity, 1);
+      if (strings_.size() <= slot) strings_.resize(slot + 1);
+      strings_[slot] = tag + ": " + msg;
+    }
     TraceEvent e;
     e.node = kNoNode;
     e.kind = EventKind::kLogLine;

@@ -18,11 +18,20 @@
 // format (load the file in chrome://tracing or ui.perfetto.dev); the
 // Chrome export pairs ExchangeStart/PrimaryInstall into duration slices so
 // view changes show up as spans per node.
+//
+// Lane mode (DESIGN.md §15): when the simulator runs partitioned into
+// event lanes, emits from a running lane are buffered per lane and flushed
+// at each window barrier, merged by (virtual time, lane) — so the stream
+// subscribers and the ring observe is deterministic regardless of worker
+// thread count, and no two threads ever touch the ring concurrently. The
+// bus must be constructed *after* Simulator::enable_lanes(). Emits while
+// the simulator is parked (setup/teardown) dispatch inline as before.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -138,6 +147,12 @@ class TraceBus {
   bool write_file(const std::string& path, const std::string& contents) const;
 
  private:
+  /// Ring insert + subscriber fan-out (single-threaded: inline when the
+  /// simulator is parked or classic, barrier flush otherwise).
+  void dispatch(const TraceEvent& e);
+  /// Merge per-lane buffers by (time, lane) and dispatch; barrier hook.
+  void flush_lanes();
+
   Simulator& sim_;
   TraceBusOptions options_;
   std::vector<TraceEvent> ring_;  ///< circular once full
@@ -145,9 +160,15 @@ class TraceBus {
   bool ring_wrapped_ = false;
   std::uint64_t emitted_ = 0;
   std::vector<std::function<void(const TraceEvent&)>> subscribers_;
+  std::mutex log_mu_;  ///< guards strings_/next_string_ (worker-lane logs)
   std::vector<std::string> strings_;
   std::int64_t next_string_ = 0;
   bool log_capture_installed_ = false;
+  /// Per-lane pending events (lane mode only; empty otherwise). Each lane
+  /// appends only its own buffer; flushed under the window barrier.
+  std::vector<std::vector<TraceEvent>> lane_buf_;
+  std::vector<TraceEvent> flush_buf_;  ///< merge scratch
+  bool hook_installed_ = false;
 };
 
 /// The per-node emission handle. Default-constructed tracers are

@@ -38,6 +38,9 @@ core::ClientSession& Router::session(std::int64_t client, int shard) {
   if (!slot) {
     // One engine-level session per (client, shard): the guard key is scoped
     // to the session's group, and sequence numbers stay dense per shard.
+    // In a lane-partitioned simulation (DESIGN.md §15) this is the router's
+    // cross-lane handoff point: the session lives on the router's (control)
+    // lane and hops each submit to the target replica's lane itself.
     const std::int64_t session_id = client * directory_->shards() + shard;
     slot = std::make_unique<core::ClientSession>(sim_, replicas_[shard], session_id,
                                                  options_.session);
@@ -67,6 +70,9 @@ void Router::release_cross() {
 }
 
 std::int64_t Router::green_watermark(int shard) const {
+  // Read-only engine access: safe from the control lane in lane mode (the
+  // control phase runs exclusively, over worker state frozen at the window
+  // end), so the watermark needs no handoff.
   std::int64_t best = 0;
   for (const core::ReplicaNode* node : replicas_.at(shard)) {
     if (node->running() && node->engine().green_count() > best) {

@@ -9,7 +9,58 @@
 
 namespace tordb {
 
-Network::Network(Simulator& sim, NetworkParams params) : sim_(sim), params_(params) {}
+Network::Network(Simulator& sim, NetworkParams params) : sim_(sim), params_(params) {
+  // One shard of everything lane-partitioned until set_lane() is called.
+  reach_cache_.resize(1);
+  stats_lanes_.resize(1);
+}
+
+NetworkStats& Network::lstats() const {
+  if (!lanes_) return stats_lanes_[0];
+  return stats_lanes_[static_cast<std::size_t>(sim_.current_lane())];
+}
+
+const NetworkStats& Network::stats() const {
+  if (stats_lanes_.size() == 1) return stats_lanes_[0];
+  NetworkStats agg;
+  for (const NetworkStats& s : stats_lanes_) {
+    agg.messages_sent += s.messages_sent;
+    agg.messages_delivered += s.messages_delivered;
+    agg.messages_dropped += s.messages_dropped;
+    agg.bytes_sent += s.bytes_sent;
+    agg.payload_bytes_copied += s.payload_bytes_copied;
+    agg.reachable_cache_hits += s.reachable_cache_hits;
+    agg.reachable_cache_misses += s.reachable_cache_misses;
+  }
+  stats_agg_ = agg;
+  return stats_agg_;
+}
+
+void Network::ensure_lane_mode() {
+  if (lanes_) return;
+  if (!sim_.lanes_enabled()) throw std::logic_error("lane assignment requires simulator lanes");
+  if (params_.wan_per_byte > 0) {
+    // The WAN egress horizon is shared per site, not per lane.
+    throw std::logic_error("wan_per_byte is not supported in lane mode");
+  }
+  lanes_ = true;
+  reach_cache_.resize(static_cast<std::size_t>(sim_.lane_count()));
+  stats_lanes_.resize(static_cast<std::size_t>(sim_.lane_count()));
+}
+
+void Network::set_lane(NodeId id, int lane) {
+  ensure_lane_mode();
+  if (lane < 0 || lane >= sim_.lane_count()) throw std::invalid_argument("bad lane");
+  state(id).lane = lane;
+}
+
+int Network::lane(NodeId id) const { return state(id).lane; }
+
+void Network::check_same_lane(const NodeState& src, const NodeState& dst) const {
+  if (lanes_ && src.lane != dst.lane) {
+    throw std::logic_error("network: traffic between nodes of different lanes");
+  }
+}
 
 std::size_t Network::idx(NodeId id) const {
   if (id < 0 || static_cast<std::size_t>(id) >= dense_.size() || dense_[id] < 0) {
@@ -30,6 +81,12 @@ void Network::add_node(NodeId id) {
   dense_[id] = static_cast<std::int32_t>(old_n);
   states_.emplace_back();
   states_.back().id = id;
+  if (sim_.lanes_enabled()) {
+    // A node belongs to the lane it is constructed in (the harness wraps
+    // each shard's construction in a Simulator::LaneScope).
+    ensure_lane_mode();
+    states_.back().lane = sim_.current_lane();
+  }
   ids_sorted_.insert(std::lower_bound(ids_sorted_.begin(), ids_sorted_.end(), id), id);
   // Grow the flat link-horizon matrix from old_n^2 to n^2, preserving
   // existing horizons (indices are stable; only the row stride changes).
@@ -39,7 +96,7 @@ void Network::add_node(NodeId id) {
     for (std::size_t t = 0; t < old_n; ++t) grown[f * n + t] = link_horizon_[f * old_n + t];
   }
   link_horizon_ = std::move(grown);
-  reach_cache_.clear();
+  for (auto& cache : reach_cache_) cache.clear();
 }
 
 void Network::set_packet_handler(NodeId id, PacketHandler handler, Channel channel) {
@@ -112,12 +169,13 @@ std::vector<NodeId> Network::reachable_set(NodeId id) const {
   const std::uint64_t key =
       (static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.component)) << 32) |
       static_cast<std::uint32_t>(s.group);
-  auto it = reach_cache_.find(key);
-  if (it != reach_cache_.end()) {
-    ++stats_.reachable_cache_hits;
+  auto& cache = reach_cache_[lanes_ ? static_cast<std::size_t>(s.lane) : 0];
+  auto it = cache.find(key);
+  if (it != cache.end()) {
+    ++lstats().reachable_cache_hits;
     return it->second;
   }
-  ++stats_.reachable_cache_misses;
+  ++lstats().reachable_cache_misses;
   std::vector<NodeId> out;
   for (NodeId nid : ids_sorted_) {
     const NodeState& ns = states_[static_cast<std::size_t>(dense_[nid])];
@@ -125,7 +183,7 @@ std::vector<NodeId> Network::reachable_set(NodeId id) const {
       out.push_back(nid);
     }
   }
-  reach_cache_.emplace(key, out);
+  cache.emplace(key, out);
   return out;
 }
 
@@ -139,7 +197,7 @@ void Network::charge(NodeId id, SimDuration d) {
 SimTime Network::busy_until(NodeId id) const { return state(id).busy_until; }
 
 void Network::send(NodeId from, NodeId to, const Bytes& payload, Channel channel) {
-  stats_.payload_bytes_copied += payload.size();
+  lstats().payload_bytes_copied += payload.size();
   send(from, to, Bytes(payload), channel);
 }
 
@@ -147,13 +205,15 @@ void Network::send(NodeId from, NodeId to, Bytes&& payload, Channel channel) {
   const std::size_t fi = idx(from);
   const std::size_t ti = idx(to);
   NodeState& src = states_[fi];
+  check_same_lane(src, states_[ti]);
   if (!src.up) return;
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
+  NetworkStats& st = lstats();
+  ++st.messages_sent;
+  st.bytes_sent += payload.size();
   charge(from, params_.send_per_message);
 
   if (!connected_idx(fi, ti)) {
-    ++stats_.messages_dropped;
+    ++st.messages_dropped;
     return;
   }
 
@@ -182,7 +242,7 @@ void Network::send(NodeId from, NodeId to, Bytes&& payload, Channel channel) {
 
 void Network::multicast(NodeId from, const std::vector<NodeId>& to, const Bytes& payload,
                         Channel channel) {
-  stats_.payload_bytes_copied += payload.size();
+  lstats().payload_bytes_copied += payload.size();
   multicast(from, to, Bytes(payload), channel);
 }
 
@@ -194,8 +254,9 @@ void Network::multicast(NodeId from, const std::vector<NodeId>& to, Bytes&& payl
   NodeState& src = states_[fi];
   if (!src.up) return;
   charge(from, params_.send_per_message);
-  ++stats_.messages_sent;
-  stats_.bytes_sent += payload.size();
+  NetworkStats& st = lstats();
+  ++st.messages_sent;
+  st.bytes_sent += payload.size();
 
   // One refcounted buffer shared by every recipient's delivery event.
   auto p = std::make_shared<const Bytes>(std::move(payload));
@@ -213,8 +274,9 @@ void Network::multicast(NodeId from, const std::vector<NodeId>& to, Bytes&& payl
 
   for (NodeId t : to) {
     const std::size_t ti = idx(t);
+    check_same_lane(src, states_[ti]);
     if (!connected_idx(fi, ti)) {
-      ++stats_.messages_dropped;
+      ++st.messages_dropped;
       continue;
     }
     SimDuration latency = 0;
@@ -247,7 +309,7 @@ void Network::deliver(NodeId from, NodeId to, std::uint64_t to_epoch, Channel ch
   // Drop if the receiver crashed (epoch bumped), or the partition map
   // changed while the packet was in flight.
   if (!dst.up || dst.epoch != to_epoch || !connected_idx(fi, ti)) {
-    ++stats_.messages_dropped;
+    ++lstats().messages_dropped;
     return;
   }
   // Serialize receipt on the destination CPU.
@@ -262,10 +324,10 @@ void Network::deliver(NodeId from, NodeId to, std::uint64_t to_epoch, Channel ch
   auto ev = [this, to_epoch, p = std::move(payload), from, fi = fi32, ti = ti32, channel] {
     NodeState& d = states_[ti];
     if (!d.up || d.epoch != to_epoch || !connected_idx(fi, ti)) {
-      ++stats_.messages_dropped;
+      ++lstats().messages_dropped;
       return;
     }
-    ++stats_.messages_delivered;
+    ++lstats().messages_delivered;
     if (SharedPacketHandler& shared = d.on_packet_shared[static_cast<int>(channel)]) {
       shared(from, p);
       return;
@@ -339,7 +401,21 @@ void Network::recover(NodeId id) {
 }
 
 void Network::topology_changed() {
-  reach_cache_.clear();
+  // A membership change made from a running worker lane (a node joining or
+  // leaving its group) can only affect that lane: groups never span lanes,
+  // so other lanes' reachable sets — and their caches — are untouched.
+  // Everything else (harness crash/partition calls between runs, or from
+  // the exclusive control phase) takes the global path.
+  if (lanes_ && sim_.running() && sim_.current_lane() != sim_.control_lane()) {
+    const int lane = sim_.current_lane();
+    reach_cache_[static_cast<std::size_t>(lane)].clear();
+    for (NodeId id : ids_sorted_) {
+      const NodeState& st = states_[static_cast<std::size_t>(dense_[id])];
+      if (st.up && st.lane == lane) schedule_notify(id);
+    }
+    return;
+  }
+  for (auto& cache : reach_cache_) cache.clear();
   for (NodeId id : ids_sorted_) {
     if (states_[static_cast<std::size_t>(dense_[id])].up) schedule_notify(id);
   }
@@ -350,7 +426,10 @@ void Network::schedule_notify(NodeId id) {
   if (s.notify_pending) return;
   s.notify_pending = true;
   const std::uint64_t epoch = s.epoch;
-  sim_.after(params_.detect_delay, [this, id, epoch] {
+  // post() == after() when lanes are off; in lane mode the notification
+  // must fire on the node's own lane (detect_delay >= the handoff latency,
+  // validated by the lane-mode harness).
+  sim_.post(s.lane, params_.detect_delay, [this, id, epoch] {
     NodeState& st = state(id);
     st.notify_pending = false;
     if (!st.up || st.epoch != epoch) return;

@@ -24,6 +24,18 @@
 // refcounted payload buffer — receivers treat payloads as read-only, so a
 // group-wide multicast performs zero per-target deep copies. reachable_set()
 // is cached per (component, group) and invalidated on topology changes.
+//
+// Event lanes (DESIGN.md §15): when the owning Simulator runs in lane mode,
+// every node is assigned to a lane via set_lane() and all wire traffic must
+// stay within one lane (groups scope reachability, so per-shard groups
+// never exchange messages — enforced here). Mutable network state is
+// partitioned accordingly: stats and the reachability cache are per-lane
+// (stats() folds the lanes on read), link horizons and NodeState are only
+// ever touched by the owning node's lane, and reachability notifications
+// are posted to the affected node's lane. Latency jitter draws from the
+// simulator's per-lane RNG stream. The WAN egress model shares one
+// serialization horizon per site and is not lane-partitioned: wan_per_byte
+// must stay 0 in lane mode (set_lane enforces it).
 #pragma once
 
 #include <cstdint>
@@ -131,6 +143,15 @@ class Network {
   void set_group(NodeId id, int group);
   int group(NodeId id) const;
 
+  /// Assign `id` to a simulator event lane (lane mode only; see the header
+  /// comment). Normally implicit: when the simulator runs in lane mode,
+  /// add_node() stamps the lane that is current at registration time (the
+  /// harness wraps each shard's construction in a Simulator::LaneScope) —
+  /// this is the explicit override. All of a replication group's members
+  /// must share one lane; traffic between nodes of different lanes throws.
+  void set_lane(NodeId id, int lane);
+  int lane(NodeId id) const;
+
   /// Send `payload` from `from` to `to`. Silently dropped when the sender is
   /// crashed or the two nodes are (or become) disconnected. The lvalue
   /// overload deep-copies the payload once (counted in
@@ -171,7 +192,9 @@ class Network {
   /// Busy-time horizon (for tests).
   SimTime busy_until(NodeId id) const;
 
-  const NetworkStats& stats() const { return stats_; }
+  /// Aggregated over lanes (a single lane when lanes are off, so this is
+  /// exactly the classic counter set).
+  const NetworkStats& stats() const;
   NetworkParams& params() { return params_; }
   Simulator& sim() { return sim_; }
   std::vector<NodeId> node_ids() const;
@@ -184,6 +207,7 @@ class Network {
     int component = 0;
     int site = 0;
     int group = 0;  ///< replication group; scopes reachability only
+    int lane = 0;   ///< simulator event lane (lane mode only)
     std::uint64_t epoch = 0;  ///< bumped on crash; stale deliveries dropped
     SimTime busy_until = 0;
     bool notify_pending = false;
@@ -202,6 +226,12 @@ class Network {
 
   void topology_changed();
   void schedule_notify(NodeId id);
+  /// First lane assignment: validate params and size the per-lane shards.
+  void ensure_lane_mode();
+  /// The stats shard for the calling lane (index 0 when lanes are off).
+  NetworkStats& lstats() const;
+  /// Throws when a send would cross lanes in lane mode.
+  void check_same_lane(const NodeState& src, const NodeState& dst) const;
   void deliver(NodeId from, NodeId to, std::uint64_t to_epoch, Channel channel,
                std::shared_ptr<const Bytes> payload);
   /// Occupy `site`'s egress for one cross-site copy of `bytes`; returns the
@@ -215,10 +245,16 @@ class Network {
   std::vector<NodeId> ids_sorted_;       ///< all node ids, ascending
   std::vector<SimTime> link_horizon_;    ///< FIFO per link, [from_idx * n + to_idx]
   std::vector<SimTime> site_egress_busy_;  ///< WAN serialization per site
-  /// reachable_set() memo per (component, group); cleared whenever topology
-  /// or membership changes.
-  mutable std::unordered_map<std::uint64_t, std::vector<NodeId>> reach_cache_;
-  mutable NetworkStats stats_;  ///< mutable: const reachable_set counts cache hits
+  bool lanes_ = false;  ///< set by the first set_lane(); gates lane checks
+  /// reachable_set() memo per (component, group), sharded by lane so worker
+  /// lanes never touch one another's maps (entries are group-scoped and
+  /// groups never span lanes, so a lane's cache is never invalidated by
+  /// another lane's membership changes). One shard when lanes are off.
+  mutable std::vector<std::unordered_map<std::uint64_t, std::vector<NodeId>>> reach_cache_;
+  /// Per-lane counters (one shard when lanes are off); mutable: const
+  /// reachable_set counts cache hits.
+  mutable std::vector<NetworkStats> stats_lanes_;
+  mutable NetworkStats stats_agg_;  ///< scratch for stats() folding
 };
 
 }  // namespace tordb

@@ -92,6 +92,9 @@ core::ClientSession& TxnCoordinator::session(std::int64_t session_id, int shard)
   auto& slot = sessions_[(static_cast<std::uint64_t>(session_id) << 16) |
                          static_cast<std::uint64_t>(shard & 0xffff)];
   if (!slot) {
+    // The coordinator's cross-lane handoff point in a lane-partitioned
+    // simulation (DESIGN.md §15): sessions live on the control lane and hop
+    // each prepare/confirm/cancel submit to the target shard's lane.
     slot = std::make_unique<core::ClientSession>(sim_, replicas_.at(static_cast<std::size_t>(shard)),
                                                  session_id, options_.session);
   }
@@ -592,6 +595,9 @@ void TxnCoordinator::read_snapshot_shard(std::int64_t token, std::size_t slot) {
     });
     return;
   }
+  // kWeak is a synchronous pure read (no engine mutation), so in lane mode
+  // it may run inline from the control phase against worker state frozen at
+  // the window end — the snapshot semantics are unchanged.
   pick->engine().submit_query(
       s.slices[slot], core::QueryMode::kWeak,
       [this, alive = alive_, token, slot](const core::Reply& r) {

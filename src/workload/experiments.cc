@@ -1,5 +1,6 @@
 #include "workload/experiments.h"
 
+#include <algorithm>
 #include <charconv>
 #include <chrono>
 #include <functional>
@@ -620,43 +621,66 @@ ShardingPoint measure_sharding(int shards, int replicas_per_shard, int clients,
 }
 
 SimScalePoint measure_sim_scale(int shards, int replicas_per_shard, int clients,
-                                SimDuration warmup, SimDuration measure, std::uint64_t seed) {
+                                SimDuration warmup, SimDuration measure, std::uint64_t seed,
+                                int sim_threads) {
   SimScalePoint p;
   p.shards = shards;
   p.replicas_per_shard = replicas_per_shard;
   p.total_replicas = shards * replicas_per_shard;
   p.clients = clients;
+  p.sim_threads = shards > 1 ? sim_threads : 0;
 
   const auto wall_start = std::chrono::steady_clock::now();
-  Simulator* sim = nullptr;
-  const NetworkStats* net_stats = nullptr;
   std::int64_t green_start = 0, green_end = 0;
   std::uint64_t completed = 0;
+  double sim_seconds = 0;
+
+  // Everything read from the deployment is captured before it leaves
+  // scope (NetworkStats in particular aggregates lazily in lane mode).
+  auto capture = [&p](Simulator& sim, const NetworkStats& ns) {
+    p.peak_queue_depth = sim.peak_queue_depth();
+    p.events = sim.executed_events();
+    p.messages = ns.messages_sent;
+    p.payload_bytes_copied = ns.payload_bytes_copied;
+    p.reachable_cache_hits = ns.reachable_cache_hits;
+    p.reachable_cache_misses = ns.reachable_cache_misses;
+    if (sim.lanes_enabled()) {
+      p.lane_windows = sim.windows_run();
+      p.lane_handoffs = sim.handoffs_posted();
+    }
+  };
 
   if (shards == 1) {
     // Single engine group: the pure EVS data path (one sequencer, group-wide
     // multicasts, coalesced acks) with no router in front.
     EngineDeployment dep(replicas_per_shard, seed, /*delayed=*/false);
-    sim = &dep.cluster->sim();
-    net_stats = &dep.cluster->net().stats();
+    Simulator* sim = &dep.cluster->sim();
     ClosedLoopDriver driver(*sim, sim->now() + warmup, sim->now() + warmup + measure);
     for (int c = 0; c < clients; ++c) driver.add_client(dep.client(c));
     sim->after(warmup, [&] { green_start = max_green(*dep.cluster); });
     sim->after(warmup + measure, [&] { green_end = max_green(*dep.cluster); });
     dep.cluster->run_for(warmup + measure + millis(200));
     completed = driver.completed_in_window();
-    p.peak_queue_depth = sim->peak_queue_depth();
-    p.events = sim->executed_events();
+    capture(*sim, dep.cluster->net().stats());
+    sim_seconds = to_seconds(sim->now());
     p.wall_ms = wall_ms_since(wall_start);
   } else {
     ShardedClusterOptions o;
     o.shards = shards;
     o.replicas_per_shard = replicas_per_shard;
     o.seed = seed;
+    // 0 = classic loop; >= 1 = lane mode (sim_lanes makes 1 worker still run
+    // the lane scheduler — the baseline the thread sweep compares against).
+    o.sim_lanes = sim_threads >= 1;
+    o.sim_threads = std::max(1, sim_threads);
+    // Maximum lookahead: windows as wide as the failure-detection delay,
+    // the upper bound the cluster accepts. Wider windows amortize the
+    // per-window pool rendezvous over more parallel work.
+    o.sim_handoff = o.net.detect_delay;
+    o.sim_env = false;  // this sweep pins its own thread counts
     ShardedCluster cluster(o);
     cluster.run_for(seconds(2));  // every shard forms its primary component
-    sim = &cluster.sim();
-    net_stats = &cluster.net().stats();
+    Simulator* sim = &cluster.sim();
     ClosedLoopDriver driver(*sim, sim->now() + warmup, sim->now() + warmup + measure);
     // Key pool built once per shard — the drivers copy from it instead of
     // re-concatenating "key-<home>-<n>" per request. Bytes are identical,
@@ -693,20 +717,15 @@ SimScalePoint measure_sim_scale(int shards, int replicas_per_shard, int clients,
     });
     cluster.run_for(warmup + measure + millis(200));
     completed = driver.completed_in_window();
-    p.peak_queue_depth = sim->peak_queue_depth();
-    p.events = sim->executed_events();
+    capture(*sim, cluster.net().stats());
+    sim_seconds = to_seconds(sim->now());
     p.wall_ms = wall_ms_since(wall_start);
   }
 
   p.completed = completed;
   p.green_per_second = static_cast<double>(green_end - green_start) / to_seconds(measure);
-  p.messages = net_stats->messages_sent;
-  p.payload_bytes_copied = net_stats->payload_bytes_copied;
-  p.reachable_cache_hits = net_stats->reachable_cache_hits;
-  p.reachable_cache_misses = net_stats->reachable_cache_misses;
   p.events_per_wall_second =
       p.wall_ms > 0 ? static_cast<double>(p.events) / (p.wall_ms / 1e3) : 0;
-  const double sim_seconds = to_seconds(sim->now());
   p.wall_ms_per_sim_second = sim_seconds > 0 ? p.wall_ms / sim_seconds : 0;
   return p;
 }

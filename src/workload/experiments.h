@@ -192,6 +192,7 @@ struct SimScalePoint {
   int replicas_per_shard = 0;
   int total_replicas = 0;
   int clients = 0;
+  int sim_threads = 0;  ///< lane-mode worker threads; 0 = classic event loop
   double green_per_second = 0;  ///< aggregate engine green actions/s (sim time)
   std::uint64_t completed = 0;  ///< client-visible commits in the window
   // Cost of the simulation itself, the subject of bench_sim_scale:
@@ -205,6 +206,10 @@ struct SimScalePoint {
   std::uint64_t payload_bytes_copied = 0;
   std::uint64_t reachable_cache_hits = 0;
   std::uint64_t reachable_cache_misses = 0;
+  // Lane-mode health (0 in classic mode): conservative windows run and
+  // cross-lane handoffs committed over the whole run.
+  std::uint64_t lane_windows = 0;
+  std::uint64_t lane_handoffs = 0;
 };
 
 /// Simulator-scale probe: drives a closed-loop put workload over either one
@@ -215,9 +220,16 @@ struct SimScalePoint {
 /// harness-profiling companion to measure_sharding: identical seeds produce
 /// identical virtual-time results, so wall-clock deltas between builds
 /// measure only the simulator hot path.
+/// `sim_threads` = 0 (default) runs the classic single-threaded event loop.
+/// >= 1 runs the sharded configurations in lane mode on that many worker
+/// threads (ignored for shards == 1, which stays the classic single-group
+/// run). Lane mode's simulated results differ from classic by design
+/// (explicit cross-lane handoff latency) but are bit-identical across
+/// thread counts, so wall-clock deltas between lane rows of the same
+/// configuration measure only the worker pool.
 SimScalePoint measure_sim_scale(int shards, int replicas_per_shard, int clients,
                                 SimDuration warmup, SimDuration measure,
-                                std::uint64_t seed = 1);
+                                std::uint64_t seed = 1, int sim_threads = 0);
 
 /// Ablation A5: availability of the two quorum systems under a cascading
 /// partition schedule (the network repeatedly shrinks the surviving

@@ -1,6 +1,8 @@
 #include "workload/sharded_cluster.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -18,6 +20,29 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
     throw std::invalid_argument("range_splits must have shards - 1 entries");
   }
   options_.session.retry_when_unavailable = true;  // cross-shard all-or-nothing
+
+  // Event lanes (DESIGN.md §15): resolve the knobs, then partition the
+  // simulator BEFORE anything is scheduled and before the trace bus exists
+  // (the bus sizes its per-lane buffers and installs the barrier hook at
+  // construction).
+  int threads = options_.sim_threads;
+  bool lanes = options_.sim_lanes;
+  if (options_.sim_env) {
+    if (const char* v = std::getenv("TORDB_SIM_THREADS")) threads = std::max(1, std::atoi(v));
+    if (const char* v = std::getenv("TORDB_SIM_LANES")) lanes = lanes || std::strcmp(v, "0") != 0;
+  }
+  if (threads < 1) throw std::invalid_argument("sim_threads must be >= 1");
+  lanes = lanes || threads > 1;
+  if (lanes) {
+    const SimDuration handoff =
+        options_.sim_handoff > 0 ? options_.sim_handoff : options_.net.base_latency;
+    if (handoff > options_.net.detect_delay) {
+      // Reachability notifications are posted cross-lane with detect_delay;
+      // the conservative windows require every cross-lane delay >= handoff.
+      throw std::invalid_argument("lane handoff latency must be <= net.detect_delay");
+    }
+    sim_.enable_lanes(options_.shards + 1, threads, handoff);
+  }
 
   const bool check = options_.obs.check || obs::check_forced();
   if (options_.obs.trace || check) {
@@ -45,6 +70,12 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
   // already sees the final assignment.
   for (int s = 0; s < options_.shards; ++s) {
     const std::vector<NodeId> members = shard_ids(s);
+    // In lane mode, construct shard s inside lane s: Network::add_node
+    // stamps the current lane, and every event the nodes schedule during
+    // construction (engine start, initial reachability notify) lands in
+    // their own lane's heap. Lane `shards` is the control lane.
+    std::optional<Simulator::LaneScope> scope;
+    if (lanes) scope.emplace(sim_, s);
     for (int i = 0; i < options_.replicas_per_shard; ++i) {
       const NodeId id = node_id(s, i);
       if (checker_) checker_->set_node_group(id, s);
@@ -89,6 +120,25 @@ ShardedCluster::ShardedCluster(ShardedClusterOptions options)
                                                     std::move(bopts));
 
   if (metrics_) schedule_metrics_roll();
+}
+
+void ShardedCluster::in_node_lane(int shard, int idx, void (*fn)(core::ReplicaNode&)) {
+  core::ReplicaNode& n = node(shard, idx);
+  if (!sim_.lanes_enabled()) {
+    fn(n);
+    return;
+  }
+  if (sim_.running()) {
+    // Mid-run (a churn schedule driven from the control lane): defer by the
+    // handoff latency so the mutation lands at the start of a future
+    // window on the node's own lane.
+    sim_.call_in_lane(n.sim_lane(), [fn, &n] { fn(n); });
+    return;
+  }
+  // Parked: run inline, but scope any events the call schedules (engine
+  // restart timers, reachability notifies) to the node's lane.
+  Simulator::LaneScope scope(sim_, n.sim_lane());
+  fn(n);
 }
 
 void ShardedCluster::make_txn_coordinator(int halt_at_stage) {
@@ -318,6 +368,30 @@ void ShardedCluster::sample_metrics() {
   metrics_->counter("sim.events_executed").set_total(sim_.executed_events());
   metrics_->gauge("sim.queue_depth").set(static_cast<std::int64_t>(sim_.queue_depth()));
   metrics_->gauge("sim.peak_queue_depth").set(static_cast<std::int64_t>(sim_.peak_queue_depth()));
+  if (sim_.lanes_enabled()) {
+    // Lane health (DESIGN.md §15): window count and handoff volume tell how
+    // often the lanes synchronize; the per-lane event spread and the clock
+    // skew inside the current window tell whether the load is balanced
+    // enough for the worker pool to help (see docs/OPERATIONS.md).
+    metrics_->gauge("sim.lanes.count").set(sim_.lane_count());
+    metrics_->gauge("sim.lanes.threads").set(sim_.worker_threads());
+    metrics_->counter("sim.lanes.windows").set_total(sim_.windows_run());
+    metrics_->counter("sim.lanes.handoffs").set_total(sim_.handoffs_posted());
+    std::uint64_t ev_min = ~0ull, ev_max = 0;
+    SimTime now_min = 0, now_max = 0;
+    std::size_t depth_max = 0;
+    for (int l = 0; l < sim_.lane_count() - 1; ++l) {  // worker lanes only
+      ev_min = std::min<std::uint64_t>(ev_min, sim_.lane_executed(l));
+      ev_max = std::max<std::uint64_t>(ev_max, sim_.lane_executed(l));
+      now_min = l == 0 ? sim_.lane_now(l) : std::min(now_min, sim_.lane_now(l));
+      now_max = std::max(now_max, sim_.lane_now(l));
+      depth_max = std::max(depth_max, sim_.lane_queue_depth(l));
+    }
+    metrics_->gauge("sim.lanes.events.min").set(static_cast<std::int64_t>(ev_min));
+    metrics_->gauge("sim.lanes.events.max").set(static_cast<std::int64_t>(ev_max));
+    metrics_->gauge("sim.lanes.skew_ns").set(now_max - now_min);
+    metrics_->gauge("sim.lanes.queue_depth.max").set(static_cast<std::int64_t>(depth_max));
+  }
   metrics_->counter("router.committed").set_total(router_->stats().committed);
   metrics_->counter("router.aborted").set_total(router_->stats().aborted);
   metrics_->counter("router.aborted_checks").set_total(router_->stats().aborted_checks);

@@ -53,6 +53,26 @@ struct ShardedClusterOptions {
   /// (txn::TxnOptions::halt_at_stage); 0 in every production configuration.
   int txn_halt_at_stage = 0;
   ObsOptions obs;
+
+  // --- parallel simulation (event lanes, DESIGN.md §15) ----------------------
+  /// Worker threads executing shard lanes. 1 = the classic single-threaded
+  /// event loop, bit-identical to every previous release (the sim_digest
+  /// goldens). >= 2 partitions the simulator into one event lane per shard
+  /// plus a control lane; the merged schedule is bit-identical for ANY
+  /// thread count >= the switch to lane mode, but lane mode itself is a
+  /// (deterministic) model refinement: cross-tier calls pay an explicit
+  /// handoff latency instead of being instantaneous.
+  int sim_threads = 1;
+  /// Force lane mode even with sim_threads == 1 — the single-threaded
+  /// baseline the parallel equivalence tests compare against.
+  bool sim_lanes = false;
+  /// Cross-lane handoff latency (the conservative-window lookahead).
+  /// 0 = net.base_latency. Must be <= net.detect_delay.
+  SimDuration sim_handoff = 0;
+  /// Honor TORDB_SIM_THREADS / TORDB_SIM_LANES from the environment
+  /// (overriding the two knobs above). Golden-pinned tests set this false
+  /// so a CI-wide TORDB_SIM_THREADS cannot change their schedules.
+  bool sim_env = true;
 };
 
 class ShardedCluster {
@@ -73,6 +93,18 @@ class ShardedCluster {
   std::int64_t directory_epoch() const { return router_->directory().epoch(); }
   int shards() const { return options_.shards; }
   int replicas_per_shard() const { return options_.replicas_per_shard; }
+  /// True when the simulator runs partitioned into per-shard event lanes
+  /// (sim_threads >= 2, sim_lanes, or the TORDB_SIM_* environment).
+  bool lanes_enabled() const { return sim_.lanes_enabled(); }
+  /// Worker threads actually executing lanes (1 in classic mode).
+  int sim_threads() const { return sim_.lanes_enabled() ? sim_.worker_threads() : 1; }
+  /// The event-schedule digest of one shard's lane: every (time, sequence)
+  /// pair executed there, folded in order. Bit-identical across worker
+  /// thread counts — the object the parallel equivalence tests compare.
+  /// Lane mode only (0 in classic mode, where no per-shard split exists).
+  std::uint64_t shard_digest(int shard) const {
+    return sim_.lanes_enabled() ? sim_.lane_digest(shard) : 0;
+  }
 
   NodeId node_id(int shard, int idx) const {
     return static_cast<NodeId>(shard * options_.replicas_per_shard + idx);
@@ -101,8 +133,13 @@ class ShardedCluster {
   bool merge_at(const std::string& key) { return rebalancer_->merge_at(key); }
 
   // --- topology, addressed per shard ----------------------------------------
-  void crash(int shard, int idx) { node(shard, idx).crash(); }
-  void recover(int shard, int idx) { node(shard, idx).recover(); }
+  /// Crash/recover route through the shard's lane in lane mode (a recover
+  /// constructs a fresh engine, whose timers must live on the node's lane);
+  /// plain direct calls in classic mode.
+  void crash(int shard, int idx) { in_node_lane(shard, idx, [](core::ReplicaNode& n) { n.crash(); }); }
+  void recover(int shard, int idx) {
+    in_node_lane(shard, idx, [](core::ReplicaNode& n) { n.recover(); });
+  }
   /// Partition ONE shard's members into the given components (local
   /// indices, each member exactly once). Other shards keep their current
   /// layout — the global component set is the union over shards.
@@ -134,6 +171,9 @@ class ShardedCluster {
   void schedule_metrics_roll();
   void apply_components();
   void make_txn_coordinator(int halt_at_stage);
+  /// Run `fn(node)` on the node's own lane: inline in classic mode, under a
+  /// LaneScope when parked, via a handoff when the simulation is running.
+  void in_node_lane(int shard, int idx, void (*fn)(core::ReplicaNode&));
 
   ShardedClusterOptions options_;
   Simulator sim_;

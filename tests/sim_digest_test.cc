@@ -16,6 +16,8 @@
 // checker on, which must *still* reproduce the golden digest).
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -68,6 +70,10 @@ std::uint64_t sharded_churn_digest(bool with_checker) {
   o.replicas_per_shard = 3;
   o.seed = 0x5eed2026;
   o.obs.check = with_checker;
+  // Pin the classic event loop regardless of TORDB_SIM_THREADS: these
+  // goldens record the classic schedule, and the sanitizer lanes export
+  // lane mode for the whole suite.
+  o.sim_env = false;
   ShardedCluster c(o);
   c.run_for(seconds(2));  // primaries form
 
@@ -202,6 +208,168 @@ TEST(SimDigest, CheckerDoesNotPerturbVirtualTime) {
 
 TEST(SimDigest, SingleGroupChurnMatchesGolden) {
   EXPECT_EQ(single_group_churn_digest(), kSingleGroupChurnGolden);
+}
+
+// ---------------------------------------------------------------------------
+// Lane-mode equivalence: the parallel simulator (DESIGN.md §15) must produce
+// bit-identical results for ANY worker thread count. Each scenario runs a
+// randomized churn + rebalance + cross-shard-txn schedule (same style as the
+// cross-shard property test's generator) in lane mode and folds (a) the full
+// cluster state digest, (b) every per-shard lane schedule digest, and (c) the
+// final virtual clock; the triple must match across 1, 2 and 8 threads.
+// ---------------------------------------------------------------------------
+
+struct LaneRun {
+  std::uint64_t state = 0;                 ///< folded engines + network + clock
+  std::vector<std::uint64_t> lanes;        ///< per-shard lane schedule digests
+  std::uint64_t windows = 0;               ///< conservative windows run
+  std::uint64_t handoffs = 0;              ///< cross-lane handoffs committed
+};
+
+LaneRun lane_churn_run(int threads, std::uint64_t seed) {
+  ShardedClusterOptions o;
+  o.shards = 3;
+  o.replicas_per_shard = 3;
+  o.seed = seed;
+  o.range_splits = {"g", "n"};  // rebalancing needs ranged directories
+  o.sim_lanes = true;           // lane mode even at 1 thread (the baseline)
+  o.sim_threads = threads;
+  o.sim_env = false;  // this suite pins its own lane configuration
+  // Sessions out-wait every partition the schedule produces, so no request
+  // hits attempt exhaustion (which would still be deterministic, just
+  // noisier to reason about on failure).
+  o.session.max_attempts_per_request = 100000;
+  ShardedCluster c(o);
+  c.run_for(seconds(2));  // primaries form
+
+  // Keys per owning shard under the fixed splits ["g", "n").
+  const std::vector<std::vector<std::string>> pool = {{"aa", "bb", "cc", "dd"},
+                                                      {"gg", "hh", "jj", "kk"},
+                                                      {"nn", "pp", "rr", "ss"}};
+
+  // 6 closed-loop clients, 2 per home shard. Every 5th action is a checked
+  // cross-shard command (a trivially-true precondition plus one put per
+  // shard), which the router hands to the prepared-check coordinator.
+  struct Client {
+    int id;
+    int home;
+    std::int64_t n = 0;
+  };
+  auto clients = std::make_shared<std::vector<Client>>();
+  for (int i = 0; i < 6; ++i) clients->push_back({i, i % 3});
+  auto rng = std::make_shared<Rng>(seed ^ 0x1a7e5);
+  std::function<void(std::size_t)> issue = [&, clients, rng](std::size_t idx) {
+    Client& cl = (*clients)[idx];
+    ++cl.n;
+    db::Command cmd;
+    const auto& ph = pool[static_cast<std::size_t>(cl.home)];
+    if (cl.n % 5 == 0) {
+      const int other = (cl.home + 1) % 3;
+      const auto& po = pool[static_cast<std::size_t>(other)];
+      cmd.ops.push_back(db::Op{db::OpType::kCheck, ph[0], cl.n > 5 ? "c" : "", 0});
+      cmd.ops.push_back(db::Op{db::OpType::kPut, ph[0], "c", 0});
+      cmd.ops.push_back(
+          db::Op{db::OpType::kPut, po[rng->next_below(po.size())], "x" + std::to_string(cl.n), 0});
+    } else {
+      cmd.ops.push_back(db::Op{db::OpType::kPut, ph[rng->next_below(ph.size())],
+                               "v" + std::to_string(cl.n), 0});
+    }
+    c.router().submit(cl.id, std::move(cmd), [&issue, idx, &c](const shard::RouteReply&) {
+      if (c.sim().now() < seconds(9)) issue(idx);
+    });
+  };
+  for (std::size_t i = 0; i < clients->size(); ++i) issue(i);
+
+  // Randomized churn + rebalance schedule: partitions, crashes, recoveries
+  // and a range move, in seed-dependent order and spacing. Topology changes
+  // go through the cluster wrappers so they land on the owning shard's lane.
+  Rng churn(seed * 62233);
+  int crashed_shard = -1, crashed_idx = -1;
+  int parted = -1;
+  bool moved = false;
+  for (int step = 0; step < 24; ++step) {
+    switch (churn.next_below(6)) {
+      case 0:
+        if (parted < 0) {
+          parted = static_cast<int>(churn.next_below(3));
+          c.partition_shard(parted, {{0, 1}, {2}});
+        }
+        break;
+      case 1:
+        if (parted >= 0) {
+          c.heal_shard(parted);
+          parted = -1;
+        }
+        break;
+      case 2:
+        if (crashed_shard < 0) {
+          crashed_shard = static_cast<int>(churn.next_below(3));
+          crashed_idx = static_cast<int>(churn.next_below(3));
+          c.crash(crashed_shard, crashed_idx);
+        }
+        break;
+      case 3:
+        if (crashed_shard >= 0) {
+          c.recover(crashed_shard, crashed_idx);
+          crashed_shard = -1;
+        }
+        break;
+      case 4:
+        if (!moved) {
+          moved = c.move_range("g", "j", 2);  // shard 1's low half -> shard 2
+        }
+        break;
+      default:
+        break;  // quiet step: just advance time
+    }
+    c.run_for(millis(static_cast<std::int64_t>(churn.next_range(150, 450))));
+  }
+  if (crashed_shard >= 0) c.recover(crashed_shard, crashed_idx);
+  c.heal();
+  c.run_for(seconds(8));  // drain and settle
+
+  EXPECT_EQ(c.check_all(), std::nullopt);
+
+  LaneRun out;
+  std::uint64_t h = 0x1a9e5;
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 3; ++i) {
+      const auto& n = c.node(s, i);
+      h = mix(h, n.running() ? 1 : 0);
+      if (n.running()) h = fold_engine(h, n.engine());
+    }
+  }
+  out.state = fold_net(h, c.net().stats(), c.sim().now());
+  for (int s = 0; s < 3; ++s) out.lanes.push_back(c.shard_digest(s));
+  out.windows = c.sim().windows_run();
+  out.handoffs = c.sim().handoffs_posted();
+  return out;
+}
+
+TEST(SimLanes, SerialVsParallelBitIdentical) {
+  for (const std::uint64_t seed : {0xb0b1ULL, 0x5eedULL, 0xcafe2026ULL}) {
+    const LaneRun serial = lane_churn_run(1, seed);
+    ASSERT_GT(serial.windows, 0u) << "lane mode did not engage";
+    ASSERT_GT(serial.handoffs, 0u) << "no cross-lane traffic: scenario too weak";
+    for (const int threads : {2, 8}) {
+      const LaneRun parallel = lane_churn_run(threads, seed);
+      EXPECT_EQ(parallel.state, serial.state) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(parallel.lanes, serial.lanes) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(parallel.windows, serial.windows) << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(parallel.handoffs, serial.handoffs)
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+// Golden pin for the lane-mode schedule itself: guards cross-build
+// determinism of the window/handoff machinery the equivalence test can't
+// see (it compares runs within one build). Regenerate deliberately, like
+// the classic goldens above, when the lane model changes.
+constexpr std::uint64_t kLaneChurnGolden = 4991929521294260419ULL;
+
+TEST(SimLanes, LaneChurnMatchesGolden) {
+  EXPECT_EQ(lane_churn_run(1, 0xb0b1ULL).state, kLaneChurnGolden);
 }
 
 }  // namespace

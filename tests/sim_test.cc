@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -349,6 +351,139 @@ TEST(NetworkStandalone, MulticastReachesAllListed) {
   sim.run();
   std::sort(got.begin(), got.end());
   EXPECT_EQ(got, (std::vector<NodeId>{0, 1, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Lane scheduler (DESIGN.md §15): conservative windows, handoffs, LaneScope.
+// ---------------------------------------------------------------------------
+
+TEST(SimulatorLanes, EnableLanesRejectsBadConfigs) {
+  Simulator scheduled(1);
+  scheduled.after(millis(1), [] {});
+  EXPECT_THROW(scheduled.enable_lanes(2, 1, millis(1)), std::logic_error);
+
+  Simulator sim(1);
+  EXPECT_THROW(sim.enable_lanes(1, 1, millis(1)), std::invalid_argument);  // < 2 lanes
+  EXPECT_THROW(sim.enable_lanes(2, 0, millis(1)), std::invalid_argument);  // < 1 thread
+  EXPECT_THROW(sim.enable_lanes(2, 1, 0), std::invalid_argument);          // no lookahead
+  sim.enable_lanes(2, 1, millis(1));
+  EXPECT_THROW(sim.enable_lanes(2, 1, millis(1)), std::logic_error);  // twice
+}
+
+TEST(SimulatorLanes, PostExecutesInTargetLaneAtWindowBoundary) {
+  Simulator sim(1);
+  sim.enable_lanes(3, 1, millis(1));  // lanes 0,1 workers; lane 2 control
+  int ran_in = -1;
+  SimTime ran_at = -1;
+  {
+    Simulator::LaneScope scope(sim, 0);
+    sim.after(micros(100), [&sim, &ran_in, &ran_at] {
+      // Cross-lane effect from a running worker lane: must go via post()
+      // with at least the handoff latency.
+      sim.post(1, millis(1), [&sim, &ran_in, &ran_at] {
+        ran_in = sim.current_lane();
+        ran_at = sim.now();
+      });
+    });
+  }
+  sim.run();
+  EXPECT_EQ(ran_in, 1);
+  EXPECT_EQ(ran_at, micros(100) + millis(1));
+}
+
+TEST(SimulatorLanes, CrossLanePostBelowLookaheadThrows) {
+  Simulator sim(1);
+  sim.enable_lanes(3, 1, millis(1));
+  bool threw = false;
+  {
+    Simulator::LaneScope scope(sim, 0);
+    sim.after(micros(100), [&sim, &threw] {
+      try {
+        sim.post(1, micros(10), [] {});  // 10us < the 1ms lookahead
+      } catch (const std::logic_error&) {
+        threw = true;
+      }
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(threw);
+}
+
+TEST(SimulatorLanes, SameLanePostMayBeImmediate) {
+  Simulator sim(1);
+  sim.enable_lanes(3, 1, millis(1));
+  bool ran = false;
+  {
+    Simulator::LaneScope scope(sim, 0);
+    sim.after(micros(100), [&sim, &ran] {
+      sim.post(0, 0, [&ran] { ran = true; });  // same lane: no lookahead needed
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(SimulatorLanes, CallInLaneDefersFromControlToWorker) {
+  Simulator sim(1);
+  sim.enable_lanes(3, 1, millis(1));
+  std::vector<int> order;
+  {
+    Simulator::LaneScope scope(sim, 2);  // control lane
+    sim.after(micros(100), [&sim, &order] {
+      sim.call_in_lane(0, [&sim, &order] { order.push_back(sim.current_lane()); });
+      order.push_back(100 + sim.current_lane());
+    });
+  }
+  sim.run();
+  // The hop runs after the control event finishes, on the worker lane.
+  EXPECT_EQ(order, (std::vector<int>{102, 0}));
+}
+
+TEST(SimulatorLanes, DigestsIdenticalAcrossThreadCounts) {
+  // A mesh of lanes pinging each other with seed-dependent payload work:
+  // per-lane digests, executed counts and final clocks must not depend on
+  // the worker thread count.
+  auto run = [](int threads) {
+    Simulator sim(7);
+    sim.enable_lanes(5, threads, millis(1));  // 4 workers + control
+    // tick outlives sim.run(): scheduled events capture it by reference.
+    std::function<void(int, int)> tick = [&sim, &tick](int lane, int n) {
+      if (n >= 25) return;
+      sim.after(micros(10) * (lane + 1), [&sim, &tick, lane, n] {
+        sim.post((lane + 1) % 4, millis(1) + micros(n), [] {});
+        tick(lane, n + 1);
+      });
+    };
+    for (int lane = 0; lane < 4; ++lane) {
+      Simulator::LaneScope scope(sim, lane);
+      tick(lane, 0);
+    }
+    sim.run();
+    std::vector<std::uint64_t> out;
+    for (int lane = 0; lane < 5; ++lane) {
+      out.push_back(sim.lane_digest(lane));
+      out.push_back(sim.lane_executed(lane));
+      out.push_back(static_cast<std::uint64_t>(sim.lane_now(lane)));
+    }
+    out.push_back(sim.windows_run());
+    out.push_back(sim.handoffs_posted());
+    return out;
+  };
+  const auto serial = run(1);
+  EXPECT_EQ(run(2), serial);
+  EXPECT_EQ(run(8), serial);
+}
+
+TEST(SimulatorLanes, ClassicModeKeepsPostAndCallInline) {
+  // Without enable_lanes, post() behaves like after() and call_in_lane()
+  // runs inline — the classic path stays byte-identical.
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.call_in_lane(0, [&order] { order.push_back(1); });
+  order.push_back(2);
+  sim.post(0, millis(1), [&order] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(NetworkStandalone, ChargeDelaysDelivery) {
